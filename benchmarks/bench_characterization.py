@@ -1,0 +1,65 @@
+"""Bench: workload characterization, cycle stacks, the SPMD-on-SIMD
+alternative (Sec. VI-A) and the full Fig. 3 graph."""
+
+from conftest import run_once
+
+from repro.experiments import (
+    cycle_stacks,
+    sec6a_simd_alternative,
+    workload_table,
+)
+from repro.system import run_graph, social_network_graph
+
+
+def test_workload_characterization(benchmark, scale):
+    rows = run_once(benchmark, lambda: workload_table.run(scale))
+    print()
+    print(workload_table.format_rows(rows, workload_table.COLUMNS,
+                                     title="Workload characterization"))
+    by = {r.label: r for r in rows}
+    benchmark.extra_info["post_stack_share"] = round(
+        by["post"]["stack_share"], 2)
+    assert by["post"]["stack_share"] > 0.6  # paper: up to 90%
+    assert by["hdsearch-leaf"]["pct_simd"] > 0.2
+
+
+def test_cycle_stacks(benchmark, scale):
+    rows = run_once(benchmark, lambda: cycle_stacks.run(scale))
+    print()
+    print(cycle_stacks.format_rows(rows, cycle_stacks.COLUMNS,
+                                   title="Cycle stacks", width=30))
+    by = {r.label: r for r in rows}
+    benchmark.extra_info["memcached_cpu_retire"] = round(
+        by["memcached/cpu"]["retire_share"], 2)
+    # the paper's premise: miss-heavy services retire a small share
+    assert by["memcached/cpu"]["retire_share"] < 0.5
+
+
+def test_sec6a_simd_alternative(benchmark, scale):
+    rows = run_once(benchmark,
+                    lambda: sec6a_simd_alternative.run_timing(scale))
+    print()
+    print(sec6a_simd_alternative.format_rows(
+        rows, sec6a_simd_alternative.TIMING_COLUMNS,
+        title="SPMD-on-SIMD vs RPU"))
+    avg = rows[-1]
+    benchmark.extra_info["simd_ee"] = round(avg["simd_ee"], 2)
+    benchmark.extra_info["rpu_ee"] = round(avg["rpu_ee"], 2)
+    assert avg["rpu_ee"] > avg["simd_ee"]  # the Section VI-A argument
+
+
+def test_full_social_graph(benchmark):
+    def sweep():
+        out = {}
+        for qps in (20000, 60000):
+            out[("cpu", qps)] = run_graph(social_network_graph(), qps, 800)
+            out[("rpu", qps)] = run_graph(social_network_graph(rpu=True),
+                                          qps, 800)
+        return out
+
+    results = run_once(benchmark, sweep)
+    print()
+    for (sys_name, qps), r in results.items():
+        print(f"  {sys_name:4s} @ {qps/1000:4.0f} kQPS: {r}")
+    assert results[("cpu", 60000)].p99_us > \
+        3 * results[("rpu", 60000)].p99_us

@@ -1,0 +1,22 @@
+"""Bench: Fig. 1 - the energy-efficiency vs latency design space."""
+
+from conftest import run_once
+
+from repro.experiments import fig01_design_points as experiment
+
+
+def test_fig01_design_points(benchmark, scale):
+    rows = run_once(benchmark, lambda: experiment.run(scale))
+    print()
+    print(experiment.format_rows(rows, experiment.COLUMNS,
+                                 title="Fig. 1 (reproduced)", width=26))
+    by = {r.label: r for r in rows}
+    benchmark.extra_info["rpu_ee"] = round(
+        by["rpu"]["rel_requests_per_joule"], 2)
+    benchmark.extra_info["gpu_latency"] = round(
+        by["gpu"]["rel_latency"], 1)
+    # the paper's conceptual ordering must hold
+    assert by["rpu"]["rel_requests_per_joule"] > \
+        by["cpu-smt8"]["rel_requests_per_joule"]
+    assert by["rpu"]["rel_latency"] < by["cpu-smt8"]["rel_latency"]
+    assert by["gpu"]["rel_latency"] > 10 * by["rpu"]["rel_latency"]

@@ -1,0 +1,20 @@
+"""Bench: Figs. 4 + 11 - SIMT efficiency per batching policy."""
+
+from conftest import run_once
+
+from repro.experiments import fig04_fig11_batching as experiment
+
+
+def test_fig04_fig11_batching(benchmark, scale):
+    rows = run_once(benchmark, lambda: experiment.run(scale))
+    print()
+    print(experiment.format_rows(rows, experiment.COLUMNS,
+                                 title="Figs. 4+11 (reproduced)"))
+    avg = rows[-1]
+    benchmark.extra_info["naive_avg"] = round(avg["naive"], 3)
+    benchmark.extra_info["optimized_ipdom_avg"] = round(
+        avg["api_size_ipdom"], 3)
+    benchmark.extra_info["optimized_minsp_avg"] = round(
+        avg["api_size_minsp"], 3)
+    benchmark.extra_info["paper"] = experiment.PAPER_AVERAGES
+    assert avg["api_size_ipdom"] > avg["naive"]

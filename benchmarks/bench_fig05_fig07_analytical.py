@@ -1,0 +1,24 @@
+"""Bench: Fig. 5 (bandwidth/thread scaling) and Fig. 7 (MinPC walk)."""
+
+from conftest import run_once
+
+from repro.experiments import fig05_bandwidth, fig07_minpc
+
+
+def test_fig05_bandwidth_scaling(benchmark):
+    rows = run_once(benchmark, fig05_bandwidth.run)
+    print()
+    print(fig05_bandwidth.main())
+    by = {r.label: r for r in rows}
+    benchmark.extra_info["ddr5_threads"] = \
+        by["DDR5-7200 (10ch)"]["threads_per_socket"]
+    assert by["DDR5-7200 (10ch)"]["threads_per_socket"] >= 256
+
+
+def test_fig07_minpc_walkthrough(benchmark):
+    program, schedule, result, threads = run_once(benchmark, fig07_minpc.run)
+    print()
+    print(fig07_minpc.main())
+    benchmark.extra_info["steps"] = len(schedule)
+    benchmark.extra_info["simt_efficiency"] = round(result.simt_efficiency, 3)
+    assert result.divergent_branches == 1

@@ -1,0 +1,18 @@
+"""Bench: Fig. 10 - CPU dynamic energy breakdown per stage."""
+
+from conftest import run_once
+
+from repro.experiments import fig10_energy_breakdown as experiment
+
+
+def test_fig10_energy_breakdown(benchmark, scale):
+    rows = run_once(benchmark, lambda: experiment.run(scale))
+    print()
+    print(experiment.format_rows(rows, experiment.COLUMNS,
+                                 title="Fig. 10 (reproduced)"))
+    avg = rows[-1]
+    benchmark.extra_info["frontend_ooo_avg"] = round(avg["frontend_ooo"], 3)
+    benchmark.extra_info["memory_avg"] = round(avg["memory"], 3)
+    benchmark.extra_info["paper_frontend_ooo"] = experiment.PAPER[
+        "frontend_ooo"]
+    assert avg["frontend_ooo"] > 0.5

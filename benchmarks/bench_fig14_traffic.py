@@ -1,0 +1,16 @@
+"""Bench: Fig. 14 - RPU L1 traffic normalized to the CPU."""
+
+from conftest import run_once
+
+from repro.experiments import fig14_traffic as experiment
+
+
+def test_fig14_l1_traffic(benchmark, scale):
+    rows = run_once(benchmark, lambda: experiment.run(scale))
+    print()
+    print(experiment.format_rows(rows, experiment.COLUMNS,
+                                 title="Fig. 14 (reproduced)"))
+    avg = rows[-1]
+    benchmark.extra_info["avg_reduction"] = round(avg["reduction"], 2)
+    benchmark.extra_info["paper_reduction"] = experiment.PAPER_AVG_REDUCTION
+    assert avg["reduction"] > 1.5

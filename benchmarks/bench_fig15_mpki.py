@@ -1,0 +1,17 @@
+"""Bench: Fig. 15 - L1 MPKI across batch sizes (batch-size tuning)."""
+
+from conftest import run_once
+
+from repro.experiments import fig15_mpki as experiment
+
+
+def test_fig15_l1_mpki(benchmark, scale):
+    rows = run_once(benchmark, lambda: experiment.run(scale))
+    print()
+    print(experiment.format_rows(rows, experiment.COLUMNS,
+                                 title="Fig. 15 (reproduced)"))
+    by = {r.label: r for r in rows}
+    leaf = by["hdsearch-leaf"]
+    benchmark.extra_info["hdsearch_leaf_b32"] = round(leaf["rpu_b32"], 1)
+    benchmark.extra_info["hdsearch_leaf_b8"] = round(leaf["rpu_b8"], 1)
+    assert leaf["rpu_b32"] > leaf["rpu_b8"]  # the tuning motivation

@@ -1,0 +1,18 @@
+"""Bench: Fig. 16 - SIMR-aware heap allocator vs default."""
+
+from conftest import run_once
+
+from repro.experiments import fig16_allocator as experiment
+
+
+def test_fig16_simr_aware_allocator(benchmark, scale):
+    rows = run_once(benchmark, lambda: experiment.run(scale))
+    print()
+    print(experiment.format_rows(rows, experiment.COLUMNS,
+                                 title="Fig. 16 (reproduced)", width=28))
+    gain = experiment.throughput_gain(rows, "hdsearch-leaf")
+    benchmark.extra_info["hdsearch_throughput_gain"] = round(gain, 2)
+    benchmark.extra_info["paper_gain"] = experiment.PAPER_THROUGHPUT_GAIN
+    by = {r.label: r for r in rows}
+    assert by["hdsearch-leaf/simr-aware"]["conflict_cyc_per_req"] < \
+        by["hdsearch-leaf/default"]["conflict_cyc_per_req"]

@@ -1,0 +1,24 @@
+"""Bench: Fig. 19 - requests/joule relative to the CPU.
+
+Paper: RPU 5.7x, CPU-SMT8 ~1.05x.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig19_20_21_chip as experiment
+
+
+def test_fig19_requests_per_joule(benchmark, scale):
+    rows = run_once(benchmark, lambda: experiment.run(scale))
+    print()
+    print(experiment.format_rows(rows, experiment.EE_COLUMNS,
+                                 title="Fig. 19 (reproduced)"))
+    avg = rows[-1]
+    benchmark.extra_info["rpu_ee_avg"] = round(avg["rpu_ee"], 2)
+    benchmark.extra_info["smt_ee_avg"] = round(avg["smt_ee"], 2)
+    benchmark.extra_info["paper_rpu_ee"] = experiment.PAPER[
+        "rpu_requests_per_joule"]
+    benchmark.extra_info["paper_smt_ee"] = experiment.PAPER[
+        "smt_requests_per_joule"]
+    assert avg["rpu_ee"] > 1.5
+    assert avg["rpu_ee"] > avg["smt_ee"]

@@ -1,0 +1,22 @@
+"""Bench: Fig. 20 - service latency relative to the CPU.
+
+Paper: RPU 1.44x average (worst 1.7x on HDSearch-midtier), SMT8 ~5x.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig19_20_21_chip as experiment
+
+
+def test_fig20_service_latency(benchmark, scale):
+    rows = run_once(benchmark, lambda: experiment.run(scale))
+    print()
+    print(experiment.format_rows(rows, experiment.LAT_COLUMNS,
+                                 title="Fig. 20 (reproduced)"))
+    avg = rows[-1]
+    benchmark.extra_info["rpu_lat_avg"] = round(avg["rpu_lat"], 2)
+    benchmark.extra_info["smt_lat_avg"] = round(avg["smt_lat"], 2)
+    benchmark.extra_info["paper_rpu_lat"] = experiment.PAPER["rpu_latency"]
+    benchmark.extra_info["paper_smt_lat"] = experiment.PAPER["smt_latency"]
+    assert 1.0 < avg["rpu_lat"] < 2.5
+    assert avg["smt_lat"] > avg["rpu_lat"]

@@ -1,0 +1,25 @@
+"""Bench: Fig. 21 - why RPU service latency stays close to the CPU.
+
+Paper: the RPU's 4x-less traffic and single-hop crossbar cut average
+memory latency 1.33x, offsetting the slower ALUs and L1.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig19_20_21_chip as experiment
+
+
+def test_fig21_latency_composition(benchmark, scale):
+    rows = run_once(benchmark, lambda: experiment.run(scale))
+    print()
+    print(experiment.format_rows(rows, experiment.METRIC_COLUMNS,
+                                 title="Fig. 21 (reproduced)"))
+    avg = rows[-1]
+    benchmark.extra_info["mem_lat_reduction"] = round(
+        avg["mem_lat_reduction"], 2)
+    benchmark.extra_info["traffic_reduction"] = round(
+        avg["traffic_reduction"], 2)
+    benchmark.extra_info["paper_mem_lat_reduction"] = experiment.PAPER[
+        "mem_latency_reduction"]
+    assert avg["traffic_reduction"] > 1.5
+    assert avg["simt_eff"] > 0.7

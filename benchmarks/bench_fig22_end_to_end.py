@@ -1,0 +1,23 @@
+"""Bench: Fig. 22 - end-to-end tail/average latency vs offered load.
+
+Paper: RPU sustains ~4x the CPU's throughput (60 vs 15 kQPS); without
+batch splitting average latency inflates while the tail stays OK.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig22_end_to_end as experiment
+
+
+def test_fig22_end_to_end(benchmark, scale):
+    data = run_once(benchmark, lambda: experiment.run(scale))
+    print()
+    print(experiment.format_rows(data["rows"], experiment.COLUMNS,
+                                 title="Fig. 22 (reproduced, us)",
+                                 width=12))
+    caps = data["max_kqps"]
+    print(f"max kQPS at QoS: {caps}")
+    benchmark.extra_info["cpu_kqps"] = caps["cpu"]
+    benchmark.extra_info["rpu_split_kqps"] = caps["rpu_split"]
+    benchmark.extra_info["paper"] = experiment.PAPER
+    assert caps["rpu_split"] >= 3 * caps["cpu"]

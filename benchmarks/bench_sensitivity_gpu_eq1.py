@@ -1,0 +1,56 @@
+"""Bench: Section V-A1 sensitivity studies, the GPU comparison
+(Section V-A3) and the Equation 1 analytical model."""
+
+from conftest import run_once
+
+from repro.experiments import eq1_analytical, gpu_comparison, sensitivity
+
+
+def test_sensitivity_sub_batch_lanes(benchmark, scale):
+    rows = run_once(benchmark, lambda: sensitivity.run_lanes(scale))
+    print()
+    print(sensitivity.format_rows(rows, sensitivity.LANE_COLUMNS,
+                                  title="Sub-batch 8 vs 32 lanes"))
+    benchmark.extra_info["avg_loss"] = round(rows[-1]["loss"], 3)
+    benchmark.extra_info["paper_loss"] = sensitivity.PAPER["sub_batch_loss"]
+    assert rows[-1]["loss"] < 0.3
+
+
+def test_sensitivity_atomics_at_l3(benchmark, scale):
+    rows = run_once(benchmark, lambda: sensitivity.run_atomics(scale))
+    print()
+    print(sensitivity.format_rows(rows, sensitivity.ATOMIC_COLUMNS,
+                                  title="Atomics at L3 vs in-L1"))
+    benchmark.extra_info["avg_slowdown"] = round(rows[-1]["slowdown"], 3)
+
+
+def test_sensitivity_majority_voting(benchmark, scale):
+    rows = run_once(benchmark,
+                    lambda: sensitivity.run_majority_vote(scale))
+    print()
+    print(sensitivity.format_rows(rows, sensitivity.VOTE_COLUMNS,
+                                  title="Majority voting vs leader"))
+    benchmark.extra_info["vote_accuracy"] = round(
+        rows[-1]["vote_accuracy"], 3)
+
+
+def test_gpu_comparison(benchmark, scale):
+    rows = run_once(benchmark, lambda: gpu_comparison.run(scale))
+    print()
+    print(gpu_comparison.format_rows(rows, gpu_comparison.COLUMNS,
+                                     title="GPU vs RPU vs CPU"))
+    avg = rows[-1]
+    benchmark.extra_info["gpu_lat"] = round(avg["gpu_lat"], 1)
+    benchmark.extra_info["gpu_ee"] = round(avg["gpu_ee"], 1)
+    benchmark.extra_info["paper"] = gpu_comparison.PAPER
+    # the shape that matters: the GPU is far outside the latency QoS
+    # envelope while the RPU stays near the CPU
+    assert avg["gpu_lat"] > 4 * avg["rpu_lat"]
+
+
+def test_eq1_analytical(benchmark):
+    rows = run_once(benchmark, eq1_analytical.run)
+    print()
+    print(eq1_analytical.main())
+    benchmark.extra_info["headline_gain"] = round(rows[0]["gain"], 2)
+    assert rows[0]["gain"] > 2.0

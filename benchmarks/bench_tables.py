@@ -1,0 +1,44 @@
+"""Bench: Tables IV and V plus the qualitative tables (I/II/III/VI/VII)."""
+
+from conftest import run_once
+
+from repro.core import tables
+from repro.experiments import table04_config, table05_area_power
+
+
+def test_table04_configurations(benchmark):
+    configs = run_once(benchmark, table04_config.run)
+    print()
+    print(table04_config.main())
+    benchmark.extra_info["designs"] = [c.name for c in configs]
+    assert len(configs) == 4
+
+
+def test_table05_area_power(benchmark):
+    metrics = run_once(benchmark, table05_area_power.run)
+    print()
+    print(table05_area_power.main())
+    benchmark.extra_info["core_area_ratio"] = round(
+        metrics["core_area_ratio"], 2)
+    benchmark.extra_info["thread_density_ratio"] = round(
+        metrics["thread_density_ratio"], 2)
+    assert abs(metrics["core_area_ratio"] - 6.3) < 0.3
+
+
+def test_tables_qualitative(benchmark):
+    def render_all():
+        return "\n\n".join([
+            tables.render(tables.TABLE_I,
+                          headers=("metric", "CPU", "GPU", "RPU")),
+            tables.render(tables.TABLE_II,
+                          headers=("metric", "CPU", "GPU", "RPU")),
+            tables.render(tables.TABLE_III,
+                          headers=("inefficiency", "mitigation")),
+            tables.render(tables.TABLE_VI, headers=("GPU", "RPU")),
+            tables.render(tables.TABLE_VII),
+        ])
+
+    text = run_once(benchmark, render_all)
+    print()
+    print(text)
+    assert "HW Batch" in text and "Crossbar" in text

@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Every bench regenerates one of the paper's tables/figures at a reduced
+request scale (BENCH_SCALE), prints the reproduced rows, and attaches
+the headline numbers to the benchmark record via ``extra_info``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_SCALE=12`` (approximately the paper's 2400 requests
+per service) for paper-scale runs.
+"""
+
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.34"))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn):
+    """Benchmark one expensive experiment with a single measurement."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""SIMR-aware batching: how the server's policy drives SIMT efficiency.
+
+Also demonstrates defining a *custom* microservice against the public
+API: a tiny "thumbnail" service with two APIs and size-dependent work,
+then shows how each batching policy performs on it and on the paper's
+services.
+
+    python examples/batching_policies.py
+"""
+
+import random
+from typing import List
+
+from repro import ProgramBuilder, Request, run_batch
+from repro.batching import form_batches
+from repro.isa import Segment
+from repro.workloads import get_service, pick_api, zipf_size
+from repro.workloads.base import Microservice
+from repro.workloads.kernels import (
+    emit_respond,
+    emit_table_probe,
+    emit_word_scan,
+)
+
+
+class ThumbnailService(Microservice):
+    """Custom service: resize (cheap) and transcode (expensive) APIs."""
+
+    name = "thumbnail"
+    apis = ("resize", "transcode")
+    tier = "leaf"
+    footprint_bytes = 1024
+
+    def build_program(self):
+        b = ProgramBuilder(self.name)
+        b.bne("r1", "zero", "api_transcode")
+        # resize: one pass over `size` pixels blocks
+        b.mov("r10", "r2")
+        b.mov("r11", "r4")
+        b.counted_loop(
+            "r10",
+            lambda j: (b.ld("r12", "r11", 8 * j, Segment.HEAP),
+                       b.hash("r13", "r12", "r12"),
+                       b.st("r13", "r5", 8 * j, Segment.HEAP)),
+            cursors=(("r11", 8),),
+            unroll=4,
+        )
+        b.jmp("finish")
+        b.label("api_transcode")
+        emit_word_scan(b, "r2", "r4", "r14")
+        emit_table_probe(b, "r14", "r6", "r15")
+        b.li("r10", 32)
+        with b.loop("r10"):
+            b.hash("r16", "r16", "r14")
+            b.hash("r17", "r17", "r14")
+        b.label("finish")
+        emit_respond(b)
+        return b.build()
+
+    def generate_requests(self, n, rng, start_rid=0) -> List[Request]:
+        out = []
+        for i in range(n):
+            api = pick_api(rng, (0.7, 0.3))
+            out.append(Request(rid=start_rid + i, service=self.name,
+                               api=self.apis[api], api_id=api,
+                               size=zipf_size(rng, 1, 24),
+                               key=rng.getrandbits(20)))
+        return out
+
+
+def efficiency(service, requests, policy: str) -> float:
+    batches = form_batches(requests, 32, policy)
+    effs = [run_batch(service, b, policy="minsp_pc").simt_efficiency
+            for b in batches]
+    return sum(effs) / len(effs)
+
+
+def main() -> None:
+    rng = random.Random(42)
+    services = [ThumbnailService(), get_service("memcached"),
+                get_service("post"), get_service("post-text")]
+
+    print(f"{'service':12s} {'naive':>8s} {'per-API':>8s} {'+size':>8s}")
+    for svc in services:
+        requests = svc.generate_requests(192, rng)
+        row = [efficiency(svc, requests, p)
+               for p in ("naive", "per_api", "per_api_size")]
+        print(f"{svc.name:12s} " + " ".join(f"{v:8.2f}" for v in row))
+
+    print("\nThe SIMR-aware server removes API divergence by grouping "
+          "same-API requests,\nthen removes loop-trip divergence by "
+          "sorting on argument size (paper Fig. 11).")
+
+    # static validation catches authoring mistakes before they show up
+    # as baffling lockstep divergence
+    from repro.isa import validate
+
+    report = validate(ThumbnailService().program)
+    print(f"\nstatic validation of the custom service: "
+          f"{len(report.errors)} errors, "
+          f"{len(report.warnings)} warnings -> "
+          f"{'OK' if report.ok else 'BROKEN'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Design-space exploration: batch size tuning and allocator choice.
+
+1. Batch-size tuning (paper Section III-B3): sweep batch 32/16/8/4 for
+   a cache-friendly mid-tier and a data-intensive leaf, reproducing the
+   offline tuning procedure with the library's BatchSizeTuner.
+2. SIMR-aware vs default heap allocation (paper Fig. 16) on the
+   divergent-heap leaf.
+
+    python examples/design_space.py
+"""
+
+import random
+
+from repro import RPU_CONFIG, run_chip
+from repro.batching import BatchSizeTuner
+from repro.memsys import DefaultAllocator, SimrAwareAllocator
+from repro.workloads import get_service
+
+
+def mpki_fn(service, requests):
+    def measure(batch_size: int) -> float:
+        res = run_chip(service, requests, RPU_CONFIG,
+                       batch_size=batch_size)
+        kinst = res.scalar_instructions / 1000.0
+        return res.counters["l1_misses"] / kinst if kinst else 0.0
+
+    return measure
+
+
+def main() -> None:
+    rng = random.Random(3)
+
+    print("=== batch-size tuning (L1 MPKI threshold 20) ===")
+    for name in ("post", "hdsearch-leaf", "search-leaf"):
+        service = get_service(name)
+        requests = service.generate_requests(192, rng)
+        tuner = BatchSizeTuner(mpki_fn(service, requests),
+                               candidates=(32, 16, 8, 4),
+                               mpki_threshold=20.0)
+        result = tuner.tune()
+        curve = "  ".join(f"b{b}:{m:5.1f}"
+                          for b, m in sorted(result.mpki_by_batch.items(),
+                                             reverse=True))
+        print(f"{name:16s} {curve}   -> chosen batch {result.chosen}")
+
+    print("\n=== SIMR-aware allocator vs default (hdsearch-leaf) ===")
+    service = get_service("hdsearch-leaf")
+    requests = service.generate_requests(192, rng)
+    for label, cls in (("default", DefaultAllocator),
+                       ("simr-aware", SimrAwareAllocator)):
+        res = run_chip(
+            service, requests, RPU_CONFIG,
+            allocator_factory=lambda c=cls: c(n_banks=RPU_CONFIG.l1_banks),
+        )
+        conflicts = (res.counters["l1_bank_conflict_cycles"]
+                     / max(1, res.n_requests))
+        print(f"{label:12s} bank-conflict cycles/request {conflicts:8.1f}  "
+              f"latency {res.avg_latency_cycles:8.0f} cycles")
+    print("\npaper: the SIMR-aware allocator removes the bank conflicts "
+          "of lockstep\nstreaming over thread-private heap arrays "
+          "(1.8x L1 throughput on HDSearch).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""GPGPU-style data-parallel kernels on the RPU (paper Section VI-D).
+
+The RPU can execute SPMD workloads (OpenMP/OpenCL-style) with CPU-level
+programmability.  This example defines a data-parallel "saxpy+reduce"
+kernel as a service whose *threads are loop chunks* rather than
+requests, then compares CPU / RPU / GPU on it.  Expected shape (paper):
+the GPU stays the most energy-efficient for pure data-parallel work,
+the RPU lands close behind while keeping CPU-like latency.
+
+    python examples/gpgpu_on_rpu.py
+"""
+
+import random
+from typing import List
+
+from repro import CPU_CONFIG, GPU_CONFIG, RPU_CONFIG, ProgramBuilder, run_chip
+from repro.energy import requests_per_joule
+from repro.isa import Segment
+from repro.workloads import Request
+from repro.workloads.base import Microservice
+from repro.workloads.kernels import emit_respond, emit_simd_stream
+
+
+class SaxpyKernel(Microservice):
+    """Each 'request' is one chunk of a data-parallel saxpy+reduce.
+
+    All chunks execute identical control flow (perfect SIMT
+    efficiency), stream disjoint slices of a shared array, and join at
+    a barrier (the response syscall stands in for it).
+    """
+
+    name = "saxpy"
+    apis = ("chunk",)
+    tier = "leaf"
+    simd_heavy = True
+    footprint_bytes = 4096  # one 4KB slice per chunk
+
+    CHUNK_VECTORS = 128  # 128 x 32B per chunk
+
+    def build_program(self):
+        b = ProgramBuilder(self.name)
+        # y[i] = a*x[i] + y[i] over this chunk's slice, then reduce
+        b.li("r13", self.CHUNK_VECTORS)
+        emit_simd_stream(b, "r13", "r5")
+        b.li("r13", self.CHUNK_VECTORS // 4)
+        emit_simd_stream(b, "r13", "r5")
+        emit_respond(b)
+        return b.build()
+
+    def generate_requests(self, n, rng, start_rid=0) -> List[Request]:
+        return [Request(rid=start_rid + i, service=self.name, api="chunk",
+                        api_id=0, size=self.CHUNK_VECTORS,
+                        key=rng.getrandbits(20))
+                for i in range(n)]
+
+
+def main() -> None:
+    kernel = SaxpyKernel()
+    chunks = kernel.generate_requests(2048, random.Random(5))
+
+    print("data-parallel saxpy+reduce, 2048 chunks of "
+          f"{SaxpyKernel.CHUNK_VECTORS * 32} B\n")
+    print(f"{'design':8s} {'req/J':>12s} {'rel EE':>8s} "
+          f"{'chunk latency(us)':>18s} {'SIMT eff':>9s}")
+
+    results = {}
+    for cfg in (CPU_CONFIG, RPU_CONFIG, GPU_CONFIG):
+        results[cfg.name] = run_chip(kernel, chunks, cfg)
+    base = requests_per_joule(results["cpu"])
+    for name, res in results.items():
+        ee = requests_per_joule(res)
+        print(f"{name:8s} {ee:12.0f} {ee / base:8.2f} "
+              f"{res.avg_latency_us:18.2f} {res.simt_efficiency:9.2f}")
+
+    print("\npaper Sec. VI-D: for SPMD work the GPU stays most "
+          "energy-efficient; the RPU\nnarrows the gap (8 lanes x 256-bit "
+          "SIMD = one 2048-bit unit) at CPU-like latency.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: serve one microservice on the RPU and compare designs.
+
+Runs the memcached backend on the RPU, the single-threaded CPU chip and
+the SMT-8 CPU chip, then prints the paper's headline metrics:
+requests/joule, service latency and chip throughput.
+
+    python examples/quickstart.py [n_requests]
+"""
+
+import sys
+
+from repro import SimrSystem, speedup_summary
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 192
+
+    system = SimrSystem("memcached")
+    requests = system.sample_requests(n)
+    print(f"serving {n} memcached requests "
+          f"(APIs: {sorted({r.api for r in requests})})\n")
+
+    reports = system.compare(requests, baselines=("cpu", "cpu-smt8"))
+
+    header = (f"{'design':10s} {'req/J':>12s} {'latency(us)':>12s} "
+              f"{'chip rps':>12s} {'SIMT eff':>9s}")
+    print(header)
+    for name in ("cpu", "cpu-smt8", "rpu"):
+        rep = reports[name]
+        print(f"{name:10s} {rep.requests_per_joule:12.0f} "
+              f"{rep.avg_latency_us:12.2f} "
+              f"{rep.chip_throughput_rps:12.0f} "
+              f"{rep.simt_efficiency:9.2f}")
+
+    print("\nrelative to the CPU:")
+    for name, ratios in speedup_summary(reports).items():
+        print(f"  {name:10s} {ratios['requests_per_joule']:5.2f}x req/J "
+              f"at {ratios['latency']:5.2f}x latency, "
+              f"{ratios['throughput']:5.2f}x throughput")
+
+    rpu = reports["rpu"]
+    print(f"\nRPU energy breakdown per core: "
+          f"frontend+OoO {rpu.energy.share('frontend_ooo'):.0%}, "
+          f"execution {rpu.energy.share('execution'):.0%}, "
+          f"memory {rpu.energy.share('memory'):.0%}, "
+          f"SIMT overhead {rpu.energy.share('simt_overhead'):.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""End-to-end social-network scenario (paper Fig. 3 + Fig. 22).
+
+Drives the User path (WebServer -> User -> McRouter -> Memcached ->
+Storage on miss) through the system-level queueing simulator at
+increasing load for three systems: CPU servers, RPU servers without
+batch splitting, and RPU servers with batch splitting.
+
+    python examples/social_network.py
+"""
+
+from repro.system import (
+    EndToEndConfig,
+    max_throughput_kqps,
+    saturation_sweep,
+)
+
+QPS_POINTS = [2000, 5000, 10000, 15000, 18000, 20000, 30000,
+              45000, 60000, 75000, 90000]
+
+
+def main() -> None:
+    systems = {
+        "CPU": EndToEndConfig(rpu=False),
+        "RPU (no split)": EndToEndConfig(rpu=True, batch_split=False),
+        "RPU (split)": EndToEndConfig(rpu=True, batch_split=True),
+    }
+
+    sweeps = {}
+    for name, cfg in systems.items():
+        sweeps[name] = saturation_sweep(cfg, QPS_POINTS, n_requests=3000)
+
+    print(f"{'kQPS':>6s}", end="")
+    for name in systems:
+        print(f"{name + ' avg':>18s}{name + ' p99':>18s}", end="")
+    print()
+    for i, qps in enumerate(QPS_POINTS):
+        print(f"{qps/1000:6.0f}", end="")
+        for name in systems:
+            r = sweeps[name][i]
+            print(f"{r.avg_latency_us:18.0f}{r.p99_us:18.0f}", end="")
+        print()
+
+    print("\nmax sustainable throughput at QoS (p99 <= 2.5 ms):")
+    for name, res in sweeps.items():
+        print(f"  {name:15s} {max_throughput_kqps(res):6.0f} kQPS")
+    print("\npaper: CPU ~15 kQPS, RPU ~60 kQPS (4x); batch splitting "
+          "repairs the average latency while the tail stays acceptable")
+
+    # ------------------------------------------------------------------
+    # the full Fig. 3 application graph (user + post + search paths)
+    # ------------------------------------------------------------------
+    from repro.system import run_graph, social_network_graph
+
+    print("\nfull social-network graph (web -> user/post/search):")
+    print(f"{'kQPS':>6s} {'CPU p99(us)':>14s} {'RPU p99(us)':>14s}")
+    for qps in (5000, 20000, 35000, 60000):
+        cpu_g = run_graph(social_network_graph(), qps, 1200)
+        rpu_g = run_graph(social_network_graph(rpu=True), qps, 1200)
+        print(f"{qps/1000:6.0f} {cpu_g.p99_us:14.0f} {rpu_g.p99_us:14.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""SIMR: Single Instruction Multiple Request processing - reproduction.
+
+A full-system model of the MICRO 2022 paper: the Request Processing
+Unit (an out-of-order CPU with GPU-style SIMT thread aggregation), its
+SIMR-aware software stack (control-flow-aware request batching, batch
+splitting, SIMR-aware memory allocation, stack interleaving), 15
+synthetic microservice workloads, approximate cycle/energy models for
+CPU / CPU-SMT8 / RPU / GPU chips, and a system-level microservice-graph
+queueing simulator.
+
+Quick start::
+
+    from repro import SimrSystem
+
+    system = SimrSystem("memcached")
+    reports = system.compare(system.sample_requests(192))
+    for name, rep in reports.items():
+        print(name, rep.requests_per_joule, rep.avg_latency_us)
+"""
+
+from .core import ServeReport, SimrSystem, run_batch, run_solo, speedup_summary
+from .batching import form_batches, split_batch
+from .engine import IpdomExecutor, MinSpPcExecutor, SoloExecutor, ThreadState
+from .isa import Program, ProgramBuilder
+from .timing import (
+    CPU_CONFIG,
+    GPU_CONFIG,
+    RPU_CONFIG,
+    SMT8_CONFIG,
+    CoreConfig,
+    run_chip,
+)
+from .workloads import Microservice, Request, all_services, get_service
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CPU_CONFIG",
+    "CoreConfig",
+    "GPU_CONFIG",
+    "IpdomExecutor",
+    "Microservice",
+    "MinSpPcExecutor",
+    "Program",
+    "ProgramBuilder",
+    "RPU_CONFIG",
+    "Request",
+    "SMT8_CONFIG",
+    "ServeReport",
+    "SimrSystem",
+    "SoloExecutor",
+    "ThreadState",
+    "all_services",
+    "form_batches",
+    "get_service",
+    "run_batch",
+    "run_chip",
+    "run_solo",
+    "speedup_summary",
+    "split_batch",
+]

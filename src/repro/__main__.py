@@ -1,0 +1,46 @@
+"""``python -m repro`` - a quick tour of the reproduction.
+
+Runs a small memcached comparison and points at the heavier entry
+points (examples, experiments, benches).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from . import SimrSystem, __version__, speedup_summary
+from .workloads import SERVICE_NAMES
+
+
+def main(argv=None) -> int:
+    """Parse arguments, run the demo comparison, print next steps."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SIMR (MICRO 2022) reproduction - quick demo",
+    )
+    parser.add_argument("--service", default="memcached",
+                        choices=SERVICE_NAMES)
+    parser.add_argument("--requests", type=int, default=128)
+    args = parser.parse_args(argv)
+
+    print(f"SIMR reproduction v{__version__}")
+    print(f"services: {', '.join(SERVICE_NAMES)}\n")
+
+    system = SimrSystem(args.service)
+    reports = system.compare(system.sample_requests(args.requests))
+    print(f"{args.service}: {args.requests} requests, "
+          f"SIMT efficiency {reports['rpu'].simt_efficiency:.2f}\n")
+    for name, ratios in speedup_summary(reports).items():
+        print(f"  {name:10s} {ratios['requests_per_joule']:5.2f}x req/J  "
+              f"{ratios['latency']:5.2f}x latency  "
+              f"{ratios['throughput']:5.2f}x throughput")
+
+    print("\nnext steps:")
+    print("  python -m repro.experiments.run_all      # every figure/table")
+    print("  python examples/quickstart.py            # the API tour")
+    print("  pytest benchmarks/ --benchmark-only      # bench harness")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

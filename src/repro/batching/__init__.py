@@ -1,0 +1,46 @@
+"""SIMR-aware batching server: policies, splitting, batch-size tuning."""
+
+from .driver import (
+    BatchTask,
+    ComputePhase,
+    DriverStats,
+    IoPhase,
+    RpuDriver,
+    make_io_batch,
+)
+from .policies import (
+    POLICIES,
+    batch_isolate_outliers,
+    batch_naive,
+    batch_per_api,
+    batch_per_api_size,
+    form_batches,
+)
+from .splitter import (
+    SplitDecision,
+    memcached_miss_predicate,
+    rebatch_orphans,
+    split_batch,
+)
+from .tuning import BatchSizeTuner, TuningResult
+
+__all__ = [
+    "BatchTask",
+    "ComputePhase",
+    "DriverStats",
+    "IoPhase",
+    "POLICIES",
+    "RpuDriver",
+    "make_io_batch",
+    "BatchSizeTuner",
+    "SplitDecision",
+    "TuningResult",
+    "batch_isolate_outliers",
+    "batch_naive",
+    "batch_per_api",
+    "batch_per_api_size",
+    "form_batches",
+    "memcached_miss_predicate",
+    "rebatch_orphans",
+    "split_batch",
+]

@@ -1,0 +1,89 @@
+"""Request batching policies of the SIMR-aware server (Section III-B1).
+
+* ``naive`` - batch by arrival order only (the Fig. 4 baseline).
+* ``per_api`` - group requests calling the same API/RPC so a batch
+  executes the same source code.
+* ``per_api_size`` - additionally sort by argument/query length so
+  loop trip counts match within a batch (the full Fig. 11 policy).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..workloads.base import Request
+
+Batches = List[List[Request]]
+
+
+def _chunk(requests: Sequence[Request], batch_size: int) -> Batches:
+    return [
+        list(requests[i:i + batch_size])
+        for i in range(0, len(requests), batch_size)
+    ]
+
+
+def batch_naive(requests: Sequence[Request], batch_size: int) -> Batches:
+    """Arrival-order batching."""
+    return _chunk(list(requests), batch_size)
+
+
+def batch_per_api(requests: Sequence[Request], batch_size: int) -> Batches:
+    """Group by API, keep arrival order within each API."""
+    by_api: Dict[int, List[Request]] = {}
+    for r in requests:
+        by_api.setdefault(r.api_id, []).append(r)
+    out: Batches = []
+    for api_id in sorted(by_api):
+        out.extend(_chunk(by_api[api_id], batch_size))
+    return out
+
+
+def batch_per_api_size(requests: Sequence[Request], batch_size: int) -> Batches:
+    """Group by API, then sort by argument size within the API."""
+    by_api: Dict[int, List[Request]] = {}
+    for r in requests:
+        by_api.setdefault(r.api_id, []).append(r)
+    out: Batches = []
+    for api_id in sorted(by_api):
+        group = sorted(by_api[api_id], key=lambda r: (r.size, r.rid))
+        out.extend(_chunk(group, batch_size))
+    return out
+
+
+def batch_isolate_outliers(requests: Sequence[Request], batch_size: int,
+                           size_limit: int = 24) -> Batches:
+    """Security-hardened per-API+size batching (paper Section VI-C).
+
+    A maliciously long query batched with short ones would stretch the
+    whole batch's lockstep execution (QoS interference) and could leak
+    control-flow information; the server detects oversized requests
+    and isolates them in their own (possibly degenerate) batches.
+    """
+    normal = [r for r in requests if r.size <= size_limit]
+    outliers = [r for r in requests if r.size > size_limit]
+    batches = batch_per_api_size(normal, batch_size) if normal else []
+    for r in outliers:  # isolated: never share a batch with others
+        batches.append([r])
+    return batches
+
+
+POLICIES: Dict[str, Callable[[Sequence[Request], int], Batches]] = {
+    "naive": batch_naive,
+    "per_api": batch_per_api,
+    "per_api_size": batch_per_api_size,
+    "isolate_outliers": batch_isolate_outliers,
+}
+
+
+def form_batches(requests: Sequence[Request], batch_size: int,
+                 policy: str = "per_api_size") -> Batches:
+    """Apply a named policy; raises KeyError for unknown policies."""
+    try:
+        fn = POLICIES[policy]
+    except KeyError:
+        raise KeyError(
+            f"unknown batching policy {policy!r}; "
+            f"known: {', '.join(POLICIES)}"
+        ) from None
+    return fn(requests, batch_size)

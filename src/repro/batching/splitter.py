@@ -1,0 +1,51 @@
+"""System-level batch splitting (paper Section III-B5, Fig. 17b).
+
+When one side of a divergent path blocks on millisecond-scale I/O
+(storage, remote DB), forcing the fast side to wait at the
+reconvergence point would let the storage latency dominate everyone's
+response time.  The splitter divides a batch into a fast sub-batch
+that continues past the reconvergence point and a blocked sub-batch
+that is context-switched out; orphaned blocked requests can later be
+re-batched at the storage service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from ..workloads.base import Request
+
+
+@dataclass
+class SplitDecision:
+    fast: List[Request]
+    blocked: List[Request]
+
+    @property
+    def did_split(self) -> bool:
+        return bool(self.fast) and bool(self.blocked)
+
+
+def split_batch(batch: Sequence[Request],
+                blocks: Callable[[Request], bool]) -> SplitDecision:
+    """Partition ``batch`` by the blocking predicate."""
+    fast: List[Request] = []
+    blocked: List[Request] = []
+    for r in batch:
+        (blocked if blocks(r) else fast).append(r)
+    return SplitDecision(fast=fast, blocked=blocked)
+
+
+def memcached_miss_predicate(r: Request) -> bool:
+    """The Fig. 17 case: requests that miss the cache block on storage."""
+    return r.payload.get("mc_hit", 1) == 0
+
+
+def rebatch_orphans(orphans: Sequence[Request], batch_size: int) -> List[List[Request]]:
+    """Form full batches out of blocked requests at the storage tier."""
+    out = []
+    pending = list(orphans)
+    for i in range(0, len(pending), batch_size):
+        out.append(pending[i:i + batch_size])
+    return out

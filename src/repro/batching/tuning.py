@@ -1,0 +1,46 @@
+"""Offline batch-size tuning (paper Section III-B3).
+
+Data center operators tune the batch size per microservice offline; the
+paper runs everything at 32 except the data-intensive leaves, which are
+throttled to 8 once their L1 MPKI at batch 32 exceeds an acceptable
+level.  The tuner reproduces that procedure against any measurement
+callable (tests inject synthetic curves; experiments pass the cache
+model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+
+@dataclass
+class TuningResult:
+    chosen: int
+    mpki_by_batch: Dict[int, float]
+
+
+class BatchSizeTuner:
+    """Offline per-service batch-size tuning by L1 MPKI threshold."""
+
+    def __init__(self, mpki_fn: Callable[[int], float],
+                 candidates: Sequence[int] = (32, 16, 8, 4),
+                 mpki_threshold: float = 20.0):
+        self.mpki_fn = mpki_fn
+        self.candidates = sorted(candidates, reverse=True)
+        self.mpki_threshold = mpki_threshold
+
+    def tune(self) -> TuningResult:
+        """Pick the largest batch size whose MPKI is acceptable.
+
+        Falls back to the smallest candidate if none qualifies.
+        """
+        curve: Dict[int, float] = {}
+        chosen = self.candidates[-1]
+        for size in self.candidates:
+            curve[size] = self.mpki_fn(size)
+        for size in self.candidates:  # largest first
+            if curve[size] <= self.mpki_threshold:
+                chosen = size
+                break
+        return TuningResult(chosen=chosen, mpki_by_batch=curve)

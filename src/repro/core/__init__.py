@@ -1,0 +1,15 @@
+"""Top-level SIMR facade and shared run helpers."""
+
+from .run import prepare_threads, run_batch, run_solo
+from .simr import ServeReport, SimrSystem, speedup_summary
+from . import tables
+
+__all__ = [
+    "ServeReport",
+    "SimrSystem",
+    "prepare_threads",
+    "run_batch",
+    "run_solo",
+    "speedup_summary",
+    "tables",
+]

@@ -1,0 +1,142 @@
+"""Top-level facade: the SIMR system of paper Fig. 2.
+
+``SimrSystem`` wires together the SIMR-aware server (request batching),
+the RPU driver behaviour (batch-size tuning, SIMR-aware allocation,
+reconvergence policy) and the RPU hardware model, and reports the
+metrics the paper evaluates: SIMT efficiency, service latency,
+requests/joule and chip throughput.
+
+    >>> from repro import SimrSystem
+    >>> system = SimrSystem("memcached")
+    >>> report = system.serve(system.sample_requests(128))
+    >>> report.simt_efficiency > 0.5
+    True
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..energy import EnergyBreakdown, energy_of, requests_per_joule
+from ..timing import (
+    CPU_CONFIG,
+    GPU_CONFIG,
+    RPU_CONFIG,
+    SMT8_CONFIG,
+    ChipResult,
+    CoreConfig,
+    run_chip,
+)
+from ..workloads import Microservice, Request, get_service
+
+_CONFIGS: Dict[str, CoreConfig] = {
+    "cpu": CPU_CONFIG,
+    "cpu-smt8": SMT8_CONFIG,
+    "rpu": RPU_CONFIG,
+    "gpu": GPU_CONFIG,
+}
+
+
+@dataclass
+class ServeReport:
+    """User-facing summary of one population served on one design."""
+
+    config_name: str
+    service: str
+    n_requests: int
+    simt_efficiency: float
+    avg_latency_us: float
+    chip_throughput_rps: float
+    requests_per_joule: float
+    energy: EnergyBreakdown
+    chip_result: ChipResult = field(repr=False, default=None)
+
+    @classmethod
+    def from_chip(cls, result: ChipResult) -> "ServeReport":
+        return cls(
+            config_name=result.config_name,
+            service=result.service,
+            n_requests=result.n_requests,
+            simt_efficiency=result.simt_efficiency,
+            avg_latency_us=result.avg_latency_us,
+            chip_throughput_rps=result.chip_throughput_rps,
+            requests_per_joule=requests_per_joule(result),
+            energy=energy_of(result),
+            chip_result=result,
+        )
+
+
+class SimrSystem:
+    """The SIMR-aware server + RPU pairing for one microservice."""
+
+    def __init__(
+        self,
+        service: Union[str, Microservice],
+        config: CoreConfig = RPU_CONFIG,
+        batching: str = "per_api_size",
+        policy: str = "minsp_pc",
+        batch_size: Optional[int] = None,
+        seed: int = 7,
+    ):
+        self.service = (get_service(service)
+                        if isinstance(service, str) else service)
+        self.config = config
+        self.batching = batching
+        self.policy = policy
+        self.batch_size = batch_size
+        self._rng = random.Random(seed)
+
+    def sample_requests(self, n: int) -> List[Request]:
+        """Draw requests from the service's arrival distribution."""
+        return self.service.generate_requests(n, self._rng)
+
+    def serve(self, requests: Sequence[Request],
+              warmup_frac: float = 0.2) -> ServeReport:
+        """Batch and execute ``requests`` on this system's hardware."""
+        result = run_chip(
+            self.service,
+            requests,
+            self.config,
+            policy=self.policy,
+            batching=self.batching,
+            batch_size=self.batch_size,
+            warmup_frac=warmup_frac,
+        )
+        return ServeReport.from_chip(result)
+
+    def compare(
+        self,
+        requests: Sequence[Request],
+        baselines: Sequence[str] = ("cpu", "cpu-smt8"),
+    ) -> Dict[str, ServeReport]:
+        """Serve on this system and on the named baseline designs."""
+        out = {self.config.name: self.serve(requests)}
+        for name in baselines:
+            try:
+                cfg = _CONFIGS[name]
+            except KeyError:
+                raise KeyError(
+                    f"unknown design {name!r}; known: {', '.join(_CONFIGS)}"
+                ) from None
+            out[name] = ServeReport.from_chip(
+                run_chip(self.service, requests, cfg)
+            )
+        return out
+
+
+def speedup_summary(reports: Dict[str, ServeReport],
+                    baseline: str = "cpu") -> Dict[str, Dict[str, float]]:
+    """Relative EE/latency of every design vs ``baseline``."""
+    base = reports[baseline]
+    out = {}
+    for name, rep in reports.items():
+        out[name] = {
+            "requests_per_joule": rep.requests_per_joule
+            / max(1e-12, base.requests_per_joule),
+            "latency": rep.avg_latency_us / max(1e-12, base.avg_latency_us),
+            "throughput": rep.chip_throughput_rps
+            / max(1e-12, base.chip_throughput_rps),
+        }
+    return out

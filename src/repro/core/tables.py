@@ -1,0 +1,107 @@
+"""The paper's qualitative comparison tables (I, II, III, VI, VII).
+
+Encoded as structured data so tests can assert their content and the
+benches can render them alongside the quantitative results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Table I - CPU vs RPU vs GPU key metrics.
+TABLE_I: List[Tuple[str, str, str, str]] = [
+    # (metric, CPU, GPU, RPU)
+    ("Thread/Execution Model", "SMT", "SIMT", "SIMT"),
+    ("General Purpose Programming", "yes", "no", "yes"),
+    ("System Calls Support", "yes", "no", "yes"),
+    ("Service Latency", "low", "high", "low"),
+    ("Energy Efficiency (Requests/Joule)", "low", "high", "high"),
+]
+
+#: Table II - architecture differences.
+TABLE_II: List[Tuple[str, str, str, str]] = [
+    ("Core model", "OoO", "In-Order", "OoO"),
+    ("Freq", "High", "Moderate", "High"),
+    ("ISA", "ARM/x86", "HSAIL/PTX", "ARM/x86"),
+    ("Programming", "General-Purpose", "CUDA/OpenCL", "General-Purpose"),
+    ("System Calls", "Yes", "No", "Yes"),
+    ("Thread grain", "Coarse grain", "Fine grain", "Coarse grain"),
+    ("TLP per core", "Low (1-8)", "Massive (2K)", "Moderate (8-32)"),
+    ("Thread model", "SMT", "SIMT", "SIMT"),
+    ("Consistency", "Variant", "Weak+NMCA", "Weak+NMCA"),
+    ("Coherence", "Complex", "Relaxed Simple", "Relaxed Simple"),
+    ("Interconnect", "Mesh", "Crossbar", "Crossbar"),
+]
+
+#: Table III - data center CPU inefficiencies and the RPU mitigation.
+TABLE_III: List[Tuple[str, str]] = [
+    ("Request similarity & high frontend power",
+     "SIMT execution to amortize frontend overhead"),
+    ("Inter-request data sharing",
+     "Memory coalescing; more threads share private caches"),
+    ("Low coherence/locks and eventual consistency",
+     "Weak ordering, relaxed coherence (NMCA), "
+     "higher-bandwidth core-to-memory interconnect"),
+    ("Low IPC from frontend stalls and memory latency",
+     "Multi-thread/sub-batch interleaving"),
+    ("Underutilized DRAM & L3 bandwidth, ineffective prefetchers",
+     "High TLP to utilize bandwidth"),
+    ("Small per-service cache footprint",
+     "High TLP and less L1/L2 capacity per thread"),
+]
+
+#: Table VI - GPU vs RPU terminology.
+TABLE_VI: List[Tuple[str, str]] = [
+    ("Grid/Thread Block (1/2/3-dim)", "SW Batch (1-dim)"),
+    ("Warp", "HW Batch"),
+    ("Thread", "Thread/Request"),
+    ("Kernel", "Service"),
+    ("GPU Core / Streaming MultiProcessor",
+     "RPU Core / Streaming MultiRequest"),
+    ("SIMT", "SIMR"),
+    ("CUDA Core", "Execution Lane"),
+]
+
+#: Table VII - SIMR vs prior SIMT work.
+TABLE_VII: List[Dict[str, str]] = [
+    {"system": "GPUs", "ooo": "no", "cpu_isa": "no", "grain": "Fine",
+     "workloads": "Data-parallel"},
+    {"system": "VT", "ooo": "no", "cpu_isa": "yes", "grain": "Fine",
+     "workloads": "Data-parallel"},
+    {"system": "GPU+OoO", "ooo": "partial", "cpu_isa": "no",
+     "grain": "Fine", "workloads": "Data-parallel"},
+    {"system": "Simty", "ooo": "no", "cpu_isa": "yes", "grain": "Fine",
+     "workloads": "Data-parallel"},
+    {"system": "Vortex", "ooo": "no", "cpu_isa": "yes", "grain": "Fine",
+     "workloads": "Data-parallel"},
+    {"system": "DITVA", "ooo": "no", "cpu_isa": "yes", "grain": "Fine",
+     "workloads": "Data-parallel"},
+    {"system": "MSPS", "ooo": "no", "cpu_isa": "yes", "grain": "N/A",
+     "workloads": "Web server"},
+    {"system": "SIMT-X", "ooo": "yes", "cpu_isa": "yes", "grain": "Fine",
+     "workloads": "Data-parallel"},
+    {"system": "SIMR", "ooo": "yes", "cpu_isa": "yes", "grain": "Coarse",
+     "workloads": "Data-parallel & request-parallel microservices"},
+]
+
+
+def gpu_terminology(term: str) -> str:
+    """Translate an NVIDIA GPU term to the paper's RPU terminology."""
+    mapping = {g.lower(): r for g, r in TABLE_VI}
+    try:
+        return mapping[term.lower()]
+    except KeyError:
+        raise KeyError(f"unknown GPU term {term!r}") from None
+
+
+def render(table, headers=()) -> str:
+    """Plain-text rendering for any of the tables above."""
+    lines = []
+    if headers:
+        lines.append(" | ".join(headers))
+    for row in table:
+        if isinstance(row, dict):
+            lines.append(" | ".join(str(v) for v in row.values()))
+        else:
+            lines.append(" | ".join(str(v) for v in row))
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Energy/area models (McPAT + GPUWattch role in the paper)."""
+
+from .area import (
+    CHIP_COMPONENTS,
+    CORE_COMPONENTS,
+    ComponentEstimate,
+    chip_totals,
+    core_totals,
+    format_table,
+    frontend_ooo_share,
+    simt_overhead_share,
+)
+from .equation import (
+    EnergyComposition,
+    anticipated_gain_range,
+    energy_efficiency_gain,
+)
+from .model import (
+    CPU_ENERGY,
+    ENERGY_BY_CONFIG,
+    GPU_ENERGY,
+    RPU_ENERGY,
+    SMT8_ENERGY,
+    EnergyBreakdown,
+    EnergyConstants,
+    constants_for,
+    energy_of,
+    requests_per_joule,
+)
+
+__all__ = [
+    "CHIP_COMPONENTS",
+    "CORE_COMPONENTS",
+    "CPU_ENERGY",
+    "ComponentEstimate",
+    "ENERGY_BY_CONFIG",
+    "EnergyBreakdown",
+    "EnergyComposition",
+    "EnergyConstants",
+    "GPU_ENERGY",
+    "RPU_ENERGY",
+    "SMT8_ENERGY",
+    "anticipated_gain_range",
+    "chip_totals",
+    "constants_for",
+    "core_totals",
+    "energy_efficiency_gain",
+    "energy_of",
+    "format_table",
+    "frontend_ooo_share",
+    "requests_per_joule",
+    "simt_overhead_share",
+]

@@ -1,0 +1,149 @@
+"""Area and peak-power model (paper Table V, 7nm).
+
+The CPU core's per-component values anchor the model; RPU components
+are derived by the scaling rules the paper describes: frontend
+structures are shared by the batch (near-constant), register files and
+execution units scale with the 32 threads / 8 lanes, caches grow 4x,
+and the SIMT-only structures (majority voting, SIMT optimizer, MCU,
+L1 crossbar) are added on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class ComponentEstimate:
+    name: str
+    cpu_area_mm2: float
+    rpu_area_mm2: float
+    cpu_power_w: float
+    rpu_power_w: float
+
+
+#: Per-core component estimates (Table V).  CPU column is the anchor;
+#: the RPU column applies the scaling rules quoted in the docstring.
+CORE_COMPONENTS: List[ComponentEstimate] = [
+    ComponentEstimate("Fetch&Decode", 0.27, 0.30, 0.39, 0.40),
+    ComponentEstimate("Branch Prediction", 0.01, 0.01, 0.02, 0.02),
+    ComponentEstimate("OoO", 0.11, 0.17, 0.85, 1.45),
+    ComponentEstimate("Register File", 0.14, 2.52, 0.49, 4.26),
+    ComponentEstimate("Execution Units", 0.25, 2.31, 0.34, 2.51),
+    ComponentEstimate("Load/Store Unit", 0.07, 0.34, 0.13, 0.41),
+    ComponentEstimate("L1 Cache", 0.04, 0.22, 0.09, 0.20),
+    ComponentEstimate("TLB", 0.02, 0.08, 0.06, 0.40),
+    ComponentEstimate("L2 Cache", 0.20, 0.71, 0.13, 0.24),
+    ComponentEstimate("Majority Voting", 0.00, 0.02, 0.00, 0.03),
+    ComponentEstimate("SIMT Optimizer", 0.00, 0.03, 0.00, 0.05),
+    ComponentEstimate("MCU", 0.00, 0.02, 0.00, 0.01),
+    ComponentEstimate("L1-Xbar", 0.00, 0.31, 0.00, 1.23),
+]
+
+#: Chip-level components (Table V bottom).
+CHIP_COMPONENTS: List[ComponentEstimate] = [
+    ComponentEstimate("L3 Cache", 7.82, 7.82, 0.75, 0.75),
+    ComponentEstimate("NoC", 9.78, 1.72, 36.52, 7.02),
+    ComponentEstimate("Memory Ctrl", 14.64, 23.59, 6.85, 19.27),
+]
+
+CPU_CORES = 98
+RPU_CORES = 20
+CPU_STATIC_W = 49.0
+RPU_STATIC_W = 53.0
+CPU_THREADS = 98
+RPU_THREADS = 640
+
+
+def core_totals() -> Dict[str, float]:
+    """Per-core area/power totals and RPU/CPU ratios (Table V)."""
+    cpu_area = sum(c.cpu_area_mm2 for c in CORE_COMPONENTS)
+    rpu_area = sum(c.rpu_area_mm2 for c in CORE_COMPONENTS)
+    cpu_power = sum(c.cpu_power_w for c in CORE_COMPONENTS)
+    rpu_power = sum(c.rpu_power_w for c in CORE_COMPONENTS)
+    return {
+        "cpu_core_area_mm2": cpu_area,
+        "rpu_core_area_mm2": rpu_area,
+        "cpu_core_power_w": cpu_power,
+        "rpu_core_power_w": rpu_power,
+        "core_area_ratio": rpu_area / cpu_area,
+        "core_power_ratio": rpu_power / cpu_power,
+    }
+
+
+def chip_totals() -> Dict[str, float]:
+    """Chip-level area/power totals and thread density (Table V)."""
+    core = core_totals()
+    cpu_area = core["cpu_core_area_mm2"] * CPU_CORES + sum(
+        c.cpu_area_mm2 for c in CHIP_COMPONENTS
+    )
+    rpu_area = core["rpu_core_area_mm2"] * RPU_CORES + sum(
+        c.rpu_area_mm2 for c in CHIP_COMPONENTS
+    )
+    cpu_power = (
+        core["cpu_core_power_w"] * CPU_CORES
+        + sum(c.cpu_power_w for c in CHIP_COMPONENTS)
+        + CPU_STATIC_W
+    )
+    rpu_power = (
+        core["rpu_core_power_w"] * RPU_CORES
+        + sum(c.rpu_power_w for c in CHIP_COMPONENTS)
+        + RPU_STATIC_W
+    )
+    return {
+        "cpu_chip_area_mm2": cpu_area,
+        "rpu_chip_area_mm2": rpu_area,
+        "cpu_chip_power_w": cpu_power,
+        "rpu_chip_power_w": rpu_power,
+        "thread_density_ratio": (RPU_THREADS / rpu_area)
+        / (CPU_THREADS / cpu_area),
+    }
+
+
+def frontend_ooo_share() -> Tuple[float, float]:
+    """CPU frontend+OoO share of core area and power (paper: ~40%/50%)."""
+    fe = ("Fetch&Decode", "Branch Prediction", "OoO", "Load/Store Unit")
+    area = sum(c.cpu_area_mm2 for c in CORE_COMPONENTS if c.name in fe)
+    power = sum(c.cpu_power_w for c in CORE_COMPONENTS if c.name in fe)
+    t = core_totals()
+    return area / t["cpu_core_area_mm2"], power / t["cpu_core_power_w"]
+
+
+def simt_overhead_share() -> float:
+    """Fraction of RPU core peak power spent on RPU-only structures
+    (~11.8%, dominated by the 8x8 L1 crossbar)."""
+    extra = ("Majority Voting", "SIMT Optimizer", "MCU", "L1-Xbar")
+    power = sum(c.rpu_power_w for c in CORE_COMPONENTS if c.name in extra)
+    return power / core_totals()["rpu_core_power_w"]
+
+
+def format_table() -> str:
+    """Render Table V as text."""
+    lines = [
+        f"{'Component':18s} {'CPU mm2':>8s} {'RPU mm2':>8s} "
+        f"{'CPU W':>7s} {'RPU W':>7s}"
+    ]
+    for c in CORE_COMPONENTS:
+        lines.append(
+            f"{c.name:18s} {c.cpu_area_mm2:8.2f} {c.rpu_area_mm2:8.2f} "
+            f"{c.cpu_power_w:7.2f} {c.rpu_power_w:7.2f}"
+        )
+    t = core_totals()
+    lines.append(
+        f"{'Total-1core':18s} {t['cpu_core_area_mm2']:8.2f} "
+        f"{t['rpu_core_area_mm2']:8.2f} {t['cpu_core_power_w']:7.2f} "
+        f"{t['rpu_core_power_w']:7.2f}"
+    )
+    for c in CHIP_COMPONENTS:
+        lines.append(
+            f"{c.name:18s} {c.cpu_area_mm2:8.2f} {c.rpu_area_mm2:8.2f} "
+            f"{c.cpu_power_w:7.2f} {c.rpu_power_w:7.2f}"
+        )
+    ch = chip_totals()
+    lines.append(
+        f"{'Total Chip':18s} {ch['cpu_chip_area_mm2']:8.1f} "
+        f"{ch['rpu_chip_area_mm2']:8.1f} {ch['cpu_chip_power_w']:7.1f} "
+        f"{ch['rpu_chip_power_w']:7.1f}"
+    )
+    return "\n".join(lines)

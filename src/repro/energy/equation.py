@@ -1,0 +1,85 @@
+"""The paper's Equation 1: analytical SMT-vs-SIMT energy-efficiency gain.
+
+EE = CPU energy / RPU energy for the same work, parameterized by the
+batch size ``n``, average SIMT efficiency ``eff``, the fraction ``r`` of
+memory requests that coalesce within a batch, and the CPU's energy
+composition.  Used by the anticipated-gain analysis (Section III-A2:
+2-10x when amortized components are 50-90% of CPU energy) and validated
+against the measured Fig. 19 results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyComposition:
+    """Fractions of CPU energy per Fig. 10 (must sum to <= 1)."""
+
+    frontend_ooo: float = 0.53
+    execution: float = 0.14
+    memory: float = 0.20
+    static: float = 0.13
+
+    def __post_init__(self):
+        total = (self.frontend_ooo + self.execution + self.memory
+                 + self.static)
+        if not 0.99 <= total <= 1.01:
+            raise ValueError(f"composition sums to {total}, expected 1")
+
+
+def energy_efficiency_gain(
+    n: int = 32,
+    eff: float = 0.92,
+    r: float = 0.75,
+    composition: EnergyComposition = EnergyComposition(),
+    simt_overhead: float = 0.05,
+) -> float:
+    """Equation 1.
+
+    The CPU spends ``Exec + Mem + FE_OoO + Static``; the RPU spends the
+    full execution energy, the uncoalesced ``(1-r)`` share of memory
+    energy, and ``1/(n*eff)`` of the amortized components (coalesced
+    memory, frontend+OoO, static), plus a SIMT management overhead
+    expressed as a fraction of CPU energy.
+    """
+    if n < 1:
+        raise ValueError("batch size must be >= 1")
+    if not 0 < eff <= 1:
+        raise ValueError("eff must be in (0, 1]")
+    if not 0 <= r <= 1:
+        raise ValueError("r must be in [0, 1]")
+    c = composition
+    cpu = c.execution + c.memory + c.frontend_ooo + c.static
+    amortized = r * c.memory + c.frontend_ooo + c.static
+    rpu = (
+        c.execution
+        + (1 - r) * c.memory
+        + amortized / (n * eff)
+        + simt_overhead
+    )
+    return cpu / rpu
+
+
+def anticipated_gain_range() -> tuple:
+    """Paper Section III-A2: 2-10x across the observed compositions."""
+    low = energy_efficiency_gain(
+        n=8,
+        eff=0.9,
+        r=0.5,
+        composition=EnergyComposition(
+            frontend_ooo=0.39, execution=0.35, memory=0.16, static=0.10
+        ),
+        simt_overhead=0.05,
+    )
+    high = energy_efficiency_gain(
+        n=32,
+        eff=0.98,
+        r=0.9,
+        composition=EnergyComposition(
+            frontend_ooo=0.70, execution=0.04, memory=0.16, static=0.10
+        ),
+        simt_overhead=0.02,
+    )
+    return low, high

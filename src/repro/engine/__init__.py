@@ -1,0 +1,44 @@
+"""Execution engine: memory image, threads, solo and lockstep executors."""
+
+from .events import InstructionMixSink, LockstepResult, MultiSink, StepSink
+from .interpreter import execute
+from .lockstep import (
+    ExecutionError,
+    IpdomExecutor,
+    PredicatedExecutor,
+    MinSpPcExecutor,
+    SoloExecutor,
+    make_executor,
+)
+from .memory import (
+    DEFAULT_STACK_SIZE,
+    GLOBAL_BASE,
+    HEAP_BASE,
+    STACK_TOP,
+    MemoryImage,
+    segment_of,
+    stack_base,
+)
+from .thread import ThreadState
+
+__all__ = [
+    "DEFAULT_STACK_SIZE",
+    "GLOBAL_BASE",
+    "HEAP_BASE",
+    "STACK_TOP",
+    "ExecutionError",
+    "InstructionMixSink",
+    "IpdomExecutor",
+    "LockstepResult",
+    "MemoryImage",
+    "MinSpPcExecutor",
+    "PredicatedExecutor",
+    "MultiSink",
+    "SoloExecutor",
+    "StepSink",
+    "ThreadState",
+    "execute",
+    "make_executor",
+    "segment_of",
+    "stack_base",
+]

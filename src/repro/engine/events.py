@@ -1,0 +1,92 @@
+"""Event-stream protocol between executors and downstream models.
+
+Executors drive one or more *sinks*.  A sink observes every lockstep
+step (one batch instruction) and is how the cache model, the memory
+coalescing unit, the timing model and the traffic counters consume the
+dynamic trace without the executor materializing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..isa.instructions import Instruction
+
+
+class StepSink:
+    """Base sink; subclasses override :meth:`on_step`.
+
+    ``addrs`` is a sequence of ``(tid, vaddr, size)`` for memory ops
+    (empty otherwise); ``outcomes`` is a sequence of ``(tid, taken)``
+    for conditional branches (``None`` otherwise).
+    """
+
+    def on_step(
+        self,
+        pc: int,
+        inst: Instruction,
+        active: int,
+        addrs: Sequence[Tuple[int, int, int]],
+        outcomes: Optional[Sequence[Tuple[int, bool]]],
+    ) -> None:
+        raise NotImplementedError
+
+    def on_done(self) -> None:
+        """Called once when the batch finishes."""
+
+
+class MultiSink(StepSink):
+    """Fan a step stream out to several sinks."""
+
+    def __init__(self, *sinks: StepSink):
+        self.sinks = [s for s in sinks if s is not None]
+
+    def on_step(self, pc, inst, active, addrs, outcomes) -> None:
+        for s in self.sinks:
+            s.on_step(pc, inst, active, addrs, outcomes)
+
+    def on_done(self) -> None:
+        for s in self.sinks:
+            s.on_done()
+
+
+class InstructionMixSink(StepSink):
+    """Counts batch instructions and scalar instructions per op class."""
+
+    def __init__(self):
+        self.batch_by_class: dict = {}
+        self.scalar_by_class: dict = {}
+
+    def on_step(self, pc, inst, active, addrs, outcomes) -> None:
+        key = inst.cls.value
+        self.batch_by_class[key] = self.batch_by_class.get(key, 0) + 1
+        self.scalar_by_class[key] = self.scalar_by_class.get(key, 0) + active
+
+    @property
+    def total_scalar(self) -> int:
+        return sum(self.scalar_by_class.values())
+
+    @property
+    def total_batch(self) -> int:
+        return sum(self.batch_by_class.values())
+
+
+@dataclass
+class LockstepResult:
+    """Summary of one batch execution."""
+
+    batch_size: int
+    steps: int  # batch instructions issued
+    scalar_instructions: int  # sum of per-thread retired instructions
+    divergent_branches: int
+    branches: int
+    retired_per_thread: List[int] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def simt_efficiency(self) -> float:
+        """#scalar instructions / (#batch instructions * batch size)."""
+        if self.steps == 0:
+            return 1.0
+        return self.scalar_instructions / (self.steps * self.batch_size)

@@ -1,0 +1,154 @@
+"""Single-instruction semantics shared by the solo and lockstep executors."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..isa.instructions import SP, Instruction, OpClass
+from .memory import MemoryImage
+from .thread import ThreadState
+
+_MASK64 = (1 << 64) - 1
+
+
+def _hash_mix(a: int, b: int) -> int:
+    x = (a * 0x9E3779B1 + b * 0x85EBCA77) & 0xFFFF_FFFF
+    x ^= x >> 13
+    return (x * 0xC2B2AE3D) & 0x7FFF_FFFF
+
+
+_ALU = {
+    "add": lambda a, b: a + b,
+    "addi": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "and": lambda a, b: a & b,
+    "andi": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "ori": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "xori": lambda a, b: a ^ b,
+    "shl": lambda a, b: (a << (b & 63)) & _MASK64,
+    "shli": lambda a, b: (a << (b & 63)) & _MASK64,
+    "shr": lambda a, b: a >> (b & 63),
+    "shri": lambda a, b: a >> (b & 63),
+    "min": min,
+    "max": max,
+    "slt": lambda a, b: 1 if a < b else 0,
+    "slti": lambda a, b: 1 if a < b else 0,
+    "li": lambda a, b: b,
+    "mov": lambda a, b: a,
+    "hash": _hash_mix,
+    "mul": lambda a, b: a * b,
+    "muli": lambda a, b: a * b,
+    "div": lambda a, b: a // b if b else 0,
+    "rem": lambda a, b: a % b if b else 0,
+}
+
+_COND = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: a < b,
+    "bge": lambda a, b: a >= b,
+    "ble": lambda a, b: a <= b,
+    "bgt": lambda a, b: a > b,
+}
+
+
+def execute(
+    thread: ThreadState,
+    inst: Instruction,
+    target: Optional[int],
+    mem: MemoryImage,
+    addrs_out: Optional[List[Tuple[int, int, int]]] = None,
+) -> Optional[bool]:
+    """Execute ``inst`` for ``thread``, updating pc and state.
+
+    Memory accesses are appended to ``addrs_out`` as ``(tid, addr,
+    size)`` tuples.  For branches the return value is the taken/not-taken
+    outcome (``None`` for everything else).
+    """
+    regs = thread.regs
+    cls = inst.cls
+    pc = thread.pc
+    thread.retired += 1
+
+    if cls is OpClass.ALU or cls is OpClass.MUL:
+        srcs = inst.srcs
+        a = regs[srcs[0]] if srcs else 0
+        b = regs[srcs[1]] if len(srcs) > 1 else inst.imm
+        if inst.dst:  # r0 writes are dropped
+            regs[inst.dst] = _ALU[inst.op](a, b)
+        thread.pc = pc + 1
+        return None
+
+    if cls is OpClass.LOAD:
+        addr = regs[inst.srcs[0]] + inst.imm
+        if addrs_out is not None:
+            addrs_out.append((thread.tid, addr, inst.size))
+        if inst.dst:
+            regs[inst.dst] = mem.read(addr)
+        thread.pc = pc + 1
+        return None
+
+    if cls is OpClass.STORE:
+        addr = regs[inst.srcs[0]] + inst.imm
+        if addrs_out is not None:
+            addrs_out.append((thread.tid, addr, inst.size))
+        mem.write(addr, regs[inst.srcs[1]])
+        thread.pc = pc + 1
+        return None
+
+    if cls is OpClass.BRANCH:
+        taken = _COND[inst.op](regs[inst.srcs[0]], regs[inst.srcs[1]])
+        thread.pc = target if taken else pc + 1
+        return taken
+
+    if cls is OpClass.JUMP:
+        thread.pc = target
+        return None
+
+    if cls is OpClass.CALL:
+        thread.call_stack.append((pc + 1, inst.imm))
+        regs[SP] -= inst.imm
+        # push the return address (x86-style call writes the stack)
+        mem.write(regs[SP], pc + 1)
+        if addrs_out is not None:
+            addrs_out.append((thread.tid, regs[SP], 8))
+        thread.pc = target
+        return None
+
+    if cls is OpClass.RET:
+        ret_pc, frame = thread.call_stack.pop()
+        if addrs_out is not None:
+            addrs_out.append((thread.tid, regs[SP], 8))
+        regs[SP] += frame
+        thread.pc = ret_pc
+        return None
+
+    if cls is OpClass.ATOMIC:
+        addr = regs[inst.srcs[0]] + inst.imm
+        if addrs_out is not None:
+            addrs_out.append((thread.tid, addr, inst.size))
+        old = mem.read(addr)
+        operand = regs[inst.srcs[1]]
+        if inst.op == "amoadd":
+            mem.write(addr, old + operand)
+        else:  # amoswap
+            mem.write(addr, operand)
+        if inst.dst:
+            regs[inst.dst] = old
+        thread.pc = pc + 1
+        return None
+
+    if cls is OpClass.SYSCALL:
+        thread.syscall_trace.append((pc, inst.syscall.value))
+        thread.pc = pc + 1
+        return None
+
+    if cls is OpClass.HALT:
+        thread.halted = True
+        return None
+
+    # FENCE / NOP
+    thread.pc = pc + 1
+    return None

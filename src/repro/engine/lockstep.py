@@ -1,0 +1,331 @@
+"""Lockstep (SIMT) and solo executors.
+
+Two reconvergence policies from the paper are implemented:
+
+* **ipdom** — the "ideal" stack-based policy of contemporary GPUs: on a
+  divergent branch the executor pushes both sides bounded by the
+  branch's immediate post-dominator (computed from the CFG) and runs
+  them serially until they reconverge.  Supports *speculative
+  reconvergence* overrides (paper Section III-B1, used for
+  HDSearch-midtier) via ``reconv_override``.
+
+* **minsp_pc** — the stack-less heuristic the RPU hardware uses: every
+  step the hardware groups threads by (call depth, pc) and selects the
+  deepest call first (MinSP), breaking ties toward the lowest pc
+  (MinPC).  A spin-lock escape hatch rotates selection away from a
+  group that keeps re-executing atomics without global progress,
+  mirroring the paper's k-cycle / b-atomics multipath rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa.cfg import ControlFlowGraph
+from ..isa.instructions import Instruction, OpClass
+from ..isa.program import Program
+from .events import LockstepResult, StepSink
+from .interpreter import execute
+from .memory import MemoryImage
+from .thread import ThreadState
+
+
+class ExecutionError(Exception):
+    """Raised when lockstep invariants are violated or budgets exceeded."""
+
+
+class SoloExecutor:
+    """Runs one thread to completion (the MIMD CPU reference)."""
+
+    def __init__(self, program: Program, sink: Optional[StepSink] = None,
+                 max_steps: int = 2_000_000):
+        self.program = program
+        self.sink = sink
+        self.max_steps = max_steps
+
+    def run(self, thread: ThreadState, mem: MemoryImage) -> int:
+        prog = self.program
+        insts = prog.instructions
+        targets = prog.targets
+        sink = self.sink
+        steps = 0
+        addrs: List[Tuple[int, int, int]] = []
+        while not thread.halted:
+            if steps >= self.max_steps:
+                raise ExecutionError(
+                    f"{prog.name}: thread {thread.tid} exceeded "
+                    f"{self.max_steps} steps"
+                )
+            pc = thread.pc
+            inst = insts[pc]
+            del addrs[:]
+            taken = execute(thread, inst, targets[pc], mem, addrs)
+            if sink is not None:
+                outcomes = ((thread.tid, taken),) if taken is not None else None
+                sink.on_step(pc, inst, 1, addrs, outcomes)
+            steps += 1
+        if sink is not None:
+            sink.on_done()
+        return steps
+
+
+class _BaseLockstep:
+    def __init__(self, program: Program, sink: Optional[StepSink] = None,
+                 max_steps: int = 4_000_000):
+        self.program = program
+        self.sink = sink
+        self.max_steps = max_steps
+
+    def _emit(self, pc: int, inst: Instruction, group: Sequence[ThreadState],
+              mem: MemoryImage) -> Tuple[int, bool]:
+        """Execute ``inst`` for every thread in ``group``; returns
+        (#active, diverged?) for branch bookkeeping."""
+        target = self.program.targets[pc]
+        addrs: List[Tuple[int, int, int]] = []
+        outcomes: Optional[List[Tuple[int, bool]]] = None
+        if inst.cls is OpClass.BRANCH:
+            outcomes = []
+            for t in group:
+                taken = execute(t, inst, target, mem, addrs)
+                outcomes.append((t.tid, taken))
+        else:
+            for t in group:
+                execute(t, inst, target, mem, addrs)
+        if self.sink is not None:
+            self.sink.on_step(pc, inst, len(group), addrs, outcomes)
+        diverged = False
+        if outcomes is not None:
+            first = outcomes[0][1]
+            diverged = any(o[1] != first for o in outcomes)
+        return len(group), diverged
+
+
+class IpdomExecutor(_BaseLockstep):
+    """Stack-based reconvergence at immediate post-dominators."""
+
+    def __init__(self, program: Program, cfg: Optional[ControlFlowGraph] = None,
+                 sink: Optional[StepSink] = None, max_steps: int = 4_000_000,
+                 reconv_override: Optional[Dict[int, int]] = None):
+        super().__init__(program, sink, max_steps)
+        self.cfg = cfg if cfg is not None else ControlFlowGraph(program)
+        self.reconv_override = reconv_override or {}
+
+    def run(self, threads: Sequence[ThreadState], mem: MemoryImage) -> LockstepResult:
+        prog = self.program
+        insts = prog.instructions
+        end = len(prog)
+        # stack entries: (threads_in_region, reconvergence_pc)
+        stack: List[Tuple[List[ThreadState], int]] = [(list(threads), end)]
+        steps = 0
+        scalar = 0
+        branches = 0
+        divergent = 0
+        truncated = False
+
+        while stack:
+            region, reconv = stack[-1]
+            running = [t for t in region if not t.halted and t.pc != reconv]
+            if not running:
+                stack.pop()
+                continue
+            if steps >= self.max_steps:
+                truncated = True
+                break
+            pc = running[0].pc
+            group = running
+            for t in group[1:]:
+                if t.pc != pc:
+                    raise ExecutionError(
+                        f"{prog.name}: IPDOM invariant broken at pc {pc} "
+                        f"vs {t.pc} (irreducible control flow?)"
+                    )
+            inst = insts[pc]
+            active, diverged = self._emit(pc, inst, group, mem)
+            steps += 1
+            scalar += active
+            if inst.cls is OpClass.BRANCH:
+                branches += 1
+                if diverged:
+                    divergent += 1
+                    rpc = self.reconv_override.get(pc)
+                    if rpc is None:
+                        rpc = self.cfg.reconvergence_pc(pc)
+                    taken_pc = prog.target_of(pc)
+                    taken = [t for t in group if t.pc == taken_pc]
+                    not_taken = [t for t in group if t.pc != taken_pc]
+                    # execute the lower-pc side first (MinPC-style order)
+                    first, second = (taken, not_taken)
+                    if not_taken and taken and not_taken[0].pc < taken_pc:
+                        first, second = not_taken, taken
+                    stack.append((second, rpc))
+                    stack.append((first, rpc))
+
+        if self.sink is not None:
+            self.sink.on_done()
+        return LockstepResult(
+            batch_size=len(threads),
+            steps=steps,
+            scalar_instructions=scalar,
+            divergent_branches=divergent,
+            branches=branches,
+            retired_per_thread=[t.retired for t in threads],
+            truncated=truncated,
+        )
+
+
+class MinSpPcExecutor(_BaseLockstep):
+    """Stack-less MinSP-PC heuristic with a spin-lock escape hatch.
+
+    If some thread has made no progress for ``spin_k`` steps while an
+    atomic was decoded within the last ``spin_b`` steps (the signature
+    of other threads spinning on a lock), the scheduler temporarily
+    prioritizes the longest-waiting group for ``spin_t`` steps (paper
+    Section III-A, SIMT-induced deadlock avoidance).
+    """
+
+    def __init__(self, program: Program, sink: Optional[StepSink] = None,
+                 max_steps: int = 4_000_000, spin_k: int = 256,
+                 spin_b: int = 4, spin_t: int = 32):
+        super().__init__(program, sink, max_steps)
+        self.spin_k = spin_k
+        self.spin_b = spin_b
+        self.spin_t = spin_t
+
+    def run(self, threads: Sequence[ThreadState], mem: MemoryImage) -> LockstepResult:
+        prog = self.program
+        insts = prog.instructions
+        steps = 0
+        scalar = 0
+        branches = 0
+        divergent = 0
+        truncated = False
+
+        last_atomic_step = -(10**9)
+        boost_remaining = 0
+        last_executed: Dict[int, int] = {t.tid: 0 for t in threads}
+
+        while True:
+            groups: Dict[Tuple[int, int], List[ThreadState]] = {}
+            for t in threads:
+                if not t.halted:
+                    groups.setdefault((-t.depth, t.pc), []).append(t)
+            if not groups:
+                break
+            if steps >= self.max_steps:
+                truncated = True
+                break
+
+            if boost_remaining > 0 and len(groups) > 1:
+                boost_remaining -= 1
+                key = min(
+                    groups,
+                    key=lambda k: min(last_executed[t.tid] for t in groups[k]),
+                )
+            else:
+                key = min(groups)  # deepest call, then lowest pc
+
+            group = groups[key]
+            pc = group[0].pc
+            inst = insts[pc]
+            active, diverged = self._emit(pc, inst, group, mem)
+            steps += 1
+            scalar += active
+            for t in group:
+                last_executed[t.tid] = steps
+            if inst.cls is OpClass.BRANCH:
+                branches += 1
+                if diverged:
+                    divergent += 1
+
+            # Spin-lock escape: if some thread has not made progress for
+            # spin_k steps while atomics keep being decoded (somebody is
+            # spinning on a lock), temporarily prioritize the waiter.
+            if inst.cls is OpClass.ATOMIC:
+                last_atomic_step = steps
+            if boost_remaining == 0 and len(groups) > 1:
+                oldest = min(
+                    last_executed[t.tid] for t in threads if not t.halted
+                )
+                if (
+                    steps - oldest >= self.spin_k
+                    and steps - last_atomic_step <= self.spin_b
+                ):
+                    boost_remaining = self.spin_t
+
+        if self.sink is not None:
+            self.sink.on_done()
+        return LockstepResult(
+            batch_size=len(threads),
+            steps=steps,
+            scalar_instructions=scalar,
+            divergent_branches=divergent,
+            branches=branches,
+            retired_per_thread=[t.retired for t in threads],
+            truncated=truncated,
+        )
+
+
+class PredicatedExecutor(IpdomExecutor):
+    """SPMD-on-SIMD (ISPC-style) execution model (paper Section VI-A).
+
+    Control flow is handled by *predication*: the vector unit issues
+    every instruction with all lanes occupied and masks off inactive
+    ones, so (a) a step consumes full-batch issue/energy regardless of
+    the active mask, and (b) conditional branches become predicate
+    computations that never consult the branch predictor.  The
+    architectural semantics are identical to IPDOM reconvergence; only
+    the event stream the timing/energy models see differs.
+
+    Instructions without a vector equivalent (atomics, system calls,
+    call/ret bookkeeping, integer division - the paper counts only 27%
+    of scalar x86 ops as vectorizable) are *emulated*: serialized per
+    lane with unpack/repack overhead, modelled by inflating their issue
+    occupancy by ``emulation_factor``.
+    """
+
+    EMULATED_CLASSES = frozenset(
+        {OpClass.ATOMIC, OpClass.SYSCALL, OpClass.CALL, OpClass.RET}
+    )
+    EMULATED_OPS = frozenset({"div", "rem"})
+
+    def __init__(self, *args, emulation_factor: int = 4, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.emulation_factor = emulation_factor
+
+    def run(self, threads, mem):
+        self._full = len(threads)
+        return super().run(threads, mem)
+
+    def _emit(self, pc, inst, group, mem):
+        target = self.program.targets[pc]
+        addrs = []
+        diverged = False
+        if inst.cls is OpClass.BRANCH:
+            outs = [execute(t, inst, target, mem, addrs) for t in group]
+            first = outs[0]
+            diverged = any(o != first for o in outs)
+        else:
+            for t in group:
+                execute(t, inst, target, mem, addrs)
+        if self.sink is not None:
+            width = self._full
+            if (inst.cls in self.EMULATED_CLASSES
+                    or inst.op in self.EMULATED_OPS):
+                width *= self.emulation_factor
+            # full-width issue, no branch outcomes (predication)
+            self.sink.on_step(pc, inst, width, addrs, None)
+        return len(group), diverged
+
+
+def make_executor(program: Program, policy: str = "minsp_pc",
+                  sink: Optional[StepSink] = None, **kwargs):
+    """Factory over the two reconvergence policies (and ``solo``)."""
+    if policy == "ipdom":
+        return IpdomExecutor(program, sink=sink, **kwargs)
+    if policy == "minsp_pc":
+        return MinSpPcExecutor(program, sink=sink, **kwargs)
+    if policy == "predicated":
+        return PredicatedExecutor(program, sink=sink, **kwargs)
+    if policy == "solo":
+        return SoloExecutor(program, sink=sink, **kwargs)
+    raise ValueError(f"unknown policy {policy!r}")

@@ -1,0 +1,86 @@
+"""Flat shared memory image with segment layout.
+
+The microservices in the paper are multi-threaded: all request-threads
+of a service share one address space (heap + globals) while each thread
+owns a private stack segment.  Stack segments for the threads of a batch
+are allocated *contiguously* by the RPU driver so the hardware can
+interleave them (paper Fig. 13); we reproduce that layout here and let
+:mod:`repro.memsys.stackmap` implement the physical interleaving.
+
+Reads of addresses that were never written return a deterministic
+pseudo-random "background" value derived from the address and a per-image
+salt.  This stands in for the pre-existing service state (hash tables,
+posting lists, feature vectors) that the paper's traced binaries read,
+and gives data-dependent control flow controlled per-request variety.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+GLOBAL_BASE = 0x1000_0000
+GLOBAL_SIZE = 0x1000_0000
+HEAP_BASE = 0x4000_0000
+HEAP_SIZE = 0x3000_0000
+STACK_TOP = 0x8000_0000
+DEFAULT_STACK_SIZE = 64 * 1024
+
+_MIX = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def stack_base(tid: int, stack_size: int = DEFAULT_STACK_SIZE) -> int:
+    """Top of thread ``tid``'s stack segment (stacks grow downward).
+
+    Segments are contiguous in virtual space, matching the RPU driver's
+    mmap policy: ``SS_i = STACK_TOP - i * stack_size``.
+    """
+    return STACK_TOP - tid * stack_size
+
+
+def segment_of(addr: int) -> str:
+    """Classify an address as stack, heap or global by layout range."""
+    if addr >= HEAP_BASE + HEAP_SIZE:
+        return "stack"
+    if addr >= HEAP_BASE:
+        return "heap"
+    return "global"
+
+
+class MemoryImage:
+    """Byte-addressed shared memory with 8-byte-aligned value storage."""
+
+    __slots__ = ("salt", "_store")
+
+    def __init__(self, salt: int = 0):
+        self.salt = salt
+        self._store: Dict[int, int] = {}
+
+    def background(self, addr: int) -> int:
+        """Deterministic pseudo-random content for untouched addresses."""
+        x = ((addr & ~7) * _MIX + self.salt) & _MASK64
+        x ^= x >> 29
+        return (x >> 17) & 0xFFFF_FFFF
+
+    def read(self, addr: int) -> int:
+        a = addr & ~7
+        v = self._store.get(a)
+        if v is None:
+            return self.background(a)
+        return v
+
+    def write(self, addr: int, value: int) -> None:
+        self._store[addr & ~7] = value
+
+    def read_words(self, addr: int, count: int) -> list:
+        return [self.read(addr + 8 * i) for i in range(count)]
+
+    def write_words(self, addr: int, values) -> None:
+        for i, v in enumerate(values):
+            self.write(addr + 8 * i, v)
+
+    def written_addresses(self):
+        return self._store.keys()
+
+    def __len__(self) -> int:
+        return len(self._store)

@@ -1,0 +1,69 @@
+"""Per-request thread state (the RPU thread has CPU-thread granularity)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..isa.instructions import NUM_REGS, SP
+from .memory import DEFAULT_STACK_SIZE, stack_base
+
+
+class ThreadState:
+    """Architectural state of one request-thread.
+
+    The call stack is hardware-managed in our model: ``call`` reserves a
+    frame (decrements SP) and pushes the return pc, ``ret`` restores it.
+    This keeps SP meaningful for the MinSP reconvergence heuristic
+    without making workload authors write prologues.
+    """
+
+    __slots__ = (
+        "tid",
+        "regs",
+        "pc",
+        "call_stack",
+        "halted",
+        "retired",
+        "stack_size",
+        "stack_top",
+        "syscall_trace",
+        "request",
+    )
+
+    def __init__(self, tid: int, entry: int = 0,
+                 stack_size: int = DEFAULT_STACK_SIZE):
+        self.tid = tid
+        self.regs: List[int] = [0] * NUM_REGS
+        self.pc = entry
+        self.call_stack: List[Tuple[int, int]] = []  # (return_pc, frame)
+        self.halted = False
+        self.retired = 0
+        self.stack_size = stack_size
+        self.stack_top = stack_base(tid, stack_size)
+        # leave a red zone for the initial frame
+        self.regs[SP] = self.stack_top - 128
+        self.syscall_trace: List[Tuple[int, str]] = []  # (pc, kind)
+        self.request = None  # back-reference set by workload setup
+
+    @property
+    def sp(self) -> int:
+        return self.regs[SP]
+
+    @property
+    def depth(self) -> int:
+        return len(self.call_stack)
+
+    def snapshot(self) -> dict:
+        """Architectural snapshot used by lockstep-equivalence tests."""
+        return {
+            "regs": list(self.regs),
+            "pc": self.pc,
+            "halted": self.halted,
+            "retired": self.retired,
+            "depth": self.depth,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "halted" if self.halted else f"pc={self.pc}"
+        return f"<ThreadState tid={self.tid} {state} retired={self.retired}>"

@@ -1,0 +1,84 @@
+"""Shared infrastructure for the per-figure experiment harnesses.
+
+Every experiment exposes ``run(scale=...)`` returning structured rows
+plus a ``format_rows`` helper, so the pytest benches, the examples and
+the ``python -m repro.experiments.run_all`` CLI all share one code
+path.  ``scale`` multiplies the default request counts; the paper uses
+2400 requests (75 batches of 32) per service, which corresponds to
+``scale ~= 12`` of our default 192.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..workloads import Microservice, all_services, get_service
+
+#: default measured population per service (scaled by `scale`)
+DEFAULT_REQUESTS = 192
+
+SEED = 7
+
+
+def requests_for(service: Microservice, scale: float = 1.0,
+                 seed: int = SEED):
+    """Draw the scaled default request population for a service."""
+    n = max(2 * service.recommended_batch, int(DEFAULT_REQUESTS * scale))
+    return service.generate_requests(n, random.Random(seed))
+
+
+@dataclass
+class Row:
+    """One row/series point of a reproduced table or figure."""
+
+    label: str
+    values: Dict[str, float] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> float:
+        return self.values[key]
+
+
+def geomean(xs: Sequence[float]) -> float:
+    """Geometric mean over the positive entries of ``xs``."""
+    xs = [x for x in xs if x > 0]
+    if not xs:
+        return 0.0
+    p = 1.0
+    for x in xs:
+        p *= x
+    return p ** (1.0 / len(xs))
+
+
+def mean(xs: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    xs = list(xs)
+    return sum(xs) / len(xs) if xs else 0.0
+
+
+def format_rows(rows: Iterable[Row], columns: Sequence[str],
+                title: str = "", width: int = 22) -> str:
+    """Render rows as a fixed-width text table."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'':{width}s}" + "".join(f"{c:>12s}" for c in columns)
+    lines.append(header)
+    for row in rows:
+        cells = "".join(
+            f"{row.values.get(c, float('nan')):12.3f}" for c in columns
+        )
+        lines.append(f"{row.label:{width}s}" + cells)
+    return "\n".join(lines)
+
+
+def summary_row(rows: Sequence[Row], columns: Sequence[str],
+                label: str = "average", use_geomean: bool = False) -> Row:
+    """Append-style aggregate row over ``columns``."""
+    agg = geomean if use_geomean else mean
+    return Row(
+        label=label,
+        values={c: agg([r.values[c] for r in rows if c in r.values])
+                for c in columns},
+    )

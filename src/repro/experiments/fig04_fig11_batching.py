@@ -1,0 +1,78 @@
+"""Figures 4 and 11: SIMT control-flow efficiency vs batching policy.
+
+Fig. 4 is the naive-batching column; Fig. 11 adds per-API and
+per-API+argument-size batching under both ideal stack-based IPDOM
+reconvergence and the RPU's MinSP-PC heuristic.  Paper results: naive
+~68% average, optimized ~92% (ideal) / ~91% (MinSP-PC).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..batching import form_batches
+from ..core.run import run_batch
+from ..workloads import all_services
+from .common import Row, format_rows, mean, requests_for, summary_row
+
+COLUMNS = ["naive", "per_api", "api_size_ipdom", "api_size_minsp"]
+
+PAPER_AVERAGES = {
+    "naive": 0.68,
+    "api_size_ipdom": 0.92,
+    "api_size_minsp": 0.91,
+}
+
+
+def _avg_efficiency(service, requests, policy, executor) -> float:
+    batches = form_batches(requests, 32, policy)
+    effs = [
+        run_batch(service, batch, policy=executor).simt_efficiency
+        for batch in batches
+    ]
+    return mean(effs)
+
+
+def run(scale: float = 1.0) -> List[Row]:
+    """Measure the experiment; returns structured rows."""
+    rows = []
+    for service in all_services():
+        requests = requests_for(service, scale)
+        rows.append(
+            Row(
+                label=service.name,
+                values={
+                    "naive": _avg_efficiency(service, requests, "naive",
+                                             "ipdom"),
+                    "per_api": _avg_efficiency(service, requests,
+                                               "per_api", "ipdom"),
+                    "api_size_ipdom": _avg_efficiency(
+                        service, requests, "per_api_size", "ipdom"),
+                    "api_size_minsp": _avg_efficiency(
+                        service, requests, "per_api_size", "minsp_pc"),
+                },
+            )
+        )
+    rows.append(summary_row(rows, COLUMNS))
+    return rows
+
+
+def main(scale: float = 1.0) -> str:
+    """Render the experiment as the printable report."""
+    from ..report import bar_chart
+
+    rows = run(scale)
+    out = format_rows(rows, COLUMNS,
+                      title="Fig. 4 + Fig. 11: SIMT efficiency by "
+                            "batching policy (batch=32)")
+    chart = bar_chart(
+        [(r.label, r.values["api_size_minsp"]) for r in rows[:-1]],
+        title="Fig. 11 (MinSP-PC, optimized batching; '|' = paper avg)",
+        reference=PAPER_AVERAGES["api_size_minsp"],
+    )
+    paper = "  ".join(f"{k}={v:.2f}" for k, v in PAPER_AVERAGES.items())
+    return out + "\n\n" + chart + f"\npaper averages: {paper}"
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

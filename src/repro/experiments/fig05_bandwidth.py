@@ -1,0 +1,54 @@
+"""Figure 5: off-chip DRAM bandwidth and thread-count scaling.
+
+CPU vendors provision ~2 GB/s of DRAM bandwidth per thread; as DDR
+generations raise per-socket bandwidth, the threads needed to utilize
+it grow toward 256 (DDR5) and 512 (DDR6/HBM) - the motivation for
+scaling on-chip thread count (Key Observation #5).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .common import Row, format_rows
+
+GB_PER_THREAD = 2.0
+
+#: per-socket bandwidth by memory generation (GB/s)
+GENERATIONS = [
+    ("DDR3-1600 (4ch)", 51),
+    ("DDR4-3200 (8ch)", 205),
+    ("DDR5-4800 (8ch)", 307),
+    ("DDR5-7200 (10ch)", 576),
+    ("DDR6 (proj.)", 1024),
+    ("HBM2e", 1640),
+]
+
+COLUMNS = ["bw_gbps", "threads_per_socket"]
+
+
+def threads_to_saturate(bw_gbps: float,
+                        gb_per_thread: float = GB_PER_THREAD) -> int:
+    """Threads needed to consume a socket's bandwidth at 2 GB/s each."""
+    return int(bw_gbps / gb_per_thread)
+
+
+def run(scale: float = 1.0) -> List[Row]:
+    """Measure the experiment; returns structured rows."""
+    return [
+        Row(label=name,
+            values={"bw_gbps": bw,
+                    "threads_per_socket": threads_to_saturate(bw)})
+        for name, bw in GENERATIONS
+    ]
+
+
+def main(scale: float = 1.0) -> str:
+    """Render the experiment as the printable report."""
+    return format_rows(run(scale), COLUMNS,
+                       title="Fig. 5: off-chip BW and thread scaling "
+                             "(2 GB/s per thread)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

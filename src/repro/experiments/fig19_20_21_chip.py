@@ -1,0 +1,129 @@
+"""Figures 19, 20 and 21: chip-level energy efficiency, service latency
+and the latency-composition metrics.
+
+* Fig. 19 - requests/joule of the RPU and CPU-SMT8 relative to the
+  single-threaded CPU (paper: RPU 5.7x, SMT8 ~1.05x).
+* Fig. 20 - service latency relative to the CPU (paper: RPU 1.44x avg,
+  worst 1.7x on HDSearch-midtier; SMT8 ~5x).
+* Fig. 21 - why the RPU's latency increase stays small: average memory
+  latency drops (paper 1.33x) because traffic drops ~4x.
+
+One sweep produces all three figures; the per-figure ``run_figXX``
+helpers slice the shared result set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..energy import energy_of, requests_per_joule
+from ..timing import CPU_CONFIG, RPU_CONFIG, SMT8_CONFIG, run_chip
+from ..workloads import all_services
+from .common import Row, format_rows, requests_for, summary_row
+
+PAPER = {
+    "rpu_requests_per_joule": 5.7,
+    "smt_requests_per_joule": 1.05,
+    "rpu_latency": 1.44,
+    "smt_latency": 5.0,
+    "mem_latency_reduction": 1.33,
+}
+
+EE_COLUMNS = ["rpu_ee", "smt_ee"]
+LAT_COLUMNS = ["rpu_lat", "smt_lat"]
+METRIC_COLUMNS = ["mem_lat_reduction", "traffic_reduction",
+                  "issued_reduction", "ipc_gain", "simt_eff"]
+
+ALL_COLUMNS = EE_COLUMNS + LAT_COLUMNS + METRIC_COLUMNS
+
+
+def _mem_latency(result) -> float:
+    """Average latency of loads that miss the L1 - the component the
+    RPU's traffic reduction and crossbar actually shrink (Fig. 21).
+    L1-hit latency is reported separately in Table IV (3 vs 8 cycles).
+    """
+    n = result.counters["miss_count"]
+    return result.counters["miss_latency_sum"] / n if n else 0.0
+
+
+def run(scale: float = 1.0, services=None) -> List[Row]:
+    """Measure the experiment; returns structured rows."""
+    rows = []
+    for service in services or all_services():
+        requests = requests_for(service, scale)
+        cpu = run_chip(service, requests, CPU_CONFIG)
+        smt = run_chip(service, requests, SMT8_CONFIG)
+        rpu = run_chip(service, requests, RPU_CONFIG)
+
+        ee_cpu = requests_per_joule(cpu)
+        cpu_l1 = cpu.counters["l1_accesses"] / max(1, cpu.n_requests)
+        rpu_l1 = rpu.counters["l1_accesses"] / max(1, rpu.n_requests)
+        cpu_issued = (cpu.counters["batch_instructions"]
+                      / max(1, cpu.n_requests))
+        rpu_issued = (rpu.counters["batch_instructions"]
+                      / max(1, rpu.n_requests))
+        rpu_mem = _mem_latency(rpu)
+        cpu_mem = _mem_latency(cpu)
+
+        values = {
+            "rpu_ee": requests_per_joule(rpu) / ee_cpu,
+            "smt_ee": requests_per_joule(smt) / ee_cpu,
+            "rpu_lat": rpu.avg_latency_cycles
+            / max(1e-9, cpu.avg_latency_cycles),
+            "smt_lat": smt.avg_latency_cycles
+            / max(1e-9, cpu.avg_latency_cycles),
+            "traffic_reduction": cpu_l1 / rpu_l1 if rpu_l1 else 0.0,
+            "issued_reduction": cpu_issued / rpu_issued
+            if rpu_issued else 0.0,
+            "ipc_gain": rpu.ipc / cpu.ipc if cpu.ipc else 0.0,
+            "simt_eff": rpu.simt_efficiency,
+        }
+        # only meaningful when the service misses the L1 at all
+        # post-warmup (cache-resident services never exercise the NoC)
+        if rpu_mem > 0 and cpu_mem > 0:
+            values["mem_lat_reduction"] = cpu_mem / rpu_mem
+        rows.append(Row(label=service.name, values=values))
+    rows.append(summary_row(rows, ALL_COLUMNS))
+    return rows
+
+
+def run_fig19(scale: float = 1.0) -> List[Row]:
+    """Fig. 19 slice: requests/joule columns only."""
+    return [Row(r.label, {k: r.values[k] for k in EE_COLUMNS})
+            for r in run(scale)]
+
+
+def run_fig20(scale: float = 1.0) -> List[Row]:
+    """Fig. 20 slice: service-latency columns only."""
+    return [Row(r.label, {k: r.values[k] for k in LAT_COLUMNS})
+            for r in run(scale)]
+
+
+def main(scale: float = 1.0) -> str:
+    """Render the experiment as the printable report."""
+    from ..report import bar_chart
+
+    rows = run(scale)
+    per_service = rows[:-1]
+    out = [
+        format_rows(rows, EE_COLUMNS + LAT_COLUMNS,
+                    title="Fig. 19 + Fig. 20: requests/joule and service "
+                          "latency relative to the CPU"),
+        bar_chart([(r.label, r.values["rpu_ee"]) for r in per_service],
+                  title="Fig. 19: RPU requests/joule vs CPU "
+                        "('|' = paper average)",
+                  reference=PAPER["rpu_requests_per_joule"]),
+        bar_chart([(r.label, r.values["rpu_lat"]) for r in per_service],
+                  title="Fig. 20: RPU service latency vs CPU "
+                        "('|' = paper average)",
+                  reference=PAPER["rpu_latency"]),
+        format_rows(rows, METRIC_COLUMNS,
+                    title="Fig. 21: latency-composition metrics"),
+        "paper: RPU EE 5.7x @ 1.44x latency; SMT8 EE 1.05x @ ~5x latency; "
+        "memory latency reduced 1.33x",
+    ]
+    return "\n\n".join(out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

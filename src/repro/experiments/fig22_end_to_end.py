@@ -1,0 +1,91 @@
+"""Figure 22: end-to-end tail and average latency vs offered load.
+
+Paper: the RPU system (5x throughput, 1.2x latency per tier) sustains
+4x the CPU system's throughput (60 vs 15 kQPS) at comparable latency;
+without batch splitting the RPU's *average* latency inflates (hit
+requests wait for their batch's storage misses) while the tail stays
+acceptable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..system import (
+    EndToEndConfig,
+    max_throughput_kqps,
+    saturation_sweep,
+)
+from .common import Row, format_rows
+
+DEFAULT_QPS = (2000, 5000, 10000, 15000, 18000, 20000, 30000,
+               45000, 60000, 75000, 90000)
+
+COLUMNS = ["cpu_avg", "cpu_p99", "rpu_avg", "rpu_p99",
+           "rpu_split_avg", "rpu_split_p99"]
+
+PAPER = {"cpu_kqps": 15.0, "rpu_kqps": 60.0}
+
+
+def run(scale: float = 1.0,
+        qps_points: Sequence[float] = DEFAULT_QPS) -> Dict:
+    """Measure the experiment; returns structured rows."""
+    n = max(400, int(2000 * scale))
+    systems = {
+        "cpu": EndToEndConfig(rpu=False),
+        "rpu": EndToEndConfig(rpu=True, batch_split=False),
+        "rpu_split": EndToEndConfig(rpu=True, batch_split=True),
+    }
+    sweeps = {
+        name: saturation_sweep(cfg, qps_points, n_requests=n)
+        for name, cfg in systems.items()
+    }
+    rows = []
+    for i, qps in enumerate(qps_points):
+        rows.append(
+            Row(
+                label=f"{qps/1000:.0f} kQPS",
+                values={
+                    "cpu_avg": sweeps["cpu"][i].avg_latency_us,
+                    "cpu_p99": sweeps["cpu"][i].p99_us,
+                    "rpu_avg": sweeps["rpu"][i].avg_latency_us,
+                    "rpu_p99": sweeps["rpu"][i].p99_us,
+                    "rpu_split_avg": sweeps["rpu_split"][i].avg_latency_us,
+                    "rpu_split_p99": sweeps["rpu_split"][i].p99_us,
+                },
+            )
+        )
+    return {
+        "rows": rows,
+        "max_kqps": {name: max_throughput_kqps(res)
+                     for name, res in sweeps.items()},
+    }
+
+
+def main(scale: float = 1.0) -> str:
+    """Render the experiment as the printable report."""
+    from ..report import series_plot
+
+    data = run(scale)
+    points = [
+        (float(r.label.split()[0]),
+         {"cpu_p99": r.values["cpu_p99"],
+          "rpu_p99": r.values["rpu_p99"],
+          "rpu_split_avg": r.values["rpu_split_avg"]})
+        for r in data["rows"]
+    ]
+    plot = series_plot(points,
+                       series=("cpu_p99", "rpu_p99", "rpu_split_avg"),
+                       title="Fig. 22: latency vs offered load (log y)",
+                       logy=True)
+    out = format_rows(data["rows"], COLUMNS,
+                      title="Fig. 22: end-to-end latency (us) vs load",
+                      width=12) + "\n\n" + plot
+    caps = ", ".join(f"{k}: {v:.0f} kQPS" for k, v in data["max_kqps"].items())
+    return out + (f"\nmax throughput at QoS: {caps} "
+                  f"(paper: CPU {PAPER['cpu_kqps']:.0f}, "
+                  f"RPU {PAPER['rpu_kqps']:.0f})")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,59 @@
+"""Section V-A3: running the microservices on an Ampere-like GPU.
+
+Paper: with the same software optimizations, the GPU reaches ~28x the
+CPU's energy efficiency but at ~79x its service latency - unacceptable
+for QoS-sensitive services, which is the gap the RPU closes.  The
+GPU's 512 resident threads per SM need large request populations to
+fill, so this experiment uses a per-service subset by default.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..energy import requests_per_joule
+from ..timing import CPU_CONFIG, GPU_CONFIG, RPU_CONFIG, run_chip
+from ..workloads import get_service
+from .common import Row, format_rows, summary_row
+
+COLUMNS = ["gpu_ee", "gpu_lat", "rpu_ee", "rpu_lat"]
+
+PAPER = {"gpu_ee": 28.0, "gpu_lat": 79.0}
+
+SUBSET = ("post", "uniqueid", "usertag", "mcrouter")
+
+
+def run(scale: float = 1.0, services=SUBSET) -> List[Row]:
+    """Measure the experiment; returns structured rows."""
+    rows = []
+    n = max(2048, int(2048 * scale))
+    for name in services:
+        service = get_service(name)
+        requests = service.generate_requests(n, random.Random(11))
+        cpu = run_chip(service, requests, CPU_CONFIG)
+        gpu = run_chip(service, requests, GPU_CONFIG)
+        rpu = run_chip(service, requests, RPU_CONFIG)
+        ee_cpu = requests_per_joule(cpu)
+        cpu_us = cpu.avg_latency_cycles / cpu.freq_ghz
+        rows.append(Row(label=name, values={
+            "gpu_ee": requests_per_joule(gpu) / ee_cpu,
+            "gpu_lat": (gpu.avg_latency_cycles / gpu.freq_ghz) / cpu_us,
+            "rpu_ee": requests_per_joule(rpu) / ee_cpu,
+            "rpu_lat": (rpu.avg_latency_cycles / rpu.freq_ghz) / cpu_us,
+        }))
+    rows.append(summary_row(rows, COLUMNS))
+    return rows
+
+
+def main(scale: float = 1.0) -> str:
+    """Render the experiment as the printable report."""
+    out = format_rows(run(scale), COLUMNS,
+                      title="GPU vs RPU vs CPU (latency in wall-clock "
+                            "terms; ratios vs CPU)")
+    return out + (f"\npaper: GPU ~{PAPER['gpu_ee']:.0f}x EE at "
+                  f"~{PAPER['gpu_lat']:.0f}x latency")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

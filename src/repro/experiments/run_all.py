@@ -1,0 +1,142 @@
+"""Run every reproduced figure/table and print the results.
+
+Usage::
+
+    python -m repro.experiments.run_all [--scale 1.0] [--only fig19]
+
+``--scale 12`` approximates the paper's 2400-request populations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Callable, Dict
+
+from . import (
+    cycle_stacks,
+    eq1_analytical,
+    fig01_design_points,
+    sec6a_simd_alternative,
+    fig04_fig11_batching,
+    fig05_bandwidth,
+    fig07_minpc,
+    fig10_energy_breakdown,
+    fig13_stack_interleaving,
+    fig14_traffic,
+    fig15_mpki,
+    fig16_allocator,
+    fig19_20_21_chip,
+    fig22_end_to_end,
+    gpu_comparison,
+    sensitivity,
+    table04_config,
+    table05_area_power,
+    workload_table,
+)
+
+EXPERIMENTS: Dict[str, Callable[[float], str]] = {
+    "fig01": fig01_design_points.main,
+    "fig04_fig11": fig04_fig11_batching.main,
+    "fig05": fig05_bandwidth.main,
+    "fig07": fig07_minpc.main,
+    "fig10": fig10_energy_breakdown.main,
+    "fig13": fig13_stack_interleaving.main,
+    "fig14": fig14_traffic.main,
+    "fig15": fig15_mpki.main,
+    "fig16": fig16_allocator.main,
+    "fig19_20_21": fig19_20_21_chip.main,
+    "fig22": fig22_end_to_end.main,
+    "table04": table04_config.main,
+    "table05": table05_area_power.main,
+    "sensitivity": sensitivity.main,
+    "gpu": gpu_comparison.main,
+    "eq1": eq1_analytical.main,
+    "sec6a": sec6a_simd_alternative.main,
+    "workloads": workload_table.main,
+    "cycle_stacks": cycle_stacks.main,
+}
+
+
+def _jsonable(value):
+    """Convert experiment run() outputs to plain JSON-able data."""
+    import dataclasses
+
+    from .common import Row
+
+    if isinstance(value, Row):
+        return {"label": value.label, **value.values}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+#: experiments whose ``run()`` output is exported by ``--json``
+EXPORTABLE = {
+    "fig01": fig01_design_points.run,
+    "fig04_fig11": fig04_fig11_batching.run,
+    "fig05": fig05_bandwidth.run,
+    "fig10": fig10_energy_breakdown.run,
+    "fig13": fig13_stack_interleaving.run,
+    "fig14": fig14_traffic.run,
+    "fig15": fig15_mpki.run,
+    "fig16": fig16_allocator.run,
+    "fig19_20_21": fig19_20_21_chip.run,
+    "fig22": fig22_end_to_end.run,
+    "table05": table05_area_power.run,
+    "sensitivity": sensitivity.run,
+    "gpu": gpu_comparison.run,
+    "eq1": eq1_analytical.run,
+    "sec6a": sec6a_simd_alternative.run,
+    "workloads": workload_table.run,
+    "cycle_stacks": cycle_stacks.run,
+}
+
+
+def export_json(path: str, names, scale: float) -> None:
+    """Run the named experiments and dump their rows as JSON."""
+    import json
+
+    out = {}
+    for name in names:
+        if name in EXPORTABLE:
+            out[name] = _jsonable(EXPORTABLE[name](scale))
+    with open(path, "w") as fh:
+        json.dump({"scale": scale, "experiments": out}, fh, indent=1)
+
+
+def main(argv=None) -> int:
+    """CLI entry point: run the selected experiments and print them."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="request-count multiplier (paper scale ~12)")
+    parser.add_argument("--only", action="append", default=None,
+                        help="run only the named experiment(s)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also export the structured rows as JSON")
+    args = parser.parse_args(argv)
+
+    names = args.only or list(EXPERIMENTS)
+    for name in names:
+        if name not in EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
+            )
+        t0 = time.time()
+        print("=" * 72)
+        print(EXPERIMENTS[name](args.scale))
+        print(f"[{name} took {time.time() - t0:.1f}s]")
+    if args.json:
+        export_json(args.json, names, args.scale)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,190 @@
+"""Section V-A1 sensitivity studies.
+
+* Sub-batch interleaving: 8 SIMT lanes vs full-width 32 lanes costs
+  only ~4% performance on average (up to 10% on UniqueID).
+* Atomics at L3: no measurable slowdown (few atomics per instruction).
+* Majority voting: improves batch prediction accuracy / energy over
+  leader-based prediction, with little performance impact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from ..timing import (RPU_CONFIG, run_chip, rpu_with_batches,
+                      rpu_with_lanes, rpu_without)
+from ..workloads import all_services, get_service
+from .common import Row, format_rows, mean, requests_for, summary_row
+
+LANE_COLUMNS = ["lat_8lanes", "lat_32lanes", "loss"]
+ATOMIC_COLUMNS = ["lat_atomics_l3", "lat_atomics_l1", "slowdown"]
+VOTE_COLUMNS = ["vote_accuracy", "leader_accuracy", "flushes_per_kinst"]
+
+PAPER = {"sub_batch_loss": 0.04, "sub_batch_worst": 0.10}
+
+SUBSET = ("mcrouter", "memcached", "post", "uniqueid", "search-midtier",
+          "hdsearch-leaf")
+
+
+def run_lanes(scale: float = 1.0, services=SUBSET) -> List[Row]:
+    """Sub-batch interleaving: 8-lane RPU vs full 32-lane datapath."""
+    rows = []
+    wide = rpu_with_lanes(32)
+    for name in services:
+        service = get_service(name)
+        requests = requests_for(service, scale)
+        narrow = run_chip(service, requests, RPU_CONFIG)
+        full = run_chip(service, requests, wide)
+        loss = (narrow.avg_latency_cycles - full.avg_latency_cycles) \
+            / max(1e-9, full.avg_latency_cycles)
+        rows.append(Row(label=name, values={
+            "lat_8lanes": narrow.avg_latency_cycles,
+            "lat_32lanes": full.avg_latency_cycles,
+            "loss": loss,
+        }))
+    rows.append(summary_row(rows, LANE_COLUMNS))
+    return rows
+
+
+def run_atomics(scale: float = 1.0, services=("socialgraph", "uniqueid",
+                                              "memcached")) -> List[Row]:
+    """Atomics executed at the shared L3 vs in the private L1."""
+    rows = []
+    no_l3 = rpu_without("atomics_at_l3")
+    for name in services:
+        service = get_service(name)
+        requests = requests_for(service, scale)
+        at_l3 = run_chip(service, requests, RPU_CONFIG)
+        at_l1 = run_chip(service, requests, no_l3)
+        rows.append(Row(label=name, values={
+            "lat_atomics_l3": at_l3.avg_latency_cycles,
+            "lat_atomics_l1": at_l1.avg_latency_cycles,
+            "slowdown": at_l3.avg_latency_cycles
+            / max(1e-9, at_l1.avg_latency_cycles),
+        }))
+    rows.append(summary_row(rows, ATOMIC_COLUMNS))
+    return rows
+
+
+def run_majority_vote(scale: float = 1.0,
+                      services=("memcached", "post", "user")) -> List[Row]:
+    """Majority-vote batch prediction vs leader-thread prediction."""
+    rows = []
+    no_vote = rpu_without("majority_vote")
+    for name in services:
+        service = get_service(name)
+        requests = requests_for(service, scale)
+        vote = run_chip(service, requests, RPU_CONFIG)
+        leader = run_chip(service, requests, no_vote)
+
+        def acc(res):
+            lk = res.counters["bp_lookups"]
+            return 1.0 - res.counters["bp_mispredicts"] / lk if lk else 1.0
+
+        rows.append(Row(label=name, values={
+            "vote_accuracy": acc(vote),
+            "leader_accuracy": acc(leader),
+            "flushes_per_kinst": vote.counters["bp_minority_flushes"]
+            / max(1, vote.scalar_instructions) * 1000,
+        }))
+    rows.append(summary_row(rows, VOTE_COLUMNS))
+    return rows
+
+
+MULTI_BATCH_COLUMNS = ["thr_1batch", "thr_2batch", "gain", "lat_cost"]
+
+
+def run_multi_batch(scale: float = 1.0,
+                    services=("memcached", "socialgraph",
+                              "user")) -> List[Row]:
+    """Extension: two resident batches per core hide memory latency.
+
+    The paper defers multi-batch scheduling to future work; here we
+    measure what the mechanism buys on the miss-heavy services it
+    targets: throughput per core rises while per-batch latency grows.
+    """
+    rows = []
+    two = rpu_with_batches(2)
+    for name in services:
+        service = get_service(name)
+        requests = requests_for(service, scale)
+        one_r = run_chip(service, requests, RPU_CONFIG)
+        two_r = run_chip(service, requests, two)
+        thr1 = one_r.n_requests / max(1e-9, one_r.core_cycles)
+        thr2 = two_r.n_requests / max(1e-9, two_r.core_cycles)
+        rows.append(Row(label=name, values={
+            "thr_1batch": thr1,
+            "thr_2batch": thr2,
+            "gain": thr2 / thr1 if thr1 else 0.0,
+            "lat_cost": two_r.avg_latency_cycles
+            / max(1e-9, one_r.avg_latency_cycles),
+        }))
+    rows.append(summary_row(rows, MULTI_BATCH_COLUMNS))
+    return rows
+
+
+SPEC_COLUMNS = ["eff_default", "eff_speculative"]
+
+
+def run_speculative_reconvergence(scale: float = 1.0) -> List[Row]:
+    """Section III-B1: speculative reconvergence on HDSearch-midtier.
+
+    Moving the IPDOM sync point to the head of the expensive side lets
+    cheap-path threads wait there instead of executing past it.
+    """
+    import random
+
+    from ..batching import form_batches
+    from ..core.run import run_batch
+
+    service = get_service("hdsearch-midtier")
+    requests = requests_for(service, scale)
+    override = service.speculative_reconvergence_override()
+    rows = []
+    default_effs, spec_effs = [], []
+    for batch in form_batches(requests, 32, "per_api_size"):
+        default_effs.append(
+            run_batch(service, batch, policy="ipdom").simt_efficiency)
+        spec_effs.append(
+            run_batch(service, batch, policy="ipdom",
+                      reconv_override=override).simt_efficiency)
+    rows.append(Row(label="hdsearch-midtier", values={
+        "eff_default": mean(default_effs),
+        "eff_speculative": mean(spec_effs),
+    }))
+    return rows
+
+
+def run(scale: float = 1.0) -> Dict[str, List[Row]]:
+    """All Section V-A1 sensitivity studies, keyed by name."""
+    return {
+        "sub_batch": run_lanes(scale),
+        "atomics": run_atomics(scale),
+        "majority_vote": run_majority_vote(scale),
+        "speculative_reconvergence": run_speculative_reconvergence(scale),
+        "multi_batch": run_multi_batch(scale),
+    }
+
+
+def main(scale: float = 1.0) -> str:
+    """Render every sensitivity table as one printable report."""
+    data = run(scale)
+    return "\n\n".join([
+        format_rows(data["sub_batch"], LANE_COLUMNS,
+                    title="Sub-batch interleaving: 8 vs 32 lanes "
+                          "(paper: ~4% avg loss, 10% worst)"),
+        format_rows(data["atomics"], ATOMIC_COLUMNS,
+                    title="Atomics at L3 vs in-L1 (paper: no slowdown)"),
+        format_rows(data["majority_vote"], VOTE_COLUMNS,
+                    title="Majority voting vs leader-based prediction"),
+        format_rows(data["speculative_reconvergence"], SPEC_COLUMNS,
+                    title="Speculative reconvergence (Section III-B1)"),
+        format_rows(data["multi_batch"], MULTI_BATCH_COLUMNS,
+                    title="Multi-batch interleaving extension "
+                          "(2 resident batches)"),
+    ])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,68 @@
+"""Table IV: the simulated CPU / CPU-SMT8 / RPU configurations."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..timing import CPU_CONFIG, GPU_CONFIG, RPU_CONFIG, SMT8_CONFIG
+from ..timing.config import CoreConfig
+
+FIELDS: List[Tuple[str, str]] = [
+    ("issue_width", "Core width"),
+    ("rob_entries", "OoO entries/ctx"),
+    ("freq_ghz", "Freq (GHz)"),
+    ("n_cores", "#Cores"),
+    ("threads_per_core", "Threads/core"),
+    ("lanes", "#Lanes"),
+    ("alu_latency", "ALU/Bra lat"),
+    ("l1_size", "L1 size (B)"),
+    ("l1_banks", "L1 banks"),
+    ("l1_latency", "L1 lat"),
+    ("l2_size", "L2 size (B)"),
+    ("l2_latency", "L2 lat"),
+    ("tlb_entries", "TLB entries"),
+    ("dram_bw_chip_gbps", "DRAM BW (GB/s)"),
+    ("interconnect", "Interconnect"),
+]
+
+#: derived per-thread rows at the bottom of Table IV
+DERIVED = ["l1_per_thread_kb", "tlb_per_thread", "membw_per_thread_gbs"]
+
+
+def derived_metrics(cfg: CoreConfig) -> dict:
+    """Per-thread resource rows at the bottom of Table IV."""
+    threads = cfg.threads_per_core
+    return {
+        "l1_per_thread_kb": cfg.l1_size / 1024 / threads,
+        "tlb_per_thread": cfg.tlb_entries / threads,
+        "membw_per_thread_gbs": cfg.dram_bw_chip_gbps / cfg.total_threads,
+        "total_threads": cfg.total_threads,
+    }
+
+
+def run(scale: float = 1.0):
+    """The four simulated design points of Table IV."""
+    return [CPU_CONFIG, SMT8_CONFIG, RPU_CONFIG, GPU_CONFIG]
+
+
+def main(scale: float = 1.0) -> str:
+    """Render the experiment as the printable report."""
+    configs = run(scale)
+    lines = ["Table IV: simulated configurations"]
+    header = f"{'metric':22s}" + "".join(f"{c.name:>14s}" for c in configs)
+    lines.append(header)
+    for attr, label in FIELDS:
+        row = f"{label:22s}"
+        for c in configs:
+            row += f"{str(getattr(c, attr)):>14s}"
+        lines.append(row)
+    for key in DERIVED + ["total_threads"]:
+        row = f"{key:22s}"
+        for c in configs:
+            row += f"{derived_metrics(c)[key]:>14.2f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

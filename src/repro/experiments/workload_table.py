@@ -1,0 +1,84 @@
+"""Workload characterization table (paper Section IV).
+
+One row per microservice: static/dynamic instruction counts, dynamic
+instruction mix, stack-traffic share, API count and the tuned batch
+size - the information the paper gives in prose and its workload table,
+measured from our implementations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..engine.events import StepSink
+from ..core.run import run_solo
+from ..isa.instructions import OpClass, Segment
+from ..workloads import all_services
+from .common import Row, format_rows, requests_for, summary_row
+
+COLUMNS = ["static_insts", "dyn_insts_req", "pct_mem", "pct_branch",
+           "pct_simd", "stack_share", "apis", "batch"]
+
+
+class _MixSink(StepSink):
+    def __init__(self):
+        self.total = 0
+        self.mem = 0
+        self.branch = 0
+        self.simd = 0
+        self.stack_accesses = 0
+        self.data_accesses = 0
+
+    def on_step(self, pc, inst, active, addrs, outcomes):
+        self.total += active
+        cls = inst.cls
+        if cls in (OpClass.LOAD, OpClass.STORE, OpClass.ATOMIC,
+                   OpClass.CALL, OpClass.RET):
+            self.mem += active
+            if inst.segment is Segment.STACK:
+                self.stack_accesses += len(addrs)
+            else:
+                self.data_accesses += len(addrs)
+        elif cls is OpClass.BRANCH:
+            self.branch += active
+        elif cls is OpClass.SIMD:
+            self.simd += active
+
+    def on_done(self):
+        pass
+
+
+def run(scale: float = 0.5) -> List[Row]:
+    """Measure the experiment; returns structured rows."""
+    rows = []
+    for service in all_services():
+        requests = requests_for(service, scale)[:24]
+        sink = _MixSink()
+        run_solo(service, requests, sink=sink)
+        n = len(requests)
+        accesses = sink.stack_accesses + sink.data_accesses
+        rows.append(Row(label=service.name, values={
+            "static_insts": float(len(service.program)),
+            "dyn_insts_req": sink.total / n,
+            "pct_mem": sink.mem / sink.total,
+            "pct_branch": sink.branch / sink.total,
+            "pct_simd": sink.simd / sink.total,
+            "stack_share": sink.stack_accesses / accesses if accesses else 0.0,
+            "apis": float(len(service.apis)),
+            "batch": float(service.recommended_batch),
+        }))
+    rows.append(summary_row(rows, COLUMNS))
+    return rows
+
+
+def main(scale: float = 0.5) -> str:
+    """Render the experiment as the printable report."""
+    out = format_rows(run(scale), COLUMNS,
+                      title="Workload characterization (Section IV)")
+    return out + ("\nThe Post/User family is stack-dominated (paper: up "
+                  "to 90% stack accesses);\nHDSearch/Recommender leaves "
+                  "are the SIMD-dense, batch-8-tuned services.")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

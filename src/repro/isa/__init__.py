@@ -1,0 +1,45 @@
+"""RISC-like micro-op ISA: instructions, programs, builder, CFG analysis."""
+
+from .instructions import (
+    ALU_OPS,
+    BRANCH_OPS,
+    MUL_OPS,
+    NUM_REGS,
+    RV,
+    SP,
+    ZERO,
+    Instruction,
+    OpClass,
+    Segment,
+    SyscallKind,
+    classify,
+)
+from .builder import ProgramBuilder, reg
+from .cfg import EXIT, BasicBlock, ControlFlowGraph
+from .program import Program, ProgramError
+from .validator import Issue, ValidationReport, validate
+
+__all__ = [
+    "ALU_OPS",
+    "BRANCH_OPS",
+    "MUL_OPS",
+    "NUM_REGS",
+    "RV",
+    "SP",
+    "ZERO",
+    "EXIT",
+    "BasicBlock",
+    "ControlFlowGraph",
+    "Instruction",
+    "OpClass",
+    "Program",
+    "ProgramBuilder",
+    "ProgramError",
+    "Segment",
+    "SyscallKind",
+    "classify",
+    "Issue",
+    "ValidationReport",
+    "validate",
+    "reg",
+]

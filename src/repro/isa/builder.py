@@ -1,0 +1,349 @@
+"""Fluent assembler used to author the microservice programs.
+
+The builder keeps the workload sources short and readable::
+
+    b = ProgramBuilder("memcached")
+    b.li("r4", 8)
+    with b.loop("r4"):          # decrement-and-branch loop on r4
+        b.ld("r5", "r3", 0, Segment.HEAP)
+        b.add("r6", "r6", "r5")
+        b.addi("r3", "r3", 8)
+    b.halt()
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+from typing import Dict, Iterator, List, Optional, Union
+
+from .instructions import (
+    ALU_OPS,
+    BRANCH_OPS,
+    MUL_OPS,
+    NUM_REGS,
+    SP,
+    Instruction,
+    OpClass,
+    Segment,
+    SyscallKind,
+    classify,
+)
+from .program import Program
+
+RegLike = Union[int, str]
+
+_REG_ALIASES = {"zero": 0, "sp": SP, "rv": 1}
+
+
+def reg(r: RegLike) -> int:
+    """Resolve a register name ('r7', 'sp', 'zero') or index to an index."""
+    if isinstance(r, int):
+        idx = r
+    elif r in _REG_ALIASES:
+        idx = _REG_ALIASES[r]
+    elif r.startswith("r") and r[1:].isdigit():
+        idx = int(r[1:])
+    else:
+        raise ValueError(f"bad register: {r!r}")
+    if not 0 <= idx < NUM_REGS:
+        raise ValueError(f"register index out of range: {idx}")
+    return idx
+
+
+class ProgramBuilder:
+    """Accumulates instructions and labels, then builds a :class:`Program`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._insts: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._fresh = itertools.count()
+
+    # ------------------------------------------------------------------
+    # low-level emission
+    # ------------------------------------------------------------------
+    def emit(self, inst: Instruction) -> "ProgramBuilder":
+        self._insts.append(inst)
+        return self
+
+    def label(self, name: str) -> str:
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._insts)
+        return name
+
+    def fresh(self, stem: str = "L") -> str:
+        return f"_{stem}_{next(self._fresh)}"
+
+    @property
+    def pc(self) -> int:
+        return len(self._insts)
+
+    # ------------------------------------------------------------------
+    # scalar ALU ops
+    # ------------------------------------------------------------------
+    def _alu(self, op: str, dst: RegLike, *srcs: RegLike, imm: int = 0) -> "ProgramBuilder":
+        return self.emit(
+            Instruction(
+                op=op,
+                cls=classify(op),
+                dst=reg(dst),
+                srcs=tuple(reg(s) for s in srcs),
+                imm=imm,
+            )
+        )
+
+    def li(self, dst: RegLike, imm: int) -> "ProgramBuilder":
+        return self._alu("li", dst, imm=imm)
+
+    def mov(self, dst: RegLike, src: RegLike) -> "ProgramBuilder":
+        return self._alu("mov", dst, src)
+
+    def __getattr__(self, op: str):
+        """Expose every ALU/MUL mnemonic as a method (add, addi, mul, ...)."""
+        if op in ALU_OPS or op in MUL_OPS:
+
+            def emitter(dst: RegLike, *srcs, imm: int = 0):
+                regs = [s for s in srcs if isinstance(s, str) or isinstance(s, int)]
+                # immediate forms: trailing int positional becomes imm
+                if regs and isinstance(regs[-1], int) and op.endswith("i"):
+                    imm = regs.pop()
+                return self._alu(op, dst, *regs, imm=imm)
+
+            return emitter
+        raise AttributeError(op)
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    def ld(
+        self,
+        dst: RegLike,
+        base: RegLike,
+        offset: int = 0,
+        segment: Segment = Segment.HEAP,
+        size: int = 8,
+        note: str = "",
+    ) -> "ProgramBuilder":
+        return self.emit(
+            Instruction(
+                op="ld",
+                cls=OpClass.LOAD,
+                dst=reg(dst),
+                srcs=(reg(base),),
+                imm=offset,
+                segment=segment,
+                size=size,
+                note=note,
+            )
+        )
+
+    def st(
+        self,
+        src: RegLike,
+        base: RegLike,
+        offset: int = 0,
+        segment: Segment = Segment.HEAP,
+        size: int = 8,
+        note: str = "",
+    ) -> "ProgramBuilder":
+        return self.emit(
+            Instruction(
+                op="st",
+                cls=OpClass.STORE,
+                srcs=(reg(base), reg(src)),
+                imm=offset,
+                segment=segment,
+                size=size,
+                note=note,
+            )
+        )
+
+    def vld(self, dst: RegLike, base: RegLike, offset: int = 0,
+            segment: Segment = Segment.HEAP) -> "ProgramBuilder":
+        """SIMD load of one 32B vector."""
+        return self.emit(
+            Instruction(op="vld", cls=OpClass.LOAD, dst=reg(dst),
+                        srcs=(reg(base),), imm=offset, segment=segment,
+                        size=32)
+        )
+
+    def vst(self, src: RegLike, base: RegLike, offset: int = 0,
+            segment: Segment = Segment.HEAP) -> "ProgramBuilder":
+        return self.emit(
+            Instruction(op="vst", cls=OpClass.STORE,
+                        srcs=(reg(base), reg(src)), imm=offset,
+                        segment=segment, size=32)
+        )
+
+    def vop(self, dst: RegLike, *srcs: RegLike, note: str = "") -> "ProgramBuilder":
+        """Opaque SIMD arithmetic op (fma over one vector register)."""
+        return self.emit(
+            Instruction(op="vop", cls=OpClass.SIMD, dst=reg(dst),
+                        srcs=tuple(reg(s) for s in srcs), note=note)
+        )
+
+    def amoadd(self, dst: RegLike, base: RegLike, src: RegLike,
+               offset: int = 0, note: str = "") -> "ProgramBuilder":
+        """Atomic fetch-and-add (executes at the shared L3 on the RPU)."""
+        return self.emit(
+            Instruction(op="amoadd", cls=OpClass.ATOMIC, dst=reg(dst),
+                        srcs=(reg(base), reg(src)), imm=offset,
+                        segment=Segment.HEAP, note=note)
+        )
+
+    def amoswap(self, dst: RegLike, base: RegLike, src: RegLike,
+                offset: int = 0, note: str = "") -> "ProgramBuilder":
+        """Atomic swap; the workhorse of spin locks."""
+        return self.emit(
+            Instruction(op="amoswap", cls=OpClass.ATOMIC, dst=reg(dst),
+                        srcs=(reg(base), reg(src)), imm=offset,
+                        segment=Segment.HEAP, note=note)
+        )
+
+    # ------------------------------------------------------------------
+    # control flow
+    # ------------------------------------------------------------------
+    def branch(self, op: str, a: RegLike, b: RegLike, target: str) -> "ProgramBuilder":
+        if op not in BRANCH_OPS:
+            raise ValueError(f"not a branch op: {op}")
+        return self.emit(
+            Instruction(op=op, cls=OpClass.BRANCH,
+                        srcs=(reg(a), reg(b)), target=target)
+        )
+
+    def beq(self, a, b, t): return self.branch("beq", a, b, t)
+    def bne(self, a, b, t): return self.branch("bne", a, b, t)
+    def blt(self, a, b, t): return self.branch("blt", a, b, t)
+    def bge(self, a, b, t): return self.branch("bge", a, b, t)
+    def ble(self, a, b, t): return self.branch("ble", a, b, t)
+    def bgt(self, a, b, t): return self.branch("bgt", a, b, t)
+
+    def jmp(self, target: str) -> "ProgramBuilder":
+        return self.emit(Instruction(op="jmp", cls=OpClass.JUMP, target=target))
+
+    def call(self, target: str, frame: int = 64) -> "ProgramBuilder":
+        """Call ``target``; ``frame`` bytes are reserved on the stack and
+        the return address is pushed (a stack-segment store)."""
+        return self.emit(
+            Instruction(op="call", cls=OpClass.CALL, target=target,
+                        imm=frame, segment=Segment.STACK, size=8)
+        )
+
+    def ret(self) -> "ProgramBuilder":
+        """Return: pops the saved return address (a stack-segment load)."""
+        return self.emit(
+            Instruction(op="ret", cls=OpClass.RET, segment=Segment.STACK,
+                        size=8)
+        )
+
+    def syscall(self, kind: SyscallKind, note: str = "") -> "ProgramBuilder":
+        return self.emit(
+            Instruction(op="syscall", cls=OpClass.SYSCALL, syscall=kind,
+                        note=note)
+        )
+
+    def fence(self) -> "ProgramBuilder":
+        return self.emit(Instruction(op="fence", cls=OpClass.FENCE))
+
+    def nop(self) -> "ProgramBuilder":
+        return self.emit(Instruction(op="nop", cls=OpClass.NOP))
+
+    def halt(self) -> "ProgramBuilder":
+        return self.emit(Instruction(op="halt", cls=OpClass.HALT))
+
+    # ------------------------------------------------------------------
+    # structured helpers
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def loop(self, counter: RegLike) -> Iterator[None]:
+        """``while (counter > 0) { body; counter-- }`` loop."""
+        head = self.fresh("loop")
+        done = self.fresh("done")
+        self.label(head)
+        self.ble(counter, "zero", done)
+        yield
+        self.addi(counter, counter, -1)
+        self.jmp(head)
+        self.label(done)
+
+    def counted_loop(self, counter: RegLike, body, cursors=(),
+                     unroll: int = 1) -> "ProgramBuilder":
+        """Emit a (possibly unrolled) counted loop.
+
+        ``body(j)`` emits the code for one element with unroll offset
+        ``j`` (use ``j * step`` as the extra displacement off the cursor
+        registers).  ``cursors`` is a sequence of ``(reg, step)`` pairs
+        advanced once per unrolled block.  With ``unroll > 1`` a main
+        loop consumes ``unroll`` elements per iteration - the register
+        recurrence (counter/cursor updates) then costs one ALU op per
+        ``unroll`` elements, matching what ``-O3`` does to hot loops -
+        and a remainder loop handles the tail.  ``r31`` is reserved as
+        the assembler temporary.
+        """
+        if unroll <= 1:
+            with self.loop(counter):
+                body(0)
+                for reg, step in cursors:
+                    self.addi(reg, reg, step)
+            return self
+        u = "r31"
+        main = self.fresh("umain")
+        rem = self.fresh("urem")
+        done = self.fresh("udone")
+        self.li(u, unroll)
+        self.label(main)
+        self.blt(counter, u, rem)
+        for j in range(unroll):
+            body(j)
+        for reg, step in cursors:
+            self.addi(reg, reg, step * unroll)
+        self.addi(counter, counter, -unroll)
+        self.jmp(main)
+        self.label(rem)
+        self.ble(counter, "zero", done)
+        body(0)
+        for reg, step in cursors:
+            self.addi(reg, reg, step)
+        self.addi(counter, counter, -1)
+        self.jmp(rem)
+        self.label(done)
+        return self
+
+    @contextlib.contextmanager
+    def if_(self, op: str, a: RegLike, b: RegLike) -> Iterator[None]:
+        """Execute body when ``a <op> b`` holds."""
+        skip = self.fresh("endif")
+        self.branch(_negate(op), a, b, skip)
+        yield
+        self.label(skip)
+
+    def if_else(self, op: str, a: RegLike, b: RegLike, then_body, else_body) -> "ProgramBuilder":
+        """Emit ``if (a <op> b) then_body() else else_body()``.
+
+        The bodies are zero-argument callables that emit into this
+        builder, which keeps divergent-branch authoring one-liner short.
+        """
+        else_lab = self.fresh("else")
+        end_lab = self.fresh("endif")
+        self.branch(_negate(op), a, b, else_lab)
+        then_body()
+        self.jmp(end_lab)
+        self.label(else_lab)
+        else_body()
+        self.label(end_lab)
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        return Program(self.name, list(self._insts), dict(self._labels))
+
+
+def _negate(op: str) -> str:
+    return {
+        "beq": "bne", "bne": "beq",
+        "blt": "bge", "bge": "blt",
+        "ble": "bgt", "bgt": "ble",
+    }[op]

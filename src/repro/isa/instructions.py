@@ -1,0 +1,170 @@
+"""Instruction set for the SIMR reproduction.
+
+The paper evaluates x86 binaries traced with a PIN tool (SIMTec) whose
+CISC instructions are cracked into RISC-like micro-ops before being fed
+to the timing model.  We skip the x86 front and define the RISC-like
+micro-op ISA directly: a small load/store architecture with explicit
+branches, calls and an opaque SIMD op class.  Everything downstream
+(lockstep execution, reconvergence, coalescing, timing, energy) only
+cares about the micro-op stream, exactly as in the paper's toolchain.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Number of general-purpose scalar registers per thread.
+NUM_REGS = 32
+
+#: Register index conventionally holding the stack pointer.
+SP = 29
+
+#: Register index conventionally holding function return values.
+RV = 1
+
+#: Register that always reads as zero (writes are ignored).
+ZERO = 0
+
+
+class OpClass(enum.Enum):
+    """Coarse classification used by the timing and energy models."""
+
+    ALU = "alu"
+    MUL = "mul"
+    SIMD = "simd"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    CALL = "call"
+    RET = "ret"
+    ATOMIC = "atomic"
+    SYSCALL = "syscall"
+    FENCE = "fence"
+    HALT = "halt"
+    NOP = "nop"
+
+
+class Segment(enum.Enum):
+    """Virtual address space segments (paper Section III-B2)."""
+
+    GLOBAL = "global"  # shared read-mostly data / constants
+    HEAP = "heap"
+    STACK = "stack"
+
+
+class SyscallKind(enum.Enum):
+    """Latency classes for blocking system calls (paper Section III-B5)."""
+
+    NETWORK = "network"  # microsecond-scale RPC send/recv
+    STORAGE = "storage"  # millisecond-scale disk / database access
+    MEMCACHED = "memcached"  # microsecond-scale in-DRAM key-value store
+    LOG = "log"  # fire-and-forget, negligible latency
+
+
+#: ALU mnemonics understood by the interpreter.  Two-source forms take
+#: (srcs[0], srcs[1]); immediate forms take (srcs[0], imm).
+ALU_OPS = frozenset(
+    {
+        "add",
+        "sub",
+        "and",
+        "or",
+        "xor",
+        "shl",
+        "shr",
+        "min",
+        "max",
+        "addi",
+        "andi",
+        "ori",
+        "xori",
+        "shli",
+        "shri",
+        "slt",
+        "slti",
+        "li",
+        "mov",
+        "hash",  # one-round integer mix, models inlined hash functions
+    }
+)
+
+MUL_OPS = frozenset({"mul", "muli", "div", "rem"})
+
+#: Branch condition mnemonics: compare srcs[0] against srcs[1].
+BRANCH_OPS = frozenset({"beq", "bne", "blt", "bge", "ble", "bgt"})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single micro-op.
+
+    ``target`` holds a label name until :meth:`repro.isa.program.Program`
+    resolution replaces branch/jump/call targets with instruction
+    indices (kept in ``Program.targets`` so instances stay immutable and
+    shareable between programs).
+    """
+
+    op: str
+    cls: OpClass
+    dst: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    imm: int = 0
+    target: Optional[str] = None
+    segment: Optional[Segment] = None
+    syscall: Optional[SyscallKind] = None
+    #: access width in bytes for LOAD/STORE (SIMD mem ops use 32)
+    size: int = 8
+    #: free-form annotation (lock name, label of allocation, ...)
+    note: str = ""
+
+    def is_mem(self) -> bool:
+        return self.cls in (OpClass.LOAD, OpClass.STORE, OpClass.ATOMIC)
+
+    def reads(self) -> Tuple[int, ...]:
+        return self.srcs
+
+    def writes(self) -> Optional[int]:
+        return self.dst
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.op]
+        if self.dst is not None:
+            parts.append(f"r{self.dst}")
+        parts.extend(f"r{s}" for s in self.srcs)
+        if self.imm:
+            parts.append(str(self.imm))
+        if self.target is not None:
+            parts.append(f"@{self.target}")
+        return " ".join(parts)
+
+
+def classify(op: str) -> OpClass:
+    """Map a mnemonic to its :class:`OpClass`."""
+    if op in ALU_OPS:
+        return OpClass.ALU
+    if op in MUL_OPS:
+        return OpClass.MUL
+    if op in BRANCH_OPS:
+        return OpClass.BRANCH
+    special = {
+        "ld": OpClass.LOAD,
+        "st": OpClass.STORE,
+        "vld": OpClass.LOAD,
+        "vst": OpClass.STORE,
+        "vop": OpClass.SIMD,
+        "jmp": OpClass.JUMP,
+        "call": OpClass.CALL,
+        "ret": OpClass.RET,
+        "amoadd": OpClass.ATOMIC,
+        "amoswap": OpClass.ATOMIC,
+        "syscall": OpClass.SYSCALL,
+        "fence": OpClass.FENCE,
+        "halt": OpClass.HALT,
+        "nop": OpClass.NOP,
+    }
+    if op in special:
+        return special[op]
+    raise ValueError(f"unknown mnemonic: {op}")

@@ -1,0 +1,84 @@
+"""Program container: instructions, labels and resolved control flow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .instructions import Instruction, OpClass
+
+
+class ProgramError(Exception):
+    """Raised for malformed programs (unknown labels, fallthrough off end)."""
+
+
+@dataclass
+class Program:
+    """An immutable, resolved program.
+
+    ``targets[i]`` gives the resolved instruction index for the
+    branch/jump/call at pc ``i`` (``None`` for other instructions).
+    """
+
+    name: str
+    instructions: List[Instruction]
+    labels: Dict[str, int]
+    targets: List[Optional[int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            self.targets = self._resolve_targets()
+        self._validate()
+
+    def _resolve_targets(self) -> List[Optional[int]]:
+        targets: List[Optional[int]] = []
+        for pc, inst in enumerate(self.instructions):
+            if inst.target is None:
+                targets.append(None)
+                continue
+            if inst.target not in self.labels:
+                raise ProgramError(
+                    f"{self.name}: pc {pc} ({inst.op}) references "
+                    f"unknown label {inst.target!r}"
+                )
+            targets.append(self.labels[inst.target])
+        return targets
+
+    def _validate(self) -> None:
+        if not self.instructions:
+            raise ProgramError(f"{self.name}: empty program")
+        last = self.instructions[-1]
+        if last.cls not in (OpClass.HALT, OpClass.JUMP, OpClass.RET):
+            raise ProgramError(
+                f"{self.name}: control can fall off the end "
+                f"(last op is {last.op})"
+            )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def target_of(self, pc: int) -> int:
+        t = self.targets[pc]
+        if t is None:
+            raise ProgramError(f"{self.name}: pc {pc} has no branch target")
+        return t
+
+    def label_at(self, pc: int) -> Optional[str]:
+        for name, idx in self.labels.items():
+            if idx == pc:
+                return name
+        return None
+
+    def listing(self) -> str:
+        """Human-readable disassembly, used by examples and debugging."""
+        by_pc: Dict[int, List[str]] = {}
+        for name, idx in self.labels.items():
+            by_pc.setdefault(idx, []).append(name)
+        lines = []
+        for pc, inst in enumerate(self.instructions):
+            for lab in sorted(by_pc.get(pc, [])):
+                lines.append(f"{lab}:")
+            tgt = self.targets[pc]
+            suffix = f"  -> {tgt}" if tgt is not None else ""
+            lines.append(f"  {pc:4d}: {inst}{suffix}")
+        return "\n".join(lines)

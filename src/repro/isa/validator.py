@@ -1,0 +1,198 @@
+"""Static program validation for workload authors.
+
+Programs are authored by hand (or generated); the validator catches the
+mistakes that would otherwise show up as baffling lockstep divergence:
+
+* reads of registers never written on some path (def-before-use, via a
+  forward may-be-defined dataflow over the CFG);
+* writes to the reserved registers (r0 is hard-zero, r29 is the stack
+  pointer managed by call/ret, r31 is the assembler temporary);
+* unreachable instructions (dead blocks, usually a missing label);
+* call targets that fall through into other code instead of returning;
+* stack-frame discipline: helper functions must not address beyond
+  their declared frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .cfg import EXIT, ControlFlowGraph
+from .instructions import NUM_REGS, SP, ZERO, Instruction, OpClass, Segment
+from .program import Program
+
+#: registers every thread has initialized at entry (the workload ABI,
+#: see repro.workloads.base) plus always-valid architectural registers
+ABI_LIVE_IN = frozenset({ZERO, 1, 2, 3, 4, 5, 6, 7, 8, SP})
+
+ASSEMBLER_TEMP = 31
+
+
+@dataclass
+class Issue:
+    severity: str  # "error" | "warning"
+    pc: Optional[int]
+    message: str
+
+    def __str__(self) -> str:
+        where = f"pc {self.pc}" if self.pc is not None else "program"
+        return f"[{self.severity}] {where}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    issues: List[Issue] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Issue]:
+        return [i for i in self.issues if i.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Issue]:
+        return [i for i in self.issues if i.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def validate(program: Program,
+             live_in: frozenset = ABI_LIVE_IN) -> ValidationReport:
+    """Run all static checks over ``program``."""
+    report = ValidationReport()
+    cfg = ControlFlowGraph(program)
+    _check_reserved_writes(program, report)
+    _check_reachability(program, cfg, report)
+    _check_def_before_use(program, cfg, report, live_in)
+    _check_frame_discipline(program, report)
+    return report
+
+
+def _check_reserved_writes(program: Program, report: ValidationReport) -> None:
+    for pc, inst in enumerate(program.instructions):
+        if inst.dst == SP:
+            report.issues.append(Issue(
+                "error", pc,
+                "writes the stack pointer directly; only call/ret "
+                "manage SP"))
+        # writes to r0 are legal no-ops but usually a typo
+        if inst.dst == ZERO and inst.cls is not OpClass.NOP:
+            report.issues.append(Issue(
+                "warning", pc, "writes r0 (hard-wired zero)"))
+
+
+def _reachable_blocks(cfg: ControlFlowGraph) -> Set[int]:
+    seen: Set[int] = set()
+    work = [cfg.block_of(0).index]
+    # call targets are entry points too
+    prog = cfg.program
+    for pc, inst in enumerate(prog.instructions):
+        if inst.cls is OpClass.CALL:
+            work.append(cfg.block_of(prog.target_of(pc)).index)
+    while work:
+        b = work.pop()
+        if b in seen or b == EXIT:
+            continue
+        seen.add(b)
+        work.extend(s for s in cfg.blocks[b].successors if s != EXIT)
+    return seen
+
+
+def _check_reachability(program: Program, cfg: ControlFlowGraph,
+                        report: ValidationReport) -> None:
+    reachable = _reachable_blocks(cfg)
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            report.issues.append(Issue(
+                "warning", block.start,
+                f"unreachable block [{block.start}..{block.end}]"))
+
+
+def _check_def_before_use(program: Program, cfg: ControlFlowGraph,
+                          report: ValidationReport,
+                          live_in: frozenset) -> None:
+    """Forward may-be-undefined analysis at basic-block granularity.
+
+    A register read is flagged when *no* path defines it first.  The
+    analysis is conservative across calls (helpers may define values),
+    so it reports 'error' only when the register cannot be defined on
+    any path.
+    """
+    n = len(cfg.blocks)
+    reachable = _reachable_blocks(cfg)
+    # defs[b]: registers definitely written within block b
+    defs: List[Set[int]] = []
+    uses_before_def: List[List] = []
+    for block in cfg.blocks:
+        written: Set[int] = set()
+        early_uses = []
+        for pc in range(block.start, block.end + 1):
+            inst = program.instructions[pc]
+            for src in inst.srcs:
+                if src not in written:
+                    early_uses.append((pc, src))
+            if inst.dst is not None:
+                written.add(inst.dst)
+        defs.append(written)
+        uses_before_def.append(early_uses)
+
+    # available[b]: registers defined on at least one path to b's entry
+    available: List[Set[int]] = [set(live_in) for _ in range(n)]
+    preds: Dict[int, List[int]] = {i: [] for i in range(n)}
+    for b in cfg.blocks:
+        for s in b.successors:
+            if s != EXIT:
+                preds[s].append(b.index)
+
+    changed = True
+    while changed:
+        changed = False
+        for b in range(n):
+            if b not in reachable:
+                continue
+            if preds[b]:
+                incoming = set(live_in)
+                for p in preds[b]:
+                    incoming |= available[p] | defs[p]
+            else:
+                incoming = set(live_in)
+            if incoming - available[b]:
+                available[b] |= incoming
+                changed = True
+
+    for b in range(n):
+        if b not in reachable:
+            continue
+        for pc, reg in uses_before_def[b]:
+            if reg not in available[b] and reg != ASSEMBLER_TEMP:
+                report.issues.append(Issue(
+                    "warning", pc,
+                    f"r{reg} may be read before any definition"))
+
+
+def _check_frame_discipline(program: Program,
+                            report: ValidationReport) -> None:
+    """Stack offsets inside a callee must stay within its frame."""
+    # collect call targets and frame sizes (min over call sites)
+    frames: Dict[int, int] = {}
+    for pc, inst in enumerate(program.instructions):
+        if inst.cls is OpClass.CALL:
+            target = program.target_of(pc)
+            frames[target] = min(frames.get(target, 1 << 30), inst.imm)
+    for entry, frame in frames.items():
+        pc = entry
+        while pc < len(program.instructions):
+            inst = program.instructions[pc]
+            if inst.cls is OpClass.RET:
+                break
+            if (inst.segment is Segment.STACK and inst.srcs
+                    and inst.srcs[0] == SP and inst.imm >= frame):
+                report.issues.append(Issue(
+                    "error", pc,
+                    f"stack access at sp+{inst.imm} exceeds the "
+                    f"{frame}-byte frame of the function at {entry}"))
+            if inst.cls is OpClass.CALL:
+                pc += 1
+                continue
+            pc += 1

@@ -1,0 +1,46 @@
+"""Memory-system substrates: allocators, caches, TLBs, MCU, DRAM, NoC."""
+
+from .alloc import (
+    AllocationError,
+    AllocStats,
+    BaseAllocator,
+    DefaultAllocator,
+    SimrAwareAllocator,
+)
+from .cache import CacheStats, SetAssociativeCache
+from .dram import DramModel, DramStats
+from .interconnect import (
+    CrossbarInterconnect,
+    Interconnect,
+    MeshInterconnect,
+    NocStats,
+)
+from .mcu import CoalescingResult, MemoryCoalescingUnit, scalar_accesses
+from .stackmap import STACK_PHYS_BASE, WORD, StackInterleaver
+from .tlb import PAGE_SIZE, BankedTlb, Tlb, TlbStats
+
+__all__ = [
+    "AllocationError",
+    "AllocStats",
+    "BankedTlb",
+    "BaseAllocator",
+    "CacheStats",
+    "CoalescingResult",
+    "CrossbarInterconnect",
+    "DefaultAllocator",
+    "DramModel",
+    "DramStats",
+    "Interconnect",
+    "MemoryCoalescingUnit",
+    "MeshInterconnect",
+    "NocStats",
+    "PAGE_SIZE",
+    "STACK_PHYS_BASE",
+    "SetAssociativeCache",
+    "SimrAwareAllocator",
+    "StackInterleaver",
+    "Tlb",
+    "TlbStats",
+    "WORD",
+    "scalar_accesses",
+]

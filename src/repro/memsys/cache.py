@@ -1,0 +1,92 @@
+"""Set-associative LRU caches with optional banking.
+
+Used for the CPU's single-bank 64KB L1 and the RPU's 8-bank 256KB L1
+(paper Table IV), as well as L2/L3.  The model tracks hits, misses,
+evictions and writebacks; bank-conflict serialization for a batch of
+simultaneous accesses is exposed via :meth:`bank_conflicts`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def mpki(self, kilo_instructions: float) -> float:
+        return self.misses / kilo_instructions if kilo_instructions else 0.0
+
+
+class SetAssociativeCache:
+    """Write-back, write-allocate, LRU set-associative cache."""
+
+    def __init__(self, name: str, size_bytes: int, assoc: int,
+                 line_size: int = 32, n_banks: int = 1):
+        if size_bytes % (assoc * line_size):
+            raise ValueError(f"{name}: size not divisible by assoc*line")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_size = line_size
+        self.n_banks = n_banks
+        self.n_sets = size_bytes // (assoc * line_size)
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def _set_index(self, line: int) -> int:
+        return line % self.n_sets
+
+    def bank_of(self, addr: int) -> int:
+        return (addr // self.line_size) % self.n_banks
+
+    def access(self, addr: int, write: bool = False) -> bool:
+        """Access one address; returns True on hit."""
+        line = addr // self.line_size
+        s = self._sets[self._set_index(line)]
+        self.stats.accesses += 1
+        if line in s:
+            self.stats.hits += 1
+            s.move_to_end(line)
+            if write:
+                s[line] = True  # dirty
+            return True
+        self.stats.misses += 1
+        if len(s) >= self.assoc:
+            _victim, dirty = s.popitem(last=False)
+            self.stats.evictions += 1
+            if dirty:
+                self.stats.writebacks += 1
+        s[line] = write
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Check residency without updating LRU or stats."""
+        line = addr // self.line_size
+        return line in self._sets[self._set_index(line)]
+
+    def bank_conflicts(self, addrs: Iterable[int]) -> int:
+        """Serialization depth for simultaneous accesses: the maximum
+        number of accesses landing on one bank (>=1 if any access)."""
+        per_bank: Dict[int, int] = {}
+        for a in addrs:
+            b = self.bank_of(a)
+            per_bank[b] = per_bank.get(b, 0) + 1
+        return max(per_bank.values()) if per_bank else 0
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+    def flush(self) -> None:
+        self._sets = [OrderedDict() for _ in range(self.n_sets)]

@@ -1,0 +1,66 @@
+"""On-chip interconnects: CPU mesh vs RPU core-to-memory crossbar.
+
+The RPU drops core-to-core coherence traffic (weak consistency, atomics
+at L3), letting it replace the CPU's mesh with a single-hop crossbar of
+higher bisection bandwidth and lower latency (paper Table II and
+Section III-A).  Both models expose ``traverse(now) -> arrival`` with
+FIFO serialization on aggregate bisection bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class NocStats:
+    traversals: int = 0
+    total_queue_cycles: float = 0.0
+
+    @property
+    def avg_queue_delay(self) -> float:
+        return self.total_queue_cycles / self.traversals if self.traversals else 0.0
+
+
+class Interconnect:
+    """Base: fixed hop latency + bisection-bandwidth serialization."""
+
+    def __init__(self, base_latency: float, bytes_per_cycle: float,
+                 flit_bytes: int = 32):
+        self.base_latency = base_latency
+        self.bytes_per_cycle = bytes_per_cycle
+        self.flit_bytes = flit_bytes
+        self._busy_until = 0.0
+        self.stats = NocStats()
+
+    def traverse(self, now: float) -> float:
+        serial = self.flit_bytes / self.bytes_per_cycle
+        start = max(now, self._busy_until)
+        self._busy_until = start + serial
+        self.stats.traversals += 1
+        self.stats.total_queue_cycles += start - now
+        return start + serial + self.base_latency
+
+    def reset(self) -> None:
+        self._busy_until = 0.0
+        self.stats = NocStats()
+
+
+class MeshInterconnect(Interconnect):
+    """k x k mesh: average hop count ~ 2k/3, a few cycles per hop."""
+
+    def __init__(self, k: int, cycles_per_hop: float = 3.0,
+                 bytes_per_cycle: float = 128.0):
+        self.k = k
+        avg_hops = 2.0 * k / 3.0
+        super().__init__(base_latency=avg_hops * cycles_per_hop,
+                         bytes_per_cycle=bytes_per_cycle)
+
+
+class CrossbarInterconnect(Interconnect):
+    """Single-hop core-to-memory crossbar (RPU / GPU style)."""
+
+    def __init__(self, ports: int, cycles: float = 4.0,
+                 bytes_per_cycle: float = 512.0):
+        self.ports = ports
+        super().__init__(base_latency=cycles, bytes_per_cycle=bytes_per_cycle)

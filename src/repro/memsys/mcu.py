@@ -1,0 +1,92 @@
+"""Memory Coalescing Unit (paper Fig. 8b).
+
+Sits before the load/store queues and merges the per-lane accesses of
+one batch instruction.  To keep hit latency low the RPU only detects
+the two common patterns (same word, consecutive words); anything else
+issues one access per active lane.  Stack accesses are first remapped
+through the driver's stack interleaving (Fig. 13), which turns the
+"all lanes touch the same stack offset" pattern into a small set of
+dense physical lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..engine.memory import HEAP_BASE, HEAP_SIZE
+from ..isa.instructions import Segment
+from .stackmap import StackInterleaver
+
+
+def _is_stack_addr(addr: int) -> bool:
+    return addr >= HEAP_BASE + HEAP_SIZE
+
+
+@dataclass
+class CoalescingResult:
+    """Outcome of coalescing one batch memory instruction."""
+
+    line_addrs: List[int]  # one entry per memory-system access
+    pattern: str  # same_word | consecutive | stack | divergent | scalar
+
+    @property
+    def n_accesses(self) -> int:
+        return len(self.line_addrs)
+
+
+class MemoryCoalescingUnit:
+    """The RPU's low-latency coalescer for one batch memory op."""
+
+    def __init__(self, line_size: int = 32,
+                 interleaver: Optional[StackInterleaver] = None):
+        self.line_size = line_size
+        self.interleaver = interleaver
+
+    def coalesce(
+        self,
+        segment: Optional[Segment],
+        accesses: Sequence[Tuple[int, int, int]],
+    ) -> CoalescingResult:
+        """``accesses`` is ``(tid, vaddr, size)`` per active lane."""
+        ls = self.line_size
+        if not accesses:
+            return CoalescingResult([], "same_word")
+
+        if (
+            segment is Segment.STACK
+            and self.interleaver is not None
+            # the hardware detects stack addresses dynamically; a
+            # stack-tagged op whose pointer actually targets the heap
+            # (e.g. through a spilled pointer) must not be remapped
+            and all(_is_stack_addr(a) for _t, a, _s in accesses)
+        ):
+            lines = self.interleaver.lines_touched(accesses, ls)
+            return CoalescingResult(lines, "stack")
+
+        addrs = [a for _t, a, _s in accesses]
+        size = accesses[0][2]
+
+        if len(set(addrs)) == 1:
+            # broadcast: shared globals, constants, lock words
+            lines = sorted({(addrs[0] + o) // ls * ls
+                            for o in range(0, size, min(size, ls))})
+            return CoalescingResult(lines, "same_word")
+
+        srt = sorted(addrs)
+        if all(b - a == size for a, b in zip(srt, srt[1:])):
+            lines = sorted({a // ls * ls for a in srt}
+                           | {(a + size - 1) // ls * ls for a in srt})
+            return CoalescingResult(lines, "consecutive")
+
+        # divergent: one access per active lane, no merging
+        return CoalescingResult([a // ls * ls for a in addrs], "divergent")
+
+
+def scalar_accesses(
+    accesses: Sequence[Tuple[int, int, int]], line_size: int = 32
+) -> CoalescingResult:
+    """MIMD CPU reference: every lane issues its own access."""
+    return CoalescingResult(
+        [a // line_size * line_size for _t, a, _s in accesses], "scalar"
+    )

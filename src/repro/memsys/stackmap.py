@@ -1,0 +1,67 @@
+"""Stack segment interleaving (paper Fig. 13).
+
+The RPU driver mmaps the stack segments of a batch contiguously in
+virtual space; the hardware detects stack accesses and interleaves the
+segments every 4 bytes in *physical* space, so that the ubiquitous
+"every thread pushes/pops the same stack offset" pattern becomes a
+dense, fully-coalescable physical footprint:
+
+    physical(word w of thread t) = base + (w * batch_size + t) * 4
+
+A 32-thread batch pushing an 8-byte value therefore touches 256
+contiguous physical bytes = 8 cache lines (paper's example), instead of
+32 scattered lines on a MIMD CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..engine.memory import DEFAULT_STACK_SIZE, STACK_TOP
+
+WORD = 4
+
+#: physical window where interleaved stacks live (value is arbitrary;
+#: only line/bank arithmetic matters downstream)
+STACK_PHYS_BASE = 0x2_0000_0000
+
+
+class StackInterleaver:
+    """Virtual stack address -> interleaved physical address."""
+
+    def __init__(self, batch_size: int,
+                 stack_size: int = DEFAULT_STACK_SIZE):
+        self.batch_size = batch_size
+        self.stack_size = stack_size
+
+    def owner_tid(self, vaddr: int) -> int:
+        """Which thread's segment a virtual stack address belongs to.
+
+        Exploits the contiguous mmap layout: ``tid = (STACK_TOP -
+        vaddr - 1) // stack_size``.  This is the TargetTID computation
+        the paper uses to permit (permission-checked) inter-thread
+        stack accesses.
+        """
+        return (STACK_TOP - 1 - vaddr) // self.stack_size
+
+    def physical(self, vaddr: int) -> int:
+        tid = self.owner_tid(vaddr)
+        seg_top = STACK_TOP - tid * self.stack_size
+        offset = seg_top - 1 - vaddr  # bytes from segment top, >= 0
+        word = offset // WORD
+        return STACK_PHYS_BASE + (word * self.batch_size + tid) * WORD
+
+    def physical_words(self, vaddr: int, size: int) -> List[int]:
+        """Physical addresses of every 4-byte word of an access."""
+        n_words = max(1, size // WORD)
+        return [self.physical(vaddr + i * WORD) for i in range(n_words)]
+
+    def lines_touched(self, accesses: Iterable[Tuple[int, int, int]],
+                      line_size: int = 32) -> List[int]:
+        """Unique physical line addresses for a batch of stack accesses
+        given as ``(tid, vaddr, size)`` tuples."""
+        lines = set()
+        for _tid, vaddr, size in accesses:
+            for pa in self.physical_words(vaddr, size):
+                lines.add(pa // line_size * line_size)
+        return sorted(lines)

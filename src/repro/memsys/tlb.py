@@ -1,0 +1,103 @@
+"""TLB models, including the RPU's banked TLB with entry duplication.
+
+In the RPU each L1 data bank has its own TLB bank so translation
+throughput matches cache throughput (paper Section III-A).  Because
+data interleaves across banks at a finer granularity than the page
+size, the *same* page translation may be installed in several banks -
+duplication that costs effective capacity, which the model exposes via
+:meth:`duplication_factor`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List
+
+#: data center services map their heaps with 2MB transparent hugepages
+#: (standard practice for memcached/RocksDB-class services); without
+#: them TLB reach, not cache capacity, would dominate every design
+PAGE_SIZE = 2 * 1024 * 1024
+
+
+@dataclass
+class TlbStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Tlb:
+    """Fully-associative LRU TLB (one bank)."""
+
+    def __init__(self, entries: int):
+        self.entries = entries
+        self._map: OrderedDict = OrderedDict()
+        self.stats = TlbStats()
+
+    def access(self, vaddr: int) -> bool:
+        page = vaddr // PAGE_SIZE
+        self.stats.accesses += 1
+        if page in self._map:
+            self.stats.hits += 1
+            self._map.move_to_end(page)
+            return True
+        self.stats.misses += 1
+        if len(self._map) >= self.entries:
+            self._map.popitem(last=False)
+        self._map[page] = True
+        return False
+
+    def invalidate(self, vaddr: int) -> None:
+        self._map.pop(vaddr // PAGE_SIZE, None)
+
+    def resident_pages(self) -> set:
+        return set(self._map)
+
+
+class BankedTlb:
+    """Per-L1-bank TLB array with duplicated entries (RPU design)."""
+
+    def __init__(self, entries_total: int, n_banks: int,
+                 line_size: int = 32):
+        if entries_total % n_banks:
+            raise ValueError("entries must divide evenly across banks")
+        self.n_banks = n_banks
+        self.line_size = line_size
+        self.banks: List[Tlb] = [
+            Tlb(entries_total // n_banks) for _ in range(n_banks)
+        ]
+
+    def bank_of(self, addr: int) -> int:
+        return (addr // self.line_size) % self.n_banks
+
+    def access(self, vaddr: int) -> bool:
+        return self.banks[self.bank_of(vaddr)].access(vaddr)
+
+    def invalidate(self, vaddr: int) -> None:
+        """Per-entry invalidation must check every bank (duplication)."""
+        for b in self.banks:
+            b.invalidate(vaddr)
+
+    @property
+    def stats(self) -> TlbStats:
+        agg = TlbStats()
+        for b in self.banks:
+            agg.accesses += b.stats.accesses
+            agg.hits += b.stats.hits
+            agg.misses += b.stats.misses
+        return agg
+
+    def duplication_factor(self) -> float:
+        """Average number of banks holding each resident page (>= 1)."""
+        pages: dict = {}
+        for b in self.banks:
+            for p in b.resident_pages():
+                pages[p] = pages.get(p, 0) + 1
+        if not pages:
+            return 1.0
+        return sum(pages.values()) / len(pages)

@@ -1,0 +1,115 @@
+"""Plain-text reporting helpers: ASCII bar charts and series plots.
+
+The experiment CLIs render their figures with these so a terminal run
+of ``python -m repro.experiments.run_all`` shows the *shape* of each
+reproduced figure, not just a table of numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+BAR = "#"
+
+
+def bar_chart(items: Sequence[Tuple[str, float]], width: int = 48,
+              title: str = "", fmt: str = "{:.2f}",
+              reference: Optional[float] = None) -> str:
+    """Horizontal ASCII bar chart.
+
+    ``reference`` draws a ``|`` marker at that value (e.g. the paper's
+    number) on every row.
+    """
+    if not items:
+        return title
+    label_w = max(len(label) for label, _v in items)
+    peak = max(max(v for _l, v in items),
+               reference if reference is not None else 0.0)
+    if peak <= 0:
+        peak = 1.0
+    lines = [title] if title else []
+    for label, value in items:
+        n = int(round(width * value / peak))
+        bar = BAR * n
+        if reference is not None:
+            ref_pos = int(round(width * reference / peak))
+            bar = bar.ljust(max(n, ref_pos + 1))
+            if 0 <= ref_pos < len(bar):
+                bar = bar[:ref_pos] + "|" + bar[ref_pos + 1:]
+        lines.append(
+            f"{label:>{label_w}s} {bar.rstrip():{width}s} "
+            + fmt.format(value)
+        )
+    if reference is not None:
+        lines.append(f"{'':{label_w}s} ('|' marks {fmt.format(reference)})")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(rows: Sequence[Tuple[str, Dict[str, float]]],
+                      series: Sequence[str], width: int = 40,
+                      title: str = "") -> str:
+    """One bar per (row, series) pair, grouped by row."""
+    lines = [title] if title else []
+    peak = max((v for _l, values in rows for v in values.values()),
+               default=1.0) or 1.0
+    label_w = max((len(f"{label}/{s}") for label, _v in rows
+                   for s in series), default=8)
+    for label, values in rows:
+        for s in series:
+            v = values.get(s)
+            if v is None:
+                continue
+            n = int(round(width * v / peak))
+            lines.append(f"{label + '/' + s:>{label_w}s} "
+                         f"{BAR * n:{width}s} {v:.2f}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def series_plot(points: Sequence[Tuple[float, Dict[str, float]]],
+                series: Sequence[str], height: int = 12,
+                width: int = 60, title: str = "",
+                logy: bool = False) -> str:
+    """Scatter multiple y-series against a shared x axis (for Fig. 22).
+
+    Each series gets a distinct marker; y may be log-scaled for
+    latency curves that span orders of magnitude.
+    """
+    import math
+
+    markers = "ox+*@%"
+    xs = [x for x, _v in points]
+    ys = [v for _x, values in points for v in values.values()
+          if v is not None and v > 0]
+    if not xs or not ys:
+        return title
+
+    def ty(v: float) -> float:
+        return math.log10(v) if logy else v
+
+    ymin, ymax = min(ty(v) for v in ys), max(ty(v) for v in ys)
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    xmin, xmax = min(xs), max(xs)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, values in points:
+        col = int((x - xmin) / (xmax - xmin) * (width - 1))
+        for si, s in enumerate(series):
+            v = values.get(s)
+            if v is None or v <= 0:
+                continue
+            row = int((ty(v) - ymin) / (ymax - ymin) * (height - 1))
+            grid[height - 1 - row][col] = markers[si % len(markers)]
+
+    lines = [title] if title else []
+    scale = "log10(y)" if logy else "y"
+    lines.append(f"{scale} in [{ymin:.2f}, {ymax:.2f}] over "
+                 f"x in [{xmin:g}, {xmax:g}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append("legend: " + ", ".join(
+        f"{markers[i % len(markers)]}={s}" for i, s in enumerate(series)))
+    return "\n".join(lines)

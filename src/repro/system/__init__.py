@@ -1,0 +1,35 @@
+"""System-level microservice-interaction simulation (uqsim role)."""
+
+from .graph import (
+    GraphConfig,
+    GraphNode,
+    GraphSimulation,
+    run_graph,
+    social_network_graph,
+)
+from .queueing import (
+    EndToEndConfig,
+    EndToEndResult,
+    Job,
+    Simulator,
+    Station,
+    max_throughput_kqps,
+    run_end_to_end,
+    saturation_sweep,
+)
+
+__all__ = [
+    "EndToEndConfig",
+    "GraphConfig",
+    "GraphNode",
+    "GraphSimulation",
+    "run_graph",
+    "social_network_graph",
+    "EndToEndResult",
+    "Job",
+    "Simulator",
+    "Station",
+    "max_throughput_kqps",
+    "run_end_to_end",
+    "saturation_sweep",
+]

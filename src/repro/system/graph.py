@@ -1,0 +1,182 @@
+"""Generic microservice-graph simulation (the full Fig. 3 topology).
+
+``queueing.run_end_to_end`` hard-codes the paper's Fig. 22 User path;
+this module generalizes to arbitrary service graphs so the whole
+social-network application of Fig. 3 can be driven end to end:
+
+    web -> {user | post | search}
+    post   -> uniqueid + text + urlshort   (parallel fan-out, join)
+    search -> 8 leaf shards                (parallel fan-out, join)
+    user   -> mcrouter -> memcached (-> storage on miss)
+
+Each node is a batched/batchable Station; edges either *route* (pick
+one child by probability) or *fan out* (visit all children in parallel
+and join on the slowest).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .queueing import EndToEndResult, Job, Simulator, Station, _percentile
+
+
+@dataclass
+class GraphNode:
+    """One service tier."""
+
+    name: str
+    service_us: float
+    servers: int = 1
+    #: route: pick one child by weight; fanout: visit all and join
+    route: List[Tuple[str, float]] = field(default_factory=list)
+    fanout: List[str] = field(default_factory=list)
+    #: optional per-visit side branch probability (e.g. storage miss)
+    miss_to: Optional[str] = None
+    miss_rate: float = 0.0
+
+
+@dataclass
+class GraphConfig:
+    nodes: Dict[str, GraphNode]
+    entry: str
+    network_us: float = 60.0
+    rpu: bool = False
+    rpu_throughput_gain: float = 5.0
+    rpu_latency_factor: float = 1.2
+    batch_size: int = 32
+    batch_timeout_us: float = 50.0
+
+
+def social_network_graph(rpu: bool = False) -> GraphConfig:
+    """The Fig. 3 application with the paper's Fig. 22 latency scales."""
+    nodes = {
+        "web": GraphNode("web", 10.0, servers=2,
+                         route=[("user", 0.3), ("post", 0.4),
+                                ("search", 0.3)]),
+        "user": GraphNode("user", 100.0, route=[("mcrouter", 1.0)]),
+        "mcrouter": GraphNode("mcrouter", 20.0,
+                              route=[("memcached", 1.0)]),
+        "memcached": GraphNode("memcached", 25.0, miss_to="storage",
+                               miss_rate=0.1),
+        "storage": GraphNode("storage", 1000.0, servers=10_000),
+        "post": GraphNode("post", 60.0,
+                          fanout=["uniqueid", "text", "urlshort"]),
+        "uniqueid": GraphNode("uniqueid", 15.0),
+        "text": GraphNode("text", 40.0),
+        "urlshort": GraphNode("urlshort", 20.0),
+        "search": GraphNode("search", 50.0,
+                            fanout=[f"shard{i}" for i in range(8)]),
+        **{f"shard{i}": GraphNode(f"shard{i}", 80.0) for i in range(8)},
+    }
+    return GraphConfig(nodes=nodes, entry="web", rpu=rpu)
+
+
+class GraphSimulation:
+    """Drives jobs through a GraphConfig at an offered load."""
+
+    def __init__(self, cfg: GraphConfig, seed: int = 1):
+        self.cfg = cfg
+        self.rng = random.Random(seed)
+        self.sim = Simulator()
+        self.stations: Dict[str, Station] = {}
+        for name, node in cfg.nodes.items():
+            if cfg.rpu and node.servers < 1000:
+                self.stations[name] = Station(
+                    self.sim, name,
+                    node.service_us * cfg.rpu_latency_factor,
+                    node.servers,
+                    occupancy_us=node.service_us / cfg.rpu_throughput_gain,
+                    batch_size=cfg.batch_size,
+                    batch_timeout_us=cfg.batch_timeout_us,
+                )
+            else:
+                self.stations[name] = Station(
+                    self.sim, name, node.service_us, node.servers,
+                    infinite=node.servers >= 1000,
+                )
+        self.finished: List[Job] = []
+        #: per-(station, job) continuations: a Station fires one
+        #: callback per dispatched *batch*, so each job's onward path
+        #: is looked up here rather than captured per-arrival
+        self._conts: Dict[Tuple[str, int], Callable[[float], None]] = {}
+
+    # ------------------------------------------------------------------
+    def _visit(self, now: float, node_name: str, job: Job,
+               done: Callable[[float], None]) -> None:
+        node = self.cfg.nodes[node_name]
+        station = self.stations[node_name]
+        self._conts[(node_name, job.jid)] = done
+
+        def after(t: float, jobs: List[Job]) -> None:
+            for j in jobs:
+                cont = self._conts.pop((node.name, j.jid))
+                self._after_service(t, node, j, cont)
+
+        station.arrive(now, job, after)
+
+    def _after_service(self, now: float, node: GraphNode, job: Job,
+                       done: Callable[[float], None]) -> None:
+        def continue_downstream(t: float) -> None:
+            if node.route:
+                x = self.rng.random() * sum(w for _c, w in node.route)
+                acc = 0.0
+                for child, w in node.route:
+                    acc += w
+                    if x < acc:
+                        self._visit(t + self.cfg.network_us, child, job,
+                                    done)
+                        return
+                self._visit(t + self.cfg.network_us,
+                            node.route[-1][0], job, done)
+            elif node.fanout:
+                remaining = {"n": len(node.fanout)}
+
+                def join(tt: float) -> None:
+                    remaining["n"] -= 1
+                    if remaining["n"] == 0:
+                        done(tt)
+
+                for child in node.fanout:
+                    self._visit(t + self.cfg.network_us, child, job, join)
+            else:
+                done(t)
+
+        if node.miss_to and self.rng.random() < node.miss_rate:
+            self._visit(now + self.cfg.network_us, node.miss_to, job,
+                        continue_downstream)
+        else:
+            continue_downstream(now)
+
+    # ------------------------------------------------------------------
+    def run(self, qps: float, n_requests: int = 2000) -> EndToEndResult:
+        inter_us = 1e6 / qps
+        t = 0.0
+        for i in range(n_requests):
+            t += self.rng.expovariate(1.0) * inter_us
+            job = Job(jid=i, arrival_us=t)
+
+            def finish(tt: float, j: Job = job) -> None:
+                j.done_us = tt + self.cfg.network_us
+                self.finished.append(j)
+
+            self.sim.schedule(
+                t, lambda now, j=job, f=finish:
+                self._visit(now, self.cfg.entry, j, f))
+        self.sim.run()
+        lats = [j.latency_us for j in self.finished]
+        return EndToEndResult(
+            offered_qps=qps,
+            completed=len(self.finished),
+            avg_latency_us=sum(lats) / len(lats) if lats else 0.0,
+            p50_us=_percentile(lats, 0.50),
+            p99_us=_percentile(lats, 0.99),
+        )
+
+
+def run_graph(cfg: GraphConfig, qps: float, n_requests: int = 2000,
+              seed: int = 1) -> EndToEndResult:
+    """Convenience wrapper: simulate ``cfg`` at ``qps`` offered load."""
+    return GraphSimulation(cfg, seed=seed).run(qps, n_requests)

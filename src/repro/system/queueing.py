@@ -1,0 +1,281 @@
+"""Discrete-event queueing simulator for microservice graphs (uqsim role).
+
+Models the paper's end-to-end User scenario (Fig. 3 / Fig. 22):
+
+    client -> WebServer -> User -> McRouter -> Memcached
+                                                  \\-> Storage (miss)
+
+Each tier is a multi-server station with deterministic service times.
+Stations may *batch*: requests wait for ``batch_size`` arrivals or a
+``batch_timeout_us``, then are served together.  A server is occupied
+for ``occupancy_us`` per dispatch (the pipelined initiation interval,
+which sets throughput) while the batch's *latency* is ``latency_us`` -
+this decouples an RPU tier's 5x throughput from its 1.2x service
+latency, as in the paper's uqsim configuration.
+
+At the memcached tier, misses continue to millisecond-scale storage.
+Without *batch splitting* the hit requests of a batch wait at the
+reconvergence point until their batch's misses return from storage
+(Fig. 17a); with splitting (Section III-B5) hits complete immediately.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+class Simulator:
+    """Minimal deterministic event loop."""
+
+    def __init__(self):
+        self._events: List[Tuple[float, int, Callable]] = []
+        self._tie = itertools.count()
+        self.now = 0.0
+
+    def schedule(self, when: float, fn: Callable[[float], None]) -> None:
+        heapq.heappush(self._events, (when, next(self._tie), fn))
+
+    def run(self) -> None:
+        while self._events:
+            when, _t, fn = heapq.heappop(self._events)
+            self.now = when
+            fn(when)
+
+
+@dataclass
+class Job:
+    jid: int
+    arrival_us: float
+    blocks: bool = False  # misses memcached -> storage path
+    done_us: float = 0.0
+
+    @property
+    def latency_us(self) -> float:
+        return self.done_us - self.arrival_us
+
+
+class Station:
+    """Multi-server station with optional request batching."""
+
+    def __init__(self, sim: Simulator, name: str, latency_us: float,
+                 servers: int, occupancy_us: Optional[float] = None,
+                 batch_size: int = 1, batch_timeout_us: float = 50.0,
+                 infinite: bool = False):
+        self.sim = sim
+        self.name = name
+        self.latency_us = latency_us
+        #: server occupancy per *request* in a dispatch (pipelined
+        #: initiation interval); a partially-filled batch only occupies
+        #: the server for its actual fill
+        self.occupancy_us = occupancy_us if occupancy_us is not None else latency_us
+        self.servers = servers
+        self.batch_size = batch_size
+        self.batch_timeout_us = batch_timeout_us
+        self.infinite = infinite
+        self._free_at = [0.0] * (0 if infinite else servers)
+        self._pending: List[Tuple[Job, Callable]] = []
+        self._timeout_at: Optional[float] = None
+        self.dispatched_batches = 0
+        self.dispatched_jobs = 0
+
+    def arrive(self, now: float, job: Job,
+               done: Callable[[float, List[Job]], None]) -> None:
+        """``done(t, jobs)`` fires once for the whole dispatched batch."""
+        self._pending.append((job, done))
+        if len(self._pending) >= self.batch_size:
+            self._dispatch(now)
+        self._arm_timeout(now)
+
+    def _arm_timeout(self, now: float) -> None:
+        """A partial batch must always have a pending flush, or its
+        requests would be stranded when no further arrivals come."""
+        if (self._pending and self.batch_size > 1
+                and self._timeout_at is None):
+            deadline = now + self.batch_timeout_us
+            self._timeout_at = deadline
+            self.sim.schedule(deadline, self._flush)
+
+    def _flush(self, now: float) -> None:
+        self._timeout_at = None
+        if self._pending:
+            self._dispatch(now)
+        self._arm_timeout(now)
+
+    def _dispatch(self, now: float) -> None:
+        while self._pending:
+            group = self._pending[:self.batch_size]
+            if len(group) < self.batch_size and self._timeout_at is not None:
+                break  # wait for more arrivals or the timeout
+            del self._pending[:len(group)]
+            if self.infinite:
+                start = now
+            else:
+                server = min(range(self.servers),
+                             key=self._free_at.__getitem__)
+                start = max(now, self._free_at[server])
+                self._free_at[server] = start + self.occupancy_us * len(group)
+            finish = start + self.latency_us
+            self.dispatched_batches += 1
+            self.dispatched_jobs += len(group)
+            jobs = [j for j, _d in group]
+            done = group[0][1]
+            self.sim.schedule(finish, lambda t, d=done, js=jobs: d(t, js))
+            if len(group) < self.batch_size:
+                break
+
+    @property
+    def utilization_horizon(self) -> float:
+        return max(self._free_at) if self._free_at else 0.0
+
+
+@dataclass
+class EndToEndConfig:
+    """Fig. 22 scenario parameters (paper Section V-B)."""
+
+    web_us: float = 10.0
+    user_us: float = 100.0
+    mcrouter_us: float = 20.0
+    memcached_us: float = 25.0
+    storage_us: float = 1000.0
+    network_us: float = 60.0
+    memcached_hit_rate: float = 0.9
+    #: effective service instances per tier across the 3 machines;
+    #: calibrated so the CPU system saturates around 15 kQPS as in
+    #: Fig. 22 (the paper does not publish uqsim's exact multiplicity)
+    cpu_tier_servers: int = 2
+    rpu: bool = False
+    #: from the chip-level experiments (paper: 5x throughput, 1.2x
+    #: latency at the same power budget)
+    rpu_throughput_gain: float = 5.0
+    rpu_latency_factor: float = 1.2
+    batch_size: int = 32
+    batch_timeout_us: float = 50.0
+    batch_split: bool = False
+
+
+@dataclass
+class EndToEndResult:
+    offered_qps: float
+    completed: int
+    avg_latency_us: float
+    p50_us: float
+    p99_us: float
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (f"{self.offered_qps/1000:6.1f} kQPS  avg {self.avg_latency_us:8.1f} us  "
+                f"p99 {self.p99_us:8.1f} us")
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    if not values:
+        return 0.0
+    s = sorted(values)
+    return s[min(len(s) - 1, int(q * len(s)))]
+
+
+def run_end_to_end(cfg: EndToEndConfig, qps: float, n_requests: int = 4000,
+                   seed: int = 1) -> EndToEndResult:
+    """Simulate the User scenario at offered load ``qps``."""
+    rng = random.Random(seed)
+    sim = Simulator()
+
+    if cfg.rpu:
+        lat = cfg.rpu_latency_factor
+        batch = cfg.batch_size
+        gain = cfg.rpu_throughput_gain
+
+        def tier(name: str, t_us: float) -> Station:
+            # per-request pipelined occupancy = 1/gain of the CPU's
+            return Station(sim, name, t_us * lat, cfg.cpu_tier_servers,
+                           occupancy_us=t_us / gain, batch_size=batch,
+                           batch_timeout_us=cfg.batch_timeout_us)
+    else:
+        def tier(name: str, t_us: float) -> Station:
+            return Station(sim, name, t_us, cfg.cpu_tier_servers)
+
+    user_st = tier("user", cfg.user_us)
+    mcrouter_st = tier("mcrouter", cfg.mcrouter_us)
+    memcached_st = tier("memcached", cfg.memcached_us)
+    storage_st = Station(sim, "storage", cfg.storage_us, servers=0,
+                         infinite=True)
+
+    finished: List[Job] = []
+
+    def finish(now: float, jobs: List[Job]) -> None:
+        for j in jobs:
+            j.done_us = now + cfg.network_us
+            finished.append(j)
+
+    def after_memcached(now: float, jobs: List[Job]) -> None:
+        hits = [j for j in jobs if not j.blocks]
+        misses = [j for j in jobs if j.blocks]
+        if not misses:
+            finish(now, hits)
+            return
+        if cfg.batch_split or not cfg.rpu:
+            # fast sub-batch continues past the reconvergence point
+            finish(now, hits)
+            for j in misses:
+                storage_st.arrive(now, j, finish)
+            return
+        # lockstep without splitting: hits wait for the batch's misses
+        remaining = {"n": len(misses)}
+
+        def on_storage(t: float, jobs_done: List[Job]) -> None:
+            finish(t, jobs_done)
+            remaining["n"] -= len(jobs_done)
+            if remaining["n"] == 0:
+                finish(t, hits)
+
+        for j in misses:
+            storage_st.arrive(now, j, on_storage)
+
+    def after_mcrouter(now: float, jobs: List[Job]) -> None:
+        for j in jobs:
+            memcached_st.arrive(now, j, after_memcached)
+
+    def after_user(now: float, jobs: List[Job]) -> None:
+        for j in jobs:
+            mcrouter_st.arrive(now, j, after_mcrouter)
+
+    def inject(now: float, job: Job) -> None:
+        user_st.arrive(now + cfg.web_us + cfg.network_us, job, after_user)
+
+    t = 0.0
+    inter_us = 1e6 / qps
+    for i in range(n_requests):
+        t += rng.expovariate(1.0) * inter_us
+        job = Job(jid=i, arrival_us=t,
+                  blocks=rng.random() >= cfg.memcached_hit_rate)
+        sim.schedule(t, lambda now, j=job: inject(now, j))
+
+    sim.run()
+
+    lats = [j.latency_us for j in finished]
+    return EndToEndResult(
+        offered_qps=qps,
+        completed=len(finished),
+        avg_latency_us=sum(lats) / len(lats) if lats else 0.0,
+        p50_us=_percentile(lats, 0.50),
+        p99_us=_percentile(lats, 0.99),
+    )
+
+
+def saturation_sweep(cfg: EndToEndConfig, qps_points: Sequence[float],
+                     n_requests: int = 3000) -> List[EndToEndResult]:
+    """Latency-vs-load curve (one Fig. 22 series)."""
+    return [run_end_to_end(cfg, q, n_requests) for q in qps_points]
+
+
+def max_throughput_kqps(results: Sequence[EndToEndResult],
+                        qos_limit_us: float = 2500.0) -> float:
+    """Highest offered load whose p99 meets the QoS limit."""
+    best = 0.0
+    for r in results:
+        if r.completed > 0 and r.p99_us <= qos_limit_us:
+            best = max(best, r.offered_qps)
+    return best / 1000.0

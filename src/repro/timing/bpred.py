@@ -1,0 +1,102 @@
+"""Branch prediction: gshare per hardware context, with the RPU's
+per-batch majority voting (paper Section III-A, item 3).
+
+On the RPU only one prediction is made for the whole batch.  The
+history is updated with the *majority* outcome so the predictor tracks
+the common control flow; divergent-minority threads always appear
+mispredicted (their work is flushed at commit - an energy event), but
+the performance penalty only applies when the majority itself was
+mispredicted, matching the paper's observation that majority voting
+mostly helps energy, not latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass
+class BpredStats:
+    lookups: int = 0
+    mispredicts: int = 0  # majority (performance) mispredictions
+    minority_flushes: int = 0  # divergent threads flushed at commit
+
+    @property
+    def accuracy(self) -> float:
+        if not self.lookups:
+            return 1.0
+        return 1.0 - self.mispredicts / self.lookups
+
+
+class GsharePredictor:
+    """Classic gshare: 2-bit counters indexed by pc ^ global history."""
+
+    def __init__(self, bits: int = 12):
+        self.mask = (1 << bits) - 1
+        self.table: List[int] = [2] * (1 << bits)  # weakly taken
+        self.history = 0
+        self.stats = BpredStats()
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self.history) & self.mask
+
+    def predict(self, pc: int) -> bool:
+        self.stats.lookups += 1
+        return self.table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        i = self._index(pc)
+        c = self.table[i]
+        self.table[i] = min(3, c + 1) if taken else max(0, c - 1)
+        self.history = ((self.history << 1) | int(taken)) & self.mask
+
+    def observe(self, pc: int,
+                outcomes: Sequence[Tuple[int, bool]]) -> bool:
+        """Single-thread flavor: one outcome; returns mispredicted?"""
+        taken = outcomes[0][1]
+        predicted = self.predict(pc)
+        mispredicted = predicted != taken
+        if mispredicted:
+            self.stats.mispredicts += 1
+        self.update(pc, taken)
+        return mispredicted
+
+
+class MajorityVotePredictor(GsharePredictor):
+    """Batch-granularity prediction with majority-vote history update."""
+
+    def observe(self, pc: int,
+                outcomes: Sequence[Tuple[int, bool]]) -> bool:
+        taken_votes = sum(1 for _tid, t in outcomes if t)
+        majority = taken_votes * 2 >= len(outcomes)
+        predicted = self.predict(pc)
+        mispredicted = predicted != majority
+        if mispredicted:
+            self.stats.mispredicts += 1
+        # divergent minority threads are flushed at commit regardless
+        minority = min(taken_votes, len(outcomes) - taken_votes)
+        self.stats.minority_flushes += minority
+        self.update(pc, majority)
+        return mispredicted
+
+
+class PerThreadVotePredictor(GsharePredictor):
+    """Ablation: batch prediction keyed off thread 0 (no majority vote).
+
+    The history can be polluted by a minority path, degrading accuracy
+    for the common flow - the effect the majority-voting circuit avoids.
+    """
+
+    def observe(self, pc: int,
+                outcomes: Sequence[Tuple[int, bool]]) -> bool:
+        lead = outcomes[0][1]
+        predicted = self.predict(pc)
+        mispredicted = predicted != lead
+        if mispredicted:
+            self.stats.mispredicts += 1
+        taken_votes = sum(1 for _tid, t in outcomes if t)
+        self.stats.minority_flushes += min(taken_votes,
+                                           len(outcomes) - taken_votes)
+        self.update(pc, lead)
+        return mispredicted

@@ -1,0 +1,190 @@
+"""Chip-level orchestration: run a request population on each design.
+
+The chip is homogeneous, so we simulate one representative core with a
+per-core slice of chip DRAM bandwidth and L3 capacity, and scale
+throughput by the core count - the same methodology as the paper's
+single-node Accel-Sim runs.
+
+* CPU      - requests run back-to-back on one single-threaded core.
+* CPU-SMT8 - groups of 8 requests share the core's frontend and L1.
+* RPU      - batches (from the SIMR-aware server) run in lockstep.
+* GPU      - 16 warps (batches) are resident and interleave in-order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..batching.policies import form_batches
+from ..memsys.alloc import DefaultAllocator, SimrAwareAllocator
+from ..workloads.base import Microservice, Request
+from .config import CoreConfig
+from .core import CoreModel, CoreRunResult
+from .memhier import Counters
+from .streams import batch_trace, solo_traces
+
+
+@dataclass
+class ChipResult:
+    config_name: str
+    service: str
+    n_requests: int
+    core_cycles: float
+    latencies_cycles: List[float] = field(default_factory=list)
+    counters: Counters = field(default_factory=Counters)
+    simt_efficiency: float = 1.0
+    scalar_instructions: int = 0
+    freq_ghz: float = 2.5
+    n_cores: int = 1
+    batch_size: int = 1
+
+    @property
+    def avg_latency_cycles(self) -> float:
+        if not self.latencies_cycles:
+            return 0.0
+        return sum(self.latencies_cycles) / len(self.latencies_cycles)
+
+    @property
+    def avg_latency_us(self) -> float:
+        return self.avg_latency_cycles / (self.freq_ghz * 1e3)
+
+    @property
+    def core_time_s(self) -> float:
+        return self.core_cycles / (self.freq_ghz * 1e9)
+
+    @property
+    def chip_throughput_rps(self) -> float:
+        """Requests/second with every core running this workload."""
+        if self.core_time_s == 0:
+            return 0.0
+        return self.n_requests / self.core_time_s * self.n_cores
+
+    @property
+    def ipc(self) -> float:
+        return (self.scalar_instructions / self.core_cycles
+                if self.core_cycles else 0.0)
+
+
+def _allocator_for(config: CoreConfig):
+    if config.mcu_enabled:  # SIMR systems ship the SIMR-aware allocator
+        return SimrAwareAllocator(n_banks=max(config.l1_banks, 1))
+    return DefaultAllocator(n_banks=max(config.l1_banks, 1))
+
+
+def run_chip(
+    service: Microservice,
+    requests: Sequence[Request],
+    config: CoreConfig,
+    policy: str = "minsp_pc",
+    batching: str = "per_api_size",
+    batch_size: Optional[int] = None,
+    reconv_override: Optional[Dict[int, int]] = None,
+    allocator_factory=None,
+    warmup_frac: float = 0.2,
+) -> ChipResult:
+    """Simulate ``requests`` on one core of ``config``; scale to chip.
+
+    The first ``warmup_frac`` of the requests warm caches, TLBs and
+    branch predictors (the steady state a data center node lives in)
+    and are excluded from latency/energy statistics.
+    """
+    make_alloc = allocator_factory or (lambda: _allocator_for(config))
+    core = CoreModel(config)
+    out = ChipResult(
+        config_name=config.name,
+        service=service.name,
+        n_requests=len(requests),
+        core_cycles=0.0,
+        freq_ghz=config.freq_ghz,
+        n_cores=config.n_cores,
+    )
+
+    if config.batch_size <= 1 and config.hw_contexts == 1:
+        _run_mimd_sequential(core, service, requests, make_alloc, out,
+                             warmup_frac)
+    elif config.batch_size <= 1:
+        _run_smt(core, config, service, requests, make_alloc, out,
+                 warmup_frac)
+    else:
+        _run_simt(core, config, service, requests, make_alloc, out,
+                  policy, batching, batch_size, reconv_override,
+                  warmup_frac)
+
+    out.counters = core.all_counters()
+    out.scalar_instructions = int(out.counters["scalar_instructions"])
+    return out
+
+
+def _end_warmup(core, out, measured_requests):
+    core.reset_measurement()
+    out.latencies_cycles = []
+    out.n_requests = measured_requests
+    return core.now
+
+
+def _run_mimd_sequential(core, service, requests, make_alloc, out,
+                         warmup_frac):
+    traces = solo_traces(service, requests, allocator=make_alloc(),
+                         pool_size=core.cfg.worker_pool)
+    n_warm = int(len(traces) * warmup_frac)
+    t0 = core.now
+    for i, trace in enumerate(traces):
+        if i == n_warm:
+            t0 = _end_warmup(core, out, len(traces) - n_warm)
+        res = core.run([trace])
+        out.latencies_cycles.append(res.cycles)
+    out.core_cycles = core.now - t0
+    out.batch_size = 1
+
+
+def _run_smt(core, config, service, requests, make_alloc, out,
+             warmup_frac):
+    smt = config.hw_contexts
+    traces = solo_traces(service, requests, allocator=make_alloc(),
+                         pool_size=core.cfg.worker_pool)
+    groups = [traces[i:i + smt] for i in range(0, len(traces), smt)]
+    n_warm = int(len(groups) * warmup_frac)
+    warm_traces = sum(len(g) for g in groups[:n_warm])
+    t0 = core.now
+    for i, group in enumerate(groups):
+        if i == n_warm:
+            t0 = _end_warmup(core, out, len(traces) - warm_traces)
+        res = core.run(group)
+        out.latencies_cycles.extend(s.cycles for s in res.streams)
+    out.core_cycles = core.now - t0
+    out.batch_size = 1
+
+
+def _run_simt(core, config, service, requests, make_alloc, out,
+              policy, batching, batch_size, reconv_override,
+              warmup_frac):
+    bs = batch_size or min(service.recommended_batch, config.batch_size)
+    out.batch_size = bs
+    batches = form_batches(requests, bs, batching)
+    traced = []
+    effs: List[float] = []
+    for batch in batches:
+        events, result = batch_trace(
+            service, batch, policy=policy, allocator=make_alloc(),
+            reconv_override=reconv_override,
+        )
+        traced.append((events, len(batch)))
+        effs.append(result.simt_efficiency)
+    out.simt_efficiency = sum(effs) / len(effs) if effs else 1.0
+
+    warps = config.hw_contexts  # 1 for RPU, 16 for GPU
+    rounds = [traced[i:i + warps] for i in range(0, len(traced), warps)]
+    n_warm = int(len(rounds) * warmup_frac)
+    if n_warm == 0 and len(rounds) > 1 and warmup_frac > 0:
+        n_warm = 1
+    warm_requests = sum(n for grp in rounds[:n_warm] for _e, n in grp)
+    t0 = core.now
+    for i, group in enumerate(rounds):
+        if i == n_warm:
+            t0 = _end_warmup(core, out, len(requests) - warm_requests)
+        res = core.run([ev for ev, _n in group], batched=True)
+        for (_, n_req), stream in zip(group, res.streams):
+            # every request in a batch completes when its batch does
+            out.latencies_cycles.extend([stream.cycles] * n_req)
+    out.core_cycles = core.now - t0

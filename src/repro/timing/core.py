@@ -1,0 +1,266 @@
+"""Approximate OoO/in-order scoreboard core model.
+
+One :class:`CoreModel` simulates one core processing one or more
+*streams* of trace events (a stream = one hardware context: a CPU
+thread, one SMT thread, one RPU batch, or one GPU warp).  The model is
+an interval-style approximation of Accel-Sim's extended pipeline:
+
+* the frontend issues ``issue_width`` micro-ops per cycle, shared by
+  all contexts (SMT partitioning falls out of round-robin fetch);
+* out-of-order contexts start an op when its operands are ready,
+  bounded by a per-context ROB window; in-order contexts additionally
+  respect program order (GPU);
+* a batch op with ``a`` active lanes on ``m`` SIMT lanes occupies
+  ``ceil(a/m)`` issue slots (sub-batch interleaving, Fig. 8a);
+* branch mispredictions bubble that context's fetch; syscalls
+  serialize it; loads go through the full memory hierarchy model.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..isa.instructions import NUM_REGS, Instruction, OpClass
+from .bpred import (
+    GsharePredictor,
+    MajorityVotePredictor,
+    PerThreadVotePredictor,
+)
+from .config import CoreConfig
+from .memhier import Counters, MemoryHierarchy
+
+#: trace event: (pc, inst, active, addrs, outcomes)
+Event = Tuple[int, Instruction, int, Sequence, Optional[Sequence]]
+
+
+@dataclass
+class StreamResult:
+    start: float
+    finish: float
+    events: int
+
+    @property
+    def cycles(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class CoreRunResult:
+    start: float
+    finish: float
+    streams: List[StreamResult]
+
+    @property
+    def cycles(self) -> float:
+        return self.finish - self.start
+
+
+class _Context:
+    __slots__ = ("reg_ready", "fetch_time", "last_start", "rob",
+                 "finish", "start", "events", "icache_credit")
+
+    def __init__(self, now: float):
+        self.reg_ready = [now] * NUM_REGS
+        self.fetch_time = now
+        self.last_start = now
+        self.rob: deque = deque()
+        self.finish = now
+        self.start = now
+        self.events = 0
+        self.icache_credit = 0.0
+
+
+class CoreModel:
+    """A reusable core: caches and predictors persist across runs."""
+
+    def __init__(self, config: CoreConfig,
+                 mem: Optional[MemoryHierarchy] = None):
+        self.cfg = config
+        self.mem = mem if mem is not None else MemoryHierarchy(config)
+        self.counters = Counters()
+        self.now = 0.0
+        self._preds: Dict[int, GsharePredictor] = {}
+
+    def _predictor(self, ctx_id: int) -> GsharePredictor:
+        if ctx_id not in self._preds:
+            if self.cfg.majority_vote_bp:
+                self._preds[ctx_id] = MajorityVotePredictor()
+            elif self.cfg.batch_size > 1:
+                self._preds[ctx_id] = PerThreadVotePredictor()
+            else:
+                self._preds[ctx_id] = GsharePredictor()
+        return self._preds[ctx_id]
+
+    # ------------------------------------------------------------------
+    def run(self, streams: Sequence[Sequence[Event]],
+            batched: bool = False) -> CoreRunResult:
+        """Process event streams round-robin; returns timing summary.
+
+        ``batched`` marks RPU/GPU-style streams whose events carry a
+        whole batch per step (enables the MCU and lane accounting).
+        """
+        cfg = self.cfg
+        cnt = self.counters
+        mem = self.mem
+        start = self.now
+        issue_time = start
+        issue_step = 1.0 / cfg.issue_width
+        icache_rate = cfg.icache_mpki / 1000.0
+        icache_penalty = float(cfg.icache_penalty)
+        lanes = cfg.lanes
+        in_order = cfg.in_order
+        rob_limit = cfg.rob_entries
+
+        contexts = [_Context(start) for _ in streams]
+        cursors = [iter(s) for s in streams]
+        pending: List[Optional[Event]] = [next(c, None) for c in cursors]
+        alive = sum(1 for p in pending if p is not None)
+        preds = [self._predictor(i) for i in range(len(streams))]
+
+        while alive:
+            for i, ev in enumerate(pending):
+                if ev is None:
+                    continue
+                pc, inst, active, addrs, outcomes = ev
+                ctx = contexts[i]
+                cls = inst.cls
+
+                slots = max(1, math.ceil(active / lanes)) if batched else 1
+                # instruction-supply stalls (amortized over the batch)
+                ctx.icache_credit += icache_rate
+                if ctx.icache_credit >= 1.0:
+                    ctx.icache_credit -= 1.0
+                    ctx.fetch_time += icache_penalty
+                    cnt.inc("icache_stalls")
+                fetch = max(issue_time, ctx.fetch_time)
+                issue_time = fetch + issue_step * slots
+
+                if len(ctx.rob) >= rob_limit:
+                    head = ctx.rob.popleft()
+                    if head > fetch:
+                        fetch = head
+
+                srcs = inst.srcs
+                dep = ctx.reg_ready
+                ready = fetch
+                for s in srcs:
+                    r = dep[s]
+                    if r > ready:
+                        ready = r
+                start_t = ready
+                if in_order:
+                    if ctx.last_start > start_t:
+                        start_t = ctx.last_start
+                    ctx.last_start = start_t
+
+                # ---- execute ------------------------------------------
+                if cls is OpClass.ALU:
+                    finish = start_t + cfg.alu_latency + (slots - 1)
+                elif cls is OpClass.LOAD:
+                    finish = mem.access(inst, addrs, start_t, batched)
+                elif cls is OpClass.STORE:
+                    finish = mem.access(inst, addrs, start_t, batched)
+                elif cls is OpClass.BRANCH:
+                    finish = start_t + cfg.alu_latency + (slots - 1)
+                    if outcomes:
+                        mispredicted = preds[i].observe(pc, outcomes)
+                        if in_order:
+                            # no speculation: fetch waits for resolution
+                            ctx.fetch_time = finish
+                        elif mispredicted:
+                            bubble = finish + cfg.branch_penalty
+                            if bubble > ctx.fetch_time:
+                                ctx.fetch_time = bubble
+                elif cls is OpClass.MUL:
+                    finish = start_t + cfg.mul_latency + (slots - 1)
+                elif cls is OpClass.SIMD:
+                    finish = start_t + cfg.simd_latency + (slots - 1)
+                elif cls is OpClass.ATOMIC:
+                    finish = mem.access(inst, addrs, start_t, batched)
+                elif cls is OpClass.SYSCALL:
+                    finish = start_t + cfg.syscall_overhead
+                    ctx.fetch_time = finish  # serializing transition
+                    cnt.inc("syscalls", active)
+                elif cls is OpClass.FENCE:
+                    drain = max(ctx.rob) if ctx.rob else start_t
+                    finish = max(start_t, drain)
+                    ctx.fetch_time = finish
+                elif cls is OpClass.CALL or cls is OpClass.RET:
+                    # return-address push/pop is a stack memory access
+                    if addrs:
+                        finish = mem.access(inst, addrs, start_t, batched)
+                    else:
+                        finish = start_t + 1
+                else:  # JUMP / NOP / HALT
+                    finish = start_t + 1
+
+                # cycle-stack attribution (paper: data center CPUs
+                # retire only ~20% of cycles; the rest are stalls)
+                cnt.inc("stack_dep_wait", start_t - fetch)
+                if cls in (OpClass.LOAD, OpClass.STORE, OpClass.ATOMIC):
+                    cnt.inc("stack_mem_service", finish - start_t)
+                else:
+                    cnt.inc("stack_exec_service", finish - start_t)
+
+                if inst.dst:
+                    dep[inst.dst] = finish
+                ctx.rob.append(finish)
+                if finish > ctx.finish:
+                    ctx.finish = finish
+                ctx.events += 1
+
+                # ---- energy/bookkeeping counters ----------------------
+                cnt.inc("batch_instructions")
+                cnt.inc("scalar_instructions", active)
+                cnt.inc(f"scalar_{cls.value}", active)
+                cnt.inc("issue_slots", slots)
+                if srcs:
+                    cnt.inc("rf_reads", len(srcs) * active)
+                if inst.dst:
+                    cnt.inc("rf_writes", active)
+
+                nxt = next(cursors[i], None)
+                pending[i] = nxt
+                if nxt is None:
+                    alive -= 1
+
+        finish_all = max((c.finish for c in contexts), default=start)
+        finish_all = max(finish_all, issue_time)
+        self.now = finish_all
+        results = [
+            StreamResult(start=start, finish=c.finish, events=c.events)
+            for c in contexts
+        ]
+        # fold predictor stats into counters lazily (idempotent totals
+        # are recomputed by the caller via bpred_stats())
+        return CoreRunResult(start=start, finish=finish_all, streams=results)
+
+    # ------------------------------------------------------------------
+    def reset_measurement(self) -> None:
+        """Clear counters/statistics while keeping warm microarchitectural
+        state (caches, TLBs, predictor tables, current cycle)."""
+        from .bpred import BpredStats
+
+        self.counters = Counters()
+        self.mem.counters = Counters()
+        for p in self._preds.values():
+            p.stats = BpredStats()
+
+    def bpred_stats(self):
+        lookups = sum(p.stats.lookups for p in self._preds.values())
+        mis = sum(p.stats.mispredicts for p in self._preds.values())
+        flushes = sum(p.stats.minority_flushes for p in self._preds.values())
+        return lookups, mis, flushes
+
+    def all_counters(self) -> Counters:
+        total = Counters()
+        total.merge(self.counters)
+        total.merge(self.mem.counters)
+        lookups, mis, flushes = self.bpred_stats()
+        total.inc("bp_lookups", lookups)
+        total.inc("bp_mispredicts", mis)
+        total.inc("bp_minority_flushes", flushes)
+        return total

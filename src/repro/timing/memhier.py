@@ -1,0 +1,218 @@
+"""Per-core memory hierarchy: MCU -> banked L1+TLB -> L2 -> NoC -> L3
+slice -> DRAM slice.
+
+Latency composition follows the paper: the RPU pays a higher L1 hit
+latency (8 vs 3 cycles) and bank-conflict serialization, but the MCU
+collapses batch accesses into few line requests, and the lighter
+traffic plus single-hop crossbar reduce queueing downstream - the
+balance quantified in Fig. 21.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa.instructions import Instruction, OpClass, Segment
+from ..memsys.cache import SetAssociativeCache
+from ..memsys.dram import DramModel
+from ..memsys.interconnect import CrossbarInterconnect, MeshInterconnect
+from ..memsys.mcu import MemoryCoalescingUnit, scalar_accesses
+from ..memsys.stackmap import StackInterleaver
+from ..memsys.tlb import PAGE_SIZE, BankedTlb, Tlb
+from .config import CoreConfig
+
+
+class Counters(dict):
+    """String-keyed event counters; missing keys read as 0."""
+
+    def __missing__(self, key):
+        return 0
+
+    def inc(self, key: str, n: float = 1) -> None:
+        self[key] = self.get(key, 0) + n
+
+    def merge(self, other: "Counters") -> "Counters":
+        for k, v in other.items():
+            self.inc(k, v)
+        return self
+
+
+class MemoryHierarchy:
+    """One core's view of the memory system."""
+
+    def __init__(self, config: CoreConfig):
+        self.cfg = config
+        c = config
+        self.l1 = SetAssociativeCache("L1D", c.l1_size, c.l1_assoc,
+                                      c.line_size, n_banks=c.l1_banks)
+        self.l2 = SetAssociativeCache("L2", c.l2_size, c.l2_assoc,
+                                      c.line_size)
+        self.l3 = SetAssociativeCache("L3-slice", c.l3_slice_size,
+                                      c.l3_assoc, c.line_size)
+        self.dram = DramModel(c.dram_bw_core_gbps, c.dram_latency,
+                              c.freq_ghz, c.line_size)
+        # each core owns a 1/n_cores share of the chip bisection; the
+        # crossbar's bisection is far higher than the mesh's (paper
+        # Table II), and the mesh additionally carries coherence
+        # traffic, so its effective data bisection is modest
+        if c.interconnect == "crossbar":
+            self.noc = CrossbarInterconnect(
+                ports=c.n_cores, bytes_per_cycle=1280.0 / c.n_cores)
+        else:
+            self.noc = MeshInterconnect(
+                k=c.mesh_k, bytes_per_cycle=120.0 / c.n_cores)
+        if c.tlb_banks > 1:
+            self.tlb = BankedTlb(c.tlb_entries, c.tlb_banks, c.line_size)
+        else:
+            self.tlb = Tlb(c.tlb_entries)
+        interleaver = (
+            StackInterleaver(c.threads_per_core // c.hw_contexts)
+            if c.stack_interleave
+            else None
+        )
+        self.mcu = MemoryCoalescingUnit(c.line_size, interleaver)
+        self.counters = Counters()
+        #: MSHR file: line -> absolute completion time of the in-flight
+        #: fill.  Accesses to a line already being fetched merge into
+        #: the outstanding miss instead of issuing a duplicate request
+        #: (the MSHR-merge filtering the paper credits SMT designs with)
+        self._mshr: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def _line_latency(self, line_addr: int, now: float, write: bool) -> float:
+        """Latency of one line request entering the L1."""
+        cnt = self.counters
+        cfg = self.cfg
+        cnt.inc("l1_accesses")
+        line_key = line_addr // cfg.line_size
+        if self.l1.access(line_addr, write):
+            # a "hit" on a line whose fill is still in flight merges
+            # into the outstanding miss (MSHR) and waits for the fill
+            pending = self._mshr.get(line_key)
+            if pending is not None and pending > now:
+                cnt.inc("mshr_merges")
+                return pending - now
+            return cfg.l1_latency
+        cnt.inc("l1_misses")
+        cnt.inc("l2_accesses")
+        if self.l2.access(line_addr, write):
+            return cfg.l1_latency + cfg.l2_latency
+        cnt.inc("l2_misses")
+        cnt.inc("noc_traversals")
+        arrival = self.noc.traverse(now + cfg.l1_latency + cfg.l2_latency)
+        cnt.inc("l3_accesses")
+        if self.l3.access(line_addr, write):
+            return arrival - now + cfg.l3_latency
+        cnt.inc("l3_misses")
+        cnt.inc("dram_accesses")
+        done = self.dram.access(arrival + cfg.l3_latency)
+        self._mshr[line_key] = done
+        if len(self._mshr) > 256:  # prune completed entries
+            self._mshr = {k: v for k, v in self._mshr.items() if v > done}
+        return done - now
+
+    def _translate(self, addrs: Sequence[int], now: float) -> float:
+        """TLB lookups for the pages of the line addresses."""
+        penalty = 0.0
+        for page_addr in {a // PAGE_SIZE for a in addrs}:
+            self.counters.inc("tlb_accesses")
+            if not self.tlb.access(page_addr * PAGE_SIZE):
+                self.counters.inc("tlb_misses")
+                penalty = max(penalty, float(self.cfg.tlb_miss_penalty))
+        return penalty
+
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        inst: Instruction,
+        addrs: Sequence[Tuple[int, int, int]],
+        now: float,
+        batched: bool,
+    ) -> float:
+        """Perform one (possibly batched) memory instruction.
+
+        Returns the completion cycle of the slowest generated access.
+        """
+        cfg = self.cfg
+        cnt = self.counters
+        write = inst.cls is OpClass.STORE
+
+        if inst.cls is OpClass.ATOMIC:
+            return self._atomic(addrs, now, batched)
+
+        if batched and cfg.mcu_enabled:
+            cnt.inc("mcu_ops")
+            res = self.mcu.coalesce(inst.segment, addrs)
+        else:
+            res = scalar_accesses(addrs, cfg.line_size)
+        lines = res.line_addrs
+        if not lines:
+            return now
+
+        if inst.segment is Segment.STACK:
+            cnt.inc("stack_line_accesses", len(lines))
+        else:
+            cnt.inc("data_line_accesses", len(lines))
+
+        # Stack interleaving needs a single translation (thread-0 base
+        # override); everything else translates per page touched.
+        if res.pattern == "stack":
+            cnt.inc("tlb_accesses")
+            tlb_penalty = 0.0
+            if not self.tlb.access(lines[0]):
+                cnt.inc("tlb_misses")
+                tlb_penalty = float(cfg.tlb_miss_penalty)
+        else:
+            tlb_penalty = self._translate(lines, now)
+
+        serial = self.l1.bank_conflicts(lines) if cfg.l1_banks > 1 else len(lines)
+        serial_penalty = max(0, serial - 1)
+        cnt.inc("l1_bank_conflict_cycles", serial_penalty)
+
+        start = now + tlb_penalty + serial_penalty
+        worst = 0.0
+        for line in lines:
+            worst = max(worst, self._line_latency(line, start, write))
+        if write:
+            # stores drain through the store queue off the critical path
+            return start + 1
+        # fig. 21 metrics: average load-to-use latency, plus the
+        # latency of loads that left the L1 (the queueing-sensitive
+        # part the paper's Fig. 21 reports)
+        cnt.inc("load_latency_sum", start + worst - now)
+        cnt.inc("load_count")
+        if worst > self.cfg.l1_latency:
+            cnt.inc("miss_latency_sum", start + worst - now)
+            cnt.inc("miss_count")
+        return start + worst
+
+    def _atomic(self, addrs: Sequence[Tuple[int, int, int]], now: float,
+                batched: bool) -> float:
+        cfg = self.cfg
+        cnt = self.counters
+        n = len(addrs)
+        if cfg.atomics_at_l3:
+            # bypass private caches; serialize RMWs at the L3 slice
+            cnt.inc("atomics_at_l3", n)
+            cnt.inc("noc_traversals")
+            arrival = self.noc.traverse(now)
+            cnt.inc("l3_accesses", n)
+            for _tid, a, _s in addrs:
+                self.l3.access(a)
+            return arrival + cfg.l3_latency + n  # one RMW slot per lane
+        # CPU baseline: idealized - atomics behave like private-cache
+        # loads with zero coherence traffic (paper Section IV)
+        cnt.inc("atomics_in_l1", n)
+        worst = 0.0
+        for _tid, a, _s in addrs:
+            line = a // cfg.line_size * cfg.line_size
+            worst = max(worst, self._line_latency(line, now, True))
+        return now + worst
+
+    def reset_stats(self) -> None:
+        self.counters = Counters()
+        self._mshr.clear()
+        self.l1.reset_stats()
+        self.l2.reset_stats()
+        self.l3.reset_stats()

@@ -1,0 +1,87 @@
+"""Trace collection: turn executor runs into event streams for timing."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine.events import LockstepResult, StepSink
+from ..engine.lockstep import (IpdomExecutor, MinSpPcExecutor,
+                               PredicatedExecutor, SoloExecutor)
+from ..engine.memory import MemoryImage
+from ..memsys.alloc import BaseAllocator, SimrAwareAllocator
+from ..workloads.base import Microservice, Request
+from ..core.run import prepare_threads
+from .core import Event
+
+
+class ListSink(StepSink):
+    """Materializes the step stream of one run as a list of events."""
+
+    def __init__(self):
+        self.events: List[Event] = []
+
+    def on_step(self, pc, inst, active, addrs, outcomes) -> None:
+        self.events.append(
+            (pc, inst, active, tuple(addrs),
+             tuple(outcomes) if outcomes else None)
+        )
+
+
+def batch_trace(
+    service: Microservice,
+    requests: Sequence[Request],
+    policy: str = "minsp_pc",
+    allocator: Optional[BaseAllocator] = None,
+    reconv_override: Optional[Dict[int, int]] = None,
+    salt: int = 0,
+    max_steps: int = 4_000_000,
+) -> Tuple[List[Event], LockstepResult]:
+    """Lockstep-execute one batch and return its event trace."""
+    mem = MemoryImage(salt=salt)
+    allocator = allocator if allocator is not None else SimrAwareAllocator()
+    threads = prepare_threads(service, requests, mem, allocator)
+    sink = ListSink()
+    if policy == "ipdom":
+        ex = IpdomExecutor(service.program, sink=sink, max_steps=max_steps,
+                           reconv_override=reconv_override)
+    elif policy == "predicated":
+        ex = PredicatedExecutor(service.program, sink=sink,
+                                max_steps=max_steps,
+                                reconv_override=reconv_override)
+    else:
+        ex = MinSpPcExecutor(service.program, sink=sink,
+                             max_steps=max_steps)
+    result = ex.run(threads, mem)
+    return sink.events, result
+
+
+def solo_traces(
+    service: Microservice,
+    requests: Sequence[Request],
+    allocator: Optional[BaseAllocator] = None,
+    salt: int = 0,
+    max_steps: int = 2_000_000,
+    pool_size: int = 1,
+) -> List[List[Event]]:
+    """Solo-execute each request; one event stream per request.
+
+    ``pool_size`` models the service's worker-thread pool: request ``i``
+    is served by worker ``i % pool_size``, whose stack and heap arena
+    are reused (freed and reallocated) between requests, giving
+    consecutive CPU threads the warm-cache behaviour the paper notes.
+    """
+    from ..engine.thread import ThreadState
+
+    mem = MemoryImage(salt=salt)
+    allocator = allocator if allocator is not None else SimrAwareAllocator()
+    shared = service.shared_setup(mem, allocator)
+    traces: List[List[Event]] = []
+    for i, req in enumerate(requests):
+        worker = i % pool_size
+        t = ThreadState(worker)
+        service.setup_thread(t, req, mem, allocator, shared)
+        sink = ListSink()
+        SoloExecutor(service.program, sink=sink, max_steps=max_steps).run(t, mem)
+        traces.append(sink.events)
+        allocator.free_all(worker)
+    return traces

@@ -1,0 +1,15 @@
+"""The 15 microservice workloads and their request generators."""
+
+from .base import Microservice, Request, pick_api, zipf_size
+from .registry import SERVICE_CLASSES, SERVICE_NAMES, all_services, get_service
+
+__all__ = [
+    "Microservice",
+    "Request",
+    "SERVICE_CLASSES",
+    "SERVICE_NAMES",
+    "all_services",
+    "get_service",
+    "pick_api",
+    "zipf_size",
+]

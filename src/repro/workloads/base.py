@@ -1,0 +1,153 @@
+"""Workload framework: requests, microservice base class, conventions.
+
+Each microservice is one program (one "binary") for all of its APIs;
+the entry dispatches on the API id held in ``r1``, exactly like the
+compiled services in the paper, so API divergence is a *control-flow*
+phenomenon the batching server can remove (Section III-B1).
+
+Register conventions (set up by :meth:`Microservice.setup_thread`):
+
+===== ==========================================================
+reg   meaning
+===== ==========================================================
+r1    api id (index into :attr:`Microservice.apis`)
+r2    request size (argument/query length in words)
+r3    request key (drives hashing and data-dependent paths)
+r4    pointer to the per-thread input buffer (heap)
+r5    pointer to the per-thread scratch/temp allocation (heap)
+r6    pointer to the service's shared table (heap, shared)
+r7    pointer to the service's lock/counter word (heap, shared)
+===== ==========================================================
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import random
+
+from ..engine.memory import MemoryImage
+from ..engine.thread import ThreadState
+from ..isa.program import Program
+from ..memsys.alloc import BaseAllocator
+
+
+@dataclass
+class Request:
+    """One client request as seen by the SIMR-aware server."""
+
+    rid: int
+    service: str
+    api: str
+    api_id: int
+    size: int  # argument/query length in 8-byte words
+    key: int
+    arrival_us: float = 0.0
+    payload: Dict[str, int] = field(default_factory=dict)
+
+
+class Microservice(abc.ABC):
+    """A microservice: program + request distribution + thread setup."""
+
+    #: unique registry name, e.g. ``"search-leaf"``
+    name: str = ""
+    #: exported API names; ``api_id`` indexes this list
+    apis: Sequence[str] = ("main",)
+    #: position in the service graph: front / mid / leaf
+    tier: str = "mid"
+    #: True for services dominated by vectorized kernels (HDSearch,
+    #: Recommender leaves) - lower frontend energy share, cf. Fig. 10
+    simd_heavy: bool = False
+    #: paper Section III-B3 batch-size tuning: data-intensive leaves
+    #: run at batch 8, everything else at 32
+    recommended_batch: int = 32
+    #: approximate per-thread private data footprint (drives Fig. 15)
+    footprint_bytes: int = 2048
+
+    def __init__(self) -> None:
+        self._program: Optional[Program] = None
+
+    @property
+    def program(self) -> Program:
+        if self._program is None:
+            self._program = self.build_program()
+        return self._program
+
+    @abc.abstractmethod
+    def build_program(self) -> Program:
+        """Author the service binary (built once, shared by requests)."""
+
+    @abc.abstractmethod
+    def generate_requests(self, n: int, rng: random.Random,
+                          start_rid: int = 0) -> List[Request]:
+        """Draw ``n`` requests from the service's arrival distribution."""
+
+    def shared_setup(self, mem: MemoryImage, allocator: BaseAllocator) -> Dict[str, int]:
+        """One-time shared state (tables, locks).  Returns named addresses."""
+        table = allocator.alloc_shared(8 << 20)
+        lock = allocator.alloc_shared(64)
+        mem.write(lock, 0)
+        return {"table": table, "lock": lock}
+
+    def setup_thread(self, thread: ThreadState, request: Request,
+                     mem: MemoryImage, allocator: BaseAllocator,
+                     shared: Dict[str, int]) -> None:
+        """Load request data into memory and registers (default ABI)."""
+        regs = thread.regs
+        regs[1] = request.api_id
+        regs[2] = request.size
+        regs[3] = request.key
+        inbuf = allocator.alloc(max(64, request.size * 8 + 16), thread.tid)
+        for i in range(request.size):
+            mem.write(inbuf + 8 * i, _word_of(request.key, i))
+        regs[4] = inbuf
+        scratch = allocator.alloc(max(64, self.footprint_bytes), thread.tid)
+        regs[5] = scratch
+        regs[6] = shared["table"]
+        regs[7] = shared["lock"]
+        thread.request = request
+
+
+def _word_of(key: int, i: int) -> int:
+    """Deterministic content word for position ``i`` of a request.
+
+    ~80% of words come from a small hot vocabulary (natural-language
+    and key-popularity skew), so dictionary/posting lookups show the
+    locality real services have.
+    """
+    x = (key * 0x9E3779B1 + i * 0x85EBCA77) & 0xFFFF_FFFF
+    x ^= x >> 15
+    x &= 0x7FFF_FFFF
+    if x & 0xF < 15:  # hot word (~94%)
+        return x % 512
+    return x
+
+
+def zipf_key(rng: random.Random, hot_keys: int = 512,
+             space: int = 1 << 24, p_hot: float = 0.97) -> int:
+    """Key-popularity model: ``p_hot`` of requests target a small hot
+    set (memcached/user-id skew), the rest are uniform over ``space``."""
+    if rng.random() < p_hot:
+        return rng.randrange(hot_keys)
+    return rng.randrange(space)
+
+
+def zipf_size(rng: random.Random, lo: int, hi: int, skew: float = 2.0) -> int:
+    """Zipf-ish integer in [lo, hi]: small values common, tail long."""
+    span = hi - lo + 1
+    u = rng.random()
+    val = int(span * (u ** skew))
+    return lo + min(span - 1, val)
+
+
+def pick_api(rng: random.Random, weights: Sequence[float]) -> int:
+    """Weighted API selection."""
+    x = rng.random() * sum(weights)
+    acc = 0.0
+    for i, w in enumerate(weights):
+        acc += w
+        if x < acc:
+            return i
+    return len(weights) - 1

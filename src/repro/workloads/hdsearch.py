@@ -1,0 +1,156 @@
+"""HDSearch family (µSuite image search): mid-tier and SIMD leaf."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..isa.builder import ProgramBuilder
+from ..isa.instructions import Segment
+from .base import Microservice, Request, zipf_key, zipf_size
+from .kernels import (
+    emit_hash,
+    emit_parallel_mix,
+    emit_pointer_chase,
+    emit_helper_fn,
+    emit_locked_update,
+    emit_respond,
+    emit_simd_stream,
+    emit_table_probe,
+    emit_word_scan,
+)
+
+
+class HdSearchMidTier(Microservice):
+    """Contains the paper's speculative-reconvergence case study
+    (Section III-B1): a data-dependent branch whose sides both flow
+    into the same expensive re-ranking code, but where the static
+    immediate post-dominator sits *after* it (a rare early-exit path
+    bypasses the re-rank), so default IPDOM reconvergence executes the
+    expensive block once per side.  Speculatively placing the sync
+    point at the head of the expensive block merges the sides before
+    it, at the (rare) cost of an early-exit thread running alone."""
+
+    name = "hdsearch-midtier"
+    apis = ("query",)
+    tier = "mid"
+    footprint_bytes = 1024
+
+    #: label of the shared expensive block used for the speculative
+    #: reconvergence override
+    EXPENSIVE_LABEL = "rerank"
+
+    def build_program(self):
+        b = ProgramBuilder(self.name)
+        emit_word_scan(b, "r2", "r4", "r10")
+        # uniform stage: walk the k-NN index (memory-bound) + mix
+        emit_pointer_chase(b, 3, "r6", "r10", "r9")
+        emit_parallel_mix(b, 32, "r9", accs=("r20", "r21", "r22", "r23"))
+        b.andi("r24", "r3", 7)
+        b.li("r25", 2)
+        b.blt("r24", "r25", "refine")  # ~25% of keys refine first
+        # common side: ~1/8 of queries skip re-ranking entirely (rare
+        # early exit - it pushes the *static* post-dominator of both
+        # branches past the rerank block, which default IPDOM therefore
+        # executes once per side)
+        b.andi("r26", "r3", 56)
+        b.beq("r26", "zero", "skip_rerank")
+        b.jmp("rerank")
+        b.label("refine")  # expensive-preamble side: refresh candidates
+        emit_pointer_chase(b, 2, "r6", "r9", "r26")
+        b.li("r13", 6)
+        with b.loop("r13"):
+            b.hash("r20", "r20", "r24")
+            b.hash("r21", "r21", "r24")
+        b.label("rerank")  # shared expensive block (both sides)
+        b.li("r13", 12)
+        with b.loop("r13"):
+            b.hash("r20", "r20", "r24")
+            b.hash("r21", "r21", "r24")
+            b.hash("r22", "r22", "r24")
+            b.hash("r23", "r23", "r24")
+            b.st("r20", "sp", 24, Segment.STACK)
+        b.label("skip_rerank")
+        b.call("pack_helper", frame=64)
+        emit_locked_update(b, "r7", "r2")
+        emit_respond(b)
+        emit_helper_fn(b, "pack_helper", spills=4, work_ops=4)
+        return b.build()
+
+    def speculative_reconvergence_override(self) -> Dict[int, int]:
+        """Place the sync point of both divergent branches at the head
+        of the shared expensive block (paper: "place the IPDOM
+        synchronization point at the beginning of the expensive
+        branch") instead of their static post-dominator, which the rare
+        early exit pushes past it.  A thread that actually takes the
+        early exit simply runs ahead alone - the speculation cost."""
+        prog = self.program
+        rerank = prog.labels[self.EXPENSIVE_LABEL]
+        overrides = {}
+        for pc, inst in enumerate(prog.instructions):
+            if inst.target in ("refine", "skip_rerank") \
+                    and inst.cls.value == "branch":
+                overrides[pc] = rerank
+        return overrides
+
+    def generate_requests(self, n, rng: random.Random, start_rid=0) -> List[Request]:
+        return [
+            Request(
+                rid=start_rid + i,
+                service=self.name,
+                api="query",
+                api_id=0,
+                size=zipf_size(rng, 2, 8),
+                key=zipf_key(rng),
+            )
+            for i in range(n)
+        ]
+
+
+class HdSearchLeaf(Microservice):
+    """k-NN distance kernel: SIMD streaming over per-thread candidate
+    vectors.  Large private footprint -> runs at batch size 8 (Fig. 15)
+    and is backend-dominated (39% frontend energy, Fig. 10)."""
+
+    name = "hdsearch-leaf"
+    apis = ("knn",)
+    tier = "leaf"
+    simd_heavy = True
+    recommended_batch = 8
+    footprint_bytes = 12288  # 384 candidate vectors x 32B
+
+    def build_program(self):
+        b = ProgramBuilder(self.name)
+        # materialize candidate vectors into the private buffer
+        b.li("r10", 384)
+        b.mov("r11", "r5")
+        b.counted_loop(
+            "r10",
+            lambda j: (b.hash("r12", "r3", "r3"),
+                       b.st("r12", "r11", 32 * j, Segment.HEAP)),
+            cursors=(("r11", 32),),
+            unroll=4,
+        )
+        # distance pass 1 and 2 (filter then re-rank) over the buffer
+        b.li("r13", 384)
+        emit_simd_stream(b, "r13", "r5")
+        b.li("r13", 384)
+        emit_simd_stream(b, "r13", "r5")
+        emit_hash(b, "r14", "r3", rounds=2)
+        emit_table_probe(b, "r14", "r6", "r15")  # top-k dedup check
+        emit_locked_update(b, "r7", "r2")
+        emit_respond(b)
+        return b.build()
+
+    def generate_requests(self, n, rng: random.Random, start_rid=0) -> List[Request]:
+        return [
+            Request(
+                rid=start_rid + i,
+                service=self.name,
+                api="knn",
+                api_id=0,
+                size=zipf_size(rng, 2, 6),
+                key=zipf_key(rng),
+            )
+            for i in range(n)
+        ]

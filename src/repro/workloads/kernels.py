@@ -1,0 +1,210 @@
+"""Reusable code kernels shared by the microservice programs.
+
+These emit the recurring code shapes the paper's characterization
+identifies: hash computations, string/word compares, hash-table probes,
+pointer-chasing walks, SIMD streaming kernels, stack-spill-heavy helper
+calls, and lock-protected counter updates.
+
+Hot loops are emitted 4x-unrolled with rotated accumulators, the code
+``-O3`` produces for such loops (the paper compiles its services with
+-O3).  This matters for fairness across design points: without
+unrolling, the loop-counter recurrence would bound every loop at one
+iteration per ALU latency, overstating the RPU's 4-cycle ALUs.
+``r31`` is reserved by the assembler's ``counted_loop``.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.instructions import Segment, SyscallKind
+
+UNROLL = 4
+
+
+def emit_hash(b: ProgramBuilder, dst: str, src: str, rounds: int = 3) -> None:
+    """A few rounds of integer mixing (inlined hash function)."""
+    b.hash(dst, src, src)
+    for _ in range(rounds - 1):
+        b.hash(dst, dst, src)
+
+
+def emit_word_scan(b: ProgramBuilder, len_reg: str, ptr_reg: str,
+                   acc_reg: str, tmp: str = "r16") -> None:
+    """Loop over ``len_reg`` input words, mixing each into ``acc_reg``.
+
+    Models query parsing / string processing whose trip count is the
+    request's argument length - the divergence the per-argument-size
+    batching policy removes.
+    """
+    cursor, count, acc2 = "r17", "r18", "r19"
+    b.mov(cursor, ptr_reg)
+    b.mov(count, len_reg)
+    b.mov(acc2, acc_reg)
+    accs = (acc_reg, acc2)
+
+    def body(j):
+        b.ld(tmp, cursor, 8 * j, Segment.HEAP)
+        a = accs[j % 2]
+        b.hash(a, a, tmp)
+
+    b.counted_loop(count, body, cursors=((cursor, 8),), unroll=UNROLL)
+    b.hash(acc_reg, acc_reg, acc2)
+
+
+def emit_parallel_mix(b: ProgramBuilder, iters: int, src: str,
+                      accs=("r12", "r13", "r14", "r15")) -> None:
+    """Unrolled compute kernel with 4 independent accumulator chains.
+
+    Compilers unroll hot scalar loops for ILP; four parallel dependency
+    chains keep both the CPU's 1-cycle and the RPU's 4-cycle ALUs
+    saturated, so uniform compute costs scale fairly across designs.
+    """
+    counter = "r11"
+    b.li(counter, iters // len(accs))
+    with b.loop(counter):
+        for acc in accs:
+            b.hash(acc, acc, src)
+
+
+def emit_pointer_chase(b: ProgramBuilder, hops: int, table_reg: str,
+                       key_reg: str, out_reg: str,
+                       mask: int = 0x7FFFF8) -> None:
+    """Dependent pointer chase through a large shared structure.
+
+    Models tree/linked-structure traversal (deserialization, index
+    lookup) over service state far bigger than the caches - the
+    behaviour behind the paper's data center characterization of low
+    IPC with long memory stalls and ineffective prefetchers.
+    """
+    b.hash(out_reg, key_reg, key_reg)
+    for _ in range(hops):
+        b.andi("r30", out_reg, mask)
+        b.add("r30", "r30", table_reg)
+        b.ld(out_reg, "r30", 0, Segment.HEAP, note="chase")
+
+
+def emit_table_probe(b: ProgramBuilder, key_reg: str, table_reg: str,
+                     out_reg: str, mask: int = 0x1FF8,
+                     miss_label_rounds: int = 2) -> None:
+    """Open-addressing hash-table probe with a data-dependent re-probe.
+
+    ~1/4 of keys take the re-probe path (background-value parity), the
+    residual control divergence that keeps optimized SIMT efficiency at
+    the paper's ~92% rather than 100%.
+    """
+    idx, probe, val = "r19", "r20", out_reg
+    emit_hash(b, idx, key_reg, rounds=2)
+    b.andi(probe, idx, mask)
+    b.add(probe, probe, table_reg)
+    b.ld(val, probe, 0, Segment.HEAP)
+    done = b.fresh("probe_done")
+    b.andi("r21", val, 3)
+    b.bne("r21", "zero", done)  # 3/4 of entries "hit" immediately
+    for _ in range(miss_label_rounds):  # linear re-probe
+        b.addi(probe, probe, 8)
+        b.ld(val, probe, 0, Segment.HEAP)
+        b.hash(val, val, idx)
+    b.label(done)
+
+
+def emit_private_stream(b: ProgramBuilder, words: int, ptr_reg: str,
+                        acc_reg: str, write_first: bool = True,
+                        stride: int = 8) -> None:
+    """Two-pass stream over a private heap array (paper Fig. 16a).
+
+    Pass 1 writes intermediate results, pass 2 reads and reduces.  The
+    footprint (``words * stride`` bytes per thread) is what thrashes
+    the RPU's shared L1 at large batch sizes (Fig. 15); a cache-line
+    ``stride`` touches one word per line, modelling sparse structures.
+    """
+    cursor, count, tmp = "r22", "r23", "r24"
+    acc2 = "r20"
+    if write_first:
+        b.mov(cursor, ptr_reg)
+        b.li(count, words)
+
+        def wbody(j):
+            b.hash(tmp, acc_reg, acc_reg)
+            b.st(tmp, cursor, stride * j, Segment.HEAP)
+
+        b.counted_loop(count, wbody, cursors=((cursor, stride),),
+                       unroll=UNROLL)
+    b.mov(cursor, ptr_reg)
+    b.li(count, words)
+    b.mov(acc2, acc_reg)
+    accs = (acc_reg, acc2)
+
+    def rbody(j):
+        b.ld(tmp, cursor, stride * j, Segment.HEAP)
+        a = accs[j % 2]
+        b.add(a, a, tmp)
+
+    b.counted_loop(count, rbody, cursors=((cursor, stride),), unroll=UNROLL)
+    b.add(acc_reg, acc_reg, acc2)
+
+
+def emit_simd_stream(b: ProgramBuilder, vecs_reg: str, ptr_reg: str,
+                     acc_vreg: str = "r25") -> None:
+    """Streaming SIMD kernel: vld + 2 fused vector ops per 32B vector.
+
+    Models the MKL/FLANN distance and dot-product kernels that make
+    HDSearch-leaf and Recommender-leaf backend-dominated (Fig. 10).
+    Two rotated vector accumulators keep the SIMD pipes busy.
+    """
+    cursor, count, vtmp, acc2 = "r26", "r27", "r24", "r28"
+    b.mov(cursor, ptr_reg)
+    b.mov(count, vecs_reg)
+    accs = (acc_vreg, acc2)
+
+    def body(j):
+        b.vld(vtmp, cursor, 32 * j, Segment.HEAP)
+        a = accs[j % 2]
+        b.vop(a, a, vtmp, note="fma")
+        b.vop(a, a, vtmp, note="fma")
+
+    b.counted_loop(count, body, cursors=((cursor, 32),), unroll=2)
+    b.vop(acc_vreg, acc_vreg, acc2, note="reduce")
+
+
+def emit_helper_fn(b: ProgramBuilder, label: str, spills: int = 4,
+                   work_ops: int = 4, frame: int = 64) -> None:
+    """A leaf helper function with prologue/epilogue register spills.
+
+    Emits the function body at ``label``; callers use
+    ``b.call(label, frame=frame)``.  The spill/reload pairs produce the
+    stack-segment traffic that dominates the Post/User family (up to
+    90% of accesses, Fig. 14) and that stack interleaving coalesces.
+    """
+    b.label(label)
+    # slot 0 holds the return address pushed by call; spill above it
+    for i in range(spills):
+        b.st(f"r{8 + i}", "sp", 8 * (i + 1), Segment.STACK)
+    for i in range(work_ops):
+        b.hash("r8", "r8", f"r{9 + i % 3}")
+    for i in range(spills):
+        b.ld(f"r{8 + i}", "sp", 8 * (i + 1), Segment.STACK)
+    b.ret()
+
+
+def emit_locked_update(b: ProgramBuilder, lock_reg: str, delta_reg: str,
+                       fine_grained: bool = True) -> None:
+    """Lock-free atomic counter bump (fine-grained locking assumption).
+
+    The paper assumes optimized services use fine-grained locks /
+    atomics; on the RPU atomics execute at the shared L3.
+    """
+    b.amoadd("r28", lock_reg, delta_reg, offset=8, note="counter")
+
+
+def emit_respond(b: ProgramBuilder) -> None:
+    """Send the response over the network and finish.
+
+    Reads a few service-config globals first (socket descriptors,
+    serialization flags) - identical addresses in every lane, which the
+    MCU broadcasts as a single access (paper: "shared inter-request
+    data structures ... loaded once for all the threads in a batch").
+    """
+    for off in (0, 8, 16):
+        b.ld("r30", "r6", off, Segment.HEAP, note="service config")
+    b.syscall(SyscallKind.NETWORK, note="respond")
+    b.halt()

@@ -1,0 +1,122 @@
+"""Memcached family: McRouter (front) and the memcached backend (leaf)."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..isa.builder import ProgramBuilder
+from ..isa.instructions import Segment
+from .base import Microservice, Request, pick_api, zipf_key, zipf_size
+from .kernels import (
+    emit_hash,
+    emit_helper_fn,
+    emit_locked_update,
+    emit_respond,
+    emit_table_probe,
+    emit_word_scan,
+)
+
+
+class McRouter(Microservice):
+    """Routes keys to backend shards: hashing + routing-table lookup."""
+
+    name = "mcrouter"
+    apis = ("route",)
+    tier = "front"
+    footprint_bytes = 512
+
+    def build_program(self):
+        b = ProgramBuilder(self.name)
+        emit_hash(b, "r10", "r3", rounds=4)
+        b.andi("r11", "r10", 7)  # shard id
+        b.shli("r12", "r11", 3)
+        b.add("r12", "r12", "r6")
+        b.ld("r13", "r12", 0, Segment.HEAP, note="routing table")
+        emit_word_scan(b, "r2", "r4", "r10")
+        b.call("route_helper", frame=64)
+        emit_locked_update(b, "r7", "r11")
+        emit_respond(b)
+        emit_helper_fn(b, "route_helper", spills=4, work_ops=4)
+        return b.build()
+
+    def generate_requests(self, n, rng: random.Random, start_rid=0) -> List[Request]:
+        return [
+            Request(
+                rid=start_rid + i,
+                service=self.name,
+                api="route",
+                api_id=0,
+                size=zipf_size(rng, 1, 4),
+                key=zipf_key(rng),
+            )
+            for i in range(n)
+        ]
+
+
+class MemcachedBackend(Microservice):
+    """The in-DRAM key-value store: get (90%) / set (10%) APIs."""
+
+    name = "memcached"
+    apis = ("get", "set")
+    tier = "leaf"
+    footprint_bytes = 1024
+
+    def build_program(self):
+        b = ProgramBuilder(self.name)
+        b.bne("r1", "zero", "api_set")
+
+        # --- get: probe the shared table, read the value out ----------
+        emit_table_probe(b, "r3", "r6", "r10", mask=0x7FFFF8)
+        b.andi("r10", "r10", 0xFFF8)  # value pointer into the hot value log
+        b.add("r10", "r10", "r6")
+        b.mov("r12", "r2")
+        b.mov("r13", "r5")
+        b.counted_loop(  # copy value into response buffer (unrolled)
+            "r12",
+            lambda j: (b.ld("r14", "r10", 8 * j, Segment.HEAP),
+                       b.st("r14", "r13", 8 * j, Segment.HEAP)),
+            cursors=(("r10", 8), ("r13", 8)),
+            unroll=4,
+        )
+        b.call("stats_helper", frame=48)
+        b.jmp("finish")
+
+        # --- set: hash key, write value words into the table ----------
+        b.label("api_set")
+        emit_hash(b, "r10", "r3", rounds=3)
+        # sets recycle slabs in the hot value log (slab allocator reuse)
+        b.andi("r10", "r10", 0xFFF8)
+        b.add("r10", "r10", "r6")
+        b.mov("r12", "r2")
+        b.mov("r13", "r4")
+        b.counted_loop(  # write the new value into the table (unrolled)
+            "r12",
+            lambda j: (b.ld("r14", "r13", 8 * j, Segment.HEAP),
+                       b.st("r14", "r10", 8 * j, Segment.HEAP)),
+            cursors=(("r10", 8), ("r13", 8)),
+            unroll=4,
+        )
+        b.call("stats_helper", frame=48)
+
+        b.label("finish")
+        emit_locked_update(b, "r7", "r2")
+        emit_respond(b)
+        emit_helper_fn(b, "stats_helper", spills=3, work_ops=3, frame=48)
+        return b.build()
+
+    def generate_requests(self, n, rng: random.Random, start_rid=0) -> List[Request]:
+        out = []
+        for i in range(n):
+            api = pick_api(rng, (0.9, 0.1))
+            out.append(
+                Request(
+                    rid=start_rid + i,
+                    service=self.name,
+                    api=self.apis[api],
+                    api_id=api,
+                    size=zipf_size(rng, 1, 16),
+                    key=zipf_key(rng),
+                )
+            )
+        return out

@@ -1,0 +1,251 @@
+"""Post family (DeathStarBench social network): post, text, urlshort,
+uniqueid and usertag nanoservices.
+
+These are the stack-dominated services: short logic wrapped in deep
+helper-call chains with register spills, so most of their memory
+traffic is stack-segment traffic (up to 90%, Fig. 14) which the RPU's
+stack interleaving coalesces almost perfectly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..isa.builder import ProgramBuilder
+from ..isa.instructions import Segment
+from .base import Microservice, Request, pick_api, zipf_key, zipf_size
+from .kernels import (
+    emit_hash,
+    emit_helper_fn,
+    emit_locked_update,
+    emit_respond,
+    emit_table_probe,
+    emit_word_scan,
+)
+
+
+class PostService(Microservice):
+    """Compose/read/delete posts: three APIs, deep helper chains."""
+
+    name = "post"
+    apis = ("newPost", "getPostByUser", "delPost")
+    tier = "mid"
+    footprint_bytes = 768
+
+    def build_program(self):
+        b = ProgramBuilder(self.name)
+        b.beq("r1", "zero", "api_new")
+        b.li("r9", 1)
+        b.beq("r1", "r9", "api_get")
+        b.jmp("api_del")
+
+        b.label("api_new")
+        emit_word_scan(b, "r2", "r4", "r10")
+        b.call("validate", frame=64)
+        b.call("persist", frame=64)
+        emit_hash(b, "r11", "r3", rounds=3)
+        b.st("r11", "r5", 0, Segment.HEAP)
+        b.jmp("finish")
+
+        b.label("api_get")
+        emit_table_probe(b, "r3", "r6", "r10", mask=0x7FFFF8)
+        b.call("render", frame=64)
+        b.jmp("finish")
+
+        b.label("api_del")
+        emit_hash(b, "r10", "r3", rounds=2)
+        b.call("validate", frame=64)
+        b.call("persist", frame=64)
+
+        b.label("finish")
+        emit_locked_update(b, "r7", "r2")
+        emit_respond(b)
+        emit_helper_fn(b, "validate", spills=5, work_ops=5)
+        emit_helper_fn(b, "persist", spills=6, work_ops=4)
+        emit_helper_fn(b, "render", spills=6, work_ops=6)
+        return b.build()
+
+    def generate_requests(self, n, rng: random.Random, start_rid=0) -> List[Request]:
+        out = []
+        for i in range(n):
+            api = pick_api(rng, (0.4, 0.4, 0.2))
+            out.append(
+                Request(rid=start_rid + i, service=self.name,
+                        api=self.apis[api], api_id=api,
+                        size=zipf_size(rng, 1, 8),
+                        key=zipf_key(rng))
+            )
+        return out
+
+
+class TextService(Microservice):
+    """Tokenizes/processes the post body: trip counts track text length
+    (argument-size batching is worth ~5x here, Fig. 11)."""
+
+    name = "post-text"
+    apis = ("process",)
+    tier = "mid"
+    footprint_bytes = 768
+    #: batch-size tuning (Section III-B3): token-dictionary lookups give
+    #: post-text an L1 MPKI above threshold at batch 32
+    recommended_batch = 8
+
+    def build_program(self):
+        b = ProgramBuilder(self.name)
+        b.mov("r10", "r2")
+        b.mov("r11", "r4")
+        accs = ("r15", "r19")
+
+        def token(j):
+            b.ld("r12", "r11", 8 * j, Segment.HEAP)
+            b.hash("r13", "r12", "r12")
+            b.andi("r16", "r13", 0xFFFF8)  # 1MB token dictionary
+            b.add("r16", "r16", "r6")
+            b.ld("r13", "r16", 0, Segment.HEAP, note="dictionary")
+            b.st("r13", "sp", 16 + 8 * j, Segment.STACK)
+            b.ld("r14", "sp", 16 + 8 * j, Segment.STACK)
+            a = accs[j % 2]
+            b.add(a, a, "r14")
+
+        b.counted_loop("r10", token, cursors=(("r11", 8),), unroll=4)
+        b.add("r15", "r15", "r19")
+        b.call("emit_tokens", frame=64)
+        emit_locked_update(b, "r7", "r2")
+        emit_respond(b)
+        emit_helper_fn(b, "emit_tokens", spills=5, work_ops=4)
+        return b.build()
+
+    def generate_requests(self, n, rng: random.Random, start_rid=0) -> List[Request]:
+        return [
+            Request(rid=start_rid + i, service=self.name, api="process",
+                    api_id=0, size=zipf_size(rng, 1, 32),
+                    key=zipf_key(rng))
+            for i in range(n)
+        ]
+
+
+class UrlShortenService(Microservice):
+    """Hash + base-62 encode: fixed trip counts -> high SIMT efficiency."""
+
+    name = "urlshort"
+    apis = ("shorten",)
+    tier = "mid"
+    footprint_bytes = 512
+
+    def build_program(self):
+        b = ProgramBuilder(self.name)
+        emit_hash(b, "r10", "r3", rounds=6)
+        b.li("r11", 7)  # 7 base-62 digits
+        with b.loop("r11"):
+            b.li("r13", 62)
+            b.rem("r12", "r10", "r13")
+            b.div("r10", "r10", "r13")
+            b.st("r12", "sp", 16, Segment.STACK)
+        b.call("store_mapping", frame=48)
+        emit_table_probe(b, "r10", "r6", "r15")  # collision check
+        b.andi("r14", "r10", 0x3FF8)
+        b.add("r14", "r14", "r6")
+        b.st("r3", "r14", 0, Segment.HEAP)
+        emit_locked_update(b, "r7", "r2")
+        emit_respond(b)
+        emit_helper_fn(b, "store_mapping", spills=4, work_ops=3, frame=48)
+        return b.build()
+
+    def generate_requests(self, n, rng: random.Random, start_rid=0) -> List[Request]:
+        return [
+            Request(rid=start_rid + i, service=self.name, api="shorten",
+                    api_id=0, size=zipf_size(rng, 1, 3),
+                    key=zipf_key(rng))
+            for i in range(n)
+        ]
+
+
+class UniqueIdService(Microservice):
+    """Snowflake-style id generation: almost perfectly uniform control
+    flow -> ~95% SIMT efficiency even with naive batching (Fig. 4)."""
+
+    name = "uniqueid"
+    apis = ("gen",)
+    tier = "mid"
+    footprint_bytes = 256
+
+    def build_program(self):
+        b = ProgramBuilder(self.name)
+        b.ld("r10", "r6", 0, Segment.HEAP, note="clock word (shared)")
+        b.li("r11", 1)
+        b.amoadd("r12", "r7", "r11", offset=16, note="sequence counter")
+        emit_hash(b, "r13", "r3", rounds=4)
+        b.shli("r14", "r10", 20)
+        b.xor("r14", "r14", "r12")
+        b.xor("r14", "r14", "r13")
+        b.st("r14", "r5", 0, Segment.HEAP)
+        b.call("format_id", frame=48)
+        emit_respond(b)
+        emit_helper_fn(b, "format_id", spills=3, work_ops=3, frame=48)
+        return b.build()
+
+    def generate_requests(self, n, rng: random.Random, start_rid=0) -> List[Request]:
+        return [
+            Request(rid=start_rid + i, service=self.name, api="gen",
+                    api_id=0, size=1, key=zipf_key(rng))
+            for i in range(n)
+        ]
+
+
+class UserTagService(Microservice):
+    """Tag membership: two APIs over small per-user tag sets."""
+
+    name = "usertag"
+    apis = ("addTag", "getTags")
+    tier = "mid"
+    footprint_bytes = 512
+
+    def build_program(self):
+        b = ProgramBuilder(self.name)
+        b.bne("r1", "zero", "api_get")
+
+        emit_table_probe(b, "r3", "r6", "r10", mask=0x7FFFF8)  # addTag
+        b.mov("r11", "r2")
+        b.mov("r13", "r5")
+        b.counted_loop(
+            "r11",
+            lambda j: (b.hash("r12", "r3", "r3"),
+                       b.st("r12", "r13", 8 * j, Segment.HEAP)),
+            cursors=(("r13", 8),),
+            unroll=4,
+        )
+        b.jmp("finish")
+
+        b.label("api_get")
+        emit_table_probe(b, "r3", "r6", "r10", mask=0x7FFFF8)
+        b.mov("r11", "r2")
+        b.mov("r13", "r5")
+        accs2 = ("r14", "r18")
+        b.counted_loop(
+            "r11",
+            lambda j: (b.ld("r12", "r13", 8 * j, Segment.HEAP),
+                       b.add(accs2[j % 2], accs2[j % 2], "r12")),
+            cursors=(("r13", 8),),
+            unroll=4,
+        )
+        b.add("r14", "r14", "r18")
+
+        b.label("finish")
+        b.call("ack_helper", frame=48)
+        emit_locked_update(b, "r7", "r2")
+        emit_respond(b)
+        emit_helper_fn(b, "ack_helper", spills=4, work_ops=3, frame=48)
+        return b.build()
+
+    def generate_requests(self, n, rng: random.Random, start_rid=0) -> List[Request]:
+        out = []
+        for i in range(n):
+            api = pick_api(rng, (0.5, 0.5))
+            out.append(
+                Request(rid=start_rid + i, service=self.name,
+                        api=self.apis[api], api_id=api,
+                        size=zipf_size(rng, 1, 8),
+                        key=zipf_key(rng))
+            )
+        return out

@@ -1,0 +1,100 @@
+"""Recommender family (µSuite): mid-tier feature prep and SIMD leaf."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..isa.builder import ProgramBuilder
+from ..isa.instructions import Segment
+from .base import Microservice, Request, zipf_key, zipf_size
+from .kernels import (
+    emit_hash,
+    emit_helper_fn,
+    emit_pointer_chase,
+    emit_locked_update,
+    emit_respond,
+    emit_simd_stream,
+    emit_table_probe,
+    emit_word_scan,
+)
+
+
+class RecommenderMidTier(Microservice):
+    """Assembles the feature vector for the scoring leaf."""
+
+    name = "recommender-midtier"
+    apis = ("recommend",)
+    tier = "mid"
+    footprint_bytes = 1024
+
+    def build_program(self):
+        b = ProgramBuilder(self.name)
+        emit_word_scan(b, "r2", "r4", "r10")
+        emit_pointer_chase(b, 2, "r6", "r10", "r9")  # feature store
+        b.mov("r11", "r2")
+        b.mov("r12", "r5")
+        b.counted_loop(  # normalize features into scratch (unrolled)
+            "r11",
+            lambda j: (b.hash("r13", "r10", "r10"),
+                       b.st("r13", "r12", 8 * j, Segment.HEAP)),
+            cursors=(("r12", 8),),
+            unroll=4,
+        )
+        b.call("ctx_helper", frame=64)
+        emit_locked_update(b, "r7", "r2")
+        emit_respond(b)
+        emit_helper_fn(b, "ctx_helper", spills=5, work_ops=4)
+        return b.build()
+
+    def generate_requests(self, n, rng: random.Random, start_rid=0) -> List[Request]:
+        return [
+            Request(rid=start_rid + i, service=self.name, api="recommend",
+                    api_id=0, size=zipf_size(rng, 2, 10),
+                    key=zipf_key(rng))
+            for i in range(n)
+        ]
+
+
+class RecommenderLeaf(Microservice):
+    """MLPack-style scoring: SIMD dot products against the *shared*
+    model matrix - broadcast-coalescable loads, SIMD-dominated energy."""
+
+    name = "recommender-leaf"
+    apis = ("score",)
+    tier = "leaf"
+    simd_heavy = True
+    footprint_bytes = 2048
+
+    def build_program(self):
+        b = ProgramBuilder(self.name)
+        # user embedding into scratch (private, small)
+        b.li("r10", 16)
+        b.mov("r11", "r5")
+        b.counted_loop(
+            "r10",
+            lambda j: (b.hash("r12", "r3", "r3"),
+                       b.st("r12", "r11", 8 * j, Segment.HEAP)),
+            cursors=(("r11", 8),),
+            unroll=4,
+        )
+        # score against 128 shared model rows: identical addresses in
+        # every lane -> the MCU broadcasts one access per vector
+        b.li("r13", 128)
+        emit_simd_stream(b, "r13", "r6")
+        # rescore the private embedding
+        b.li("r13", 4)
+        emit_simd_stream(b, "r13", "r5")
+        emit_hash(b, "r14", "r3", rounds=2)
+        emit_table_probe(b, "r14", "r6", "r15")  # popularity-bias check
+        emit_locked_update(b, "r7", "r2")
+        emit_respond(b)
+        return b.build()
+
+    def generate_requests(self, n, rng: random.Random, start_rid=0) -> List[Request]:
+        return [
+            Request(rid=start_rid + i, service=self.name, api="score",
+                    api_id=0, size=zipf_size(rng, 2, 6),
+                    key=zipf_key(rng))
+            for i in range(n)
+        ]

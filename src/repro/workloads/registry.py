@@ -1,0 +1,56 @@
+"""Registry of the 15 studied microservices (paper Section IV)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .base import Microservice
+from .hdsearch import HdSearchLeaf, HdSearchMidTier
+from .memcached import McRouter, MemcachedBackend
+from .post import (
+    PostService,
+    TextService,
+    UniqueIdService,
+    UrlShortenService,
+    UserTagService,
+)
+from .recommender import RecommenderLeaf, RecommenderMidTier
+from .search import SearchLeaf, SearchMidTier
+from .user import SocialGraphService, UserService
+
+SERVICE_CLASSES: List[Type[Microservice]] = [
+    McRouter,
+    MemcachedBackend,
+    SearchMidTier,
+    SearchLeaf,
+    HdSearchMidTier,
+    HdSearchLeaf,
+    RecommenderMidTier,
+    RecommenderLeaf,
+    PostService,
+    TextService,
+    UrlShortenService,
+    UniqueIdService,
+    UserTagService,
+    UserService,
+    SocialGraphService,
+]
+
+SERVICE_NAMES: List[str] = [cls.name for cls in SERVICE_CLASSES]
+
+_BY_NAME: Dict[str, Type[Microservice]] = {c.name: c for c in SERVICE_CLASSES}
+
+
+def get_service(name: str) -> Microservice:
+    """Instantiate a microservice by registry name."""
+    try:
+        return _BY_NAME[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown service {name!r}; known: {', '.join(SERVICE_NAMES)}"
+        ) from None
+
+
+def all_services() -> List[Microservice]:
+    """Fresh instances of all 15 studied microservices."""
+    return [cls() for cls in SERVICE_CLASSES]

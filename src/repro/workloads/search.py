@@ -1,0 +1,124 @@
+"""Search family (µSuite): mid-tier aggregator and leaf shard."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..isa.builder import ProgramBuilder
+from ..isa.instructions import Segment, SyscallKind
+from .base import Microservice, Request, zipf_key, zipf_size
+from .kernels import (
+    emit_hash,
+    emit_helper_fn,
+    emit_locked_update,
+    emit_private_stream,
+    emit_respond,
+    emit_word_scan,
+)
+
+
+class SearchMidTier(Microservice):
+    """Parses the query, fans out to leaf shards, merges responses."""
+
+    name = "search-midtier"
+    apis = ("search",)
+    tier = "mid"
+    footprint_bytes = 1536
+
+    def build_program(self):
+        b = ProgramBuilder(self.name)
+        emit_word_scan(b, "r2", "r4", "r10")  # parse query words
+        b.call("prep_helper", frame=64)
+        b.syscall(SyscallKind.NETWORK, note="fan out to leaf shards")
+        # merge 8 shard responses from the scratch buffer
+        b.li("r12", 8)
+        b.mov("r13", "r5")
+        b.counted_loop(  # merge shard responses (unrolled)
+            "r12",
+            lambda j: (b.ld("r14", "r13", 8 * j, Segment.HEAP),
+                       b.st("r14", "sp", 16 + 8 * j, Segment.STACK),
+                       b.ld("r15", "sp", 16 + 8 * j, Segment.STACK),
+                       b.max("r10", "r10", "r15")),
+            cursors=(("r13", 8),),
+            unroll=4,
+        )
+        emit_locked_update(b, "r7", "r2")
+        emit_respond(b)
+        emit_helper_fn(b, "prep_helper", spills=5, work_ops=4)
+        return b.build()
+
+    def generate_requests(self, n, rng: random.Random, start_rid=0) -> List[Request]:
+        return [
+            Request(
+                rid=start_rid + i,
+                service=self.name,
+                api="search",
+                api_id=0,
+                size=zipf_size(rng, 1, 12),
+                key=zipf_key(rng),
+            )
+            for i in range(n)
+        ]
+
+
+class SearchLeaf(Microservice):
+    """Posting-list intersection over the shard's inverted index.
+
+    Trip counts scale with the query length (argument-size batching is
+    worth ~5x here, Fig. 11) with a data-dependent posting-list length
+    per word; results accumulate in a private array (divergent heap).
+    """
+
+    name = "search-leaf"
+    apis = ("search",)
+    tier = "leaf"
+    footprint_bytes = 8192
+    recommended_batch = 8
+
+    def build_program(self):
+        b = ProgramBuilder(self.name)
+        b.mov("r10", "r2")   # remaining query words
+        b.mov("r11", "r4")   # input cursor
+        b.mov("r12", "r5")   # private result cursor
+        outer = b.fresh("word")
+        done = b.fresh("done")
+        b.label(outer)
+        b.ble("r10", "zero", done)
+        b.ld("r13", "r11", 0, Segment.HEAP)        # query word
+        emit_hash(b, "r14", "r13", rounds=2)
+        b.andi("r15", "r14", 15)
+        b.addi("r15", "r15", 24)                   # posting length 24..39
+        b.andi("r16", "r14", 0x7FFFF8)
+        b.add("r16", "r16", "r6")                  # posting base (shared)
+        b.counted_loop(  # walk the posting list (unrolled)
+            "r15",
+            lambda j: (b.ld("r17", "r16", 8 * j, Segment.HEAP),
+                       b.hash("r18", "r17", "r13"),
+                       b.st("r18", "r12", 8 * j, Segment.HEAP)),
+            cursors=(("r16", 8), ("r12", 8)),
+            unroll=4,
+        )
+        b.addi("r11", "r11", 8)
+        b.addi("r10", "r10", -1)
+        b.jmp(outer)
+        b.label(done)
+        # rank: sparse two-pass walk over the private scoring structure
+        emit_private_stream(b, 256, "r5", "r19", write_first=True,
+                            stride=32)
+        emit_locked_update(b, "r7", "r2")
+        emit_respond(b)
+        return b.build()
+
+    def generate_requests(self, n, rng: random.Random, start_rid=0) -> List[Request]:
+        return [
+            Request(
+                rid=start_rid + i,
+                service=self.name,
+                api="search",
+                api_id=0,
+                size=zipf_size(rng, 1, 12),
+                key=zipf_key(rng),
+            )
+            for i in range(n)
+        ]

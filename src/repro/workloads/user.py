@@ -1,0 +1,141 @@
+"""User service and social-graph service.
+
+``user`` implements the paper's Fig. 17 pattern verbatim: try the
+memcached tier first (hit ~90%), fall back to millisecond-scale storage
+on a miss and refill the cache - the latency-divergence case that
+motivates system-level batch splitting (Section III-B5).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..isa.builder import ProgramBuilder
+from ..isa.instructions import Segment, SyscallKind
+from .base import Microservice, Request, pick_api, zipf_key, zipf_size
+from .kernels import (
+    emit_hash,
+    emit_parallel_mix,
+    emit_pointer_chase,
+    emit_helper_fn,
+    emit_locked_update,
+    emit_respond,
+    emit_table_probe,
+    emit_word_scan,
+)
+
+
+class UserService(Microservice):
+    """User profile/login service with the Fig. 17 cache-or-storage path."""
+
+    name = "user"
+    apis = ("profile", "login")
+    tier = "mid"
+    footprint_bytes = 768
+
+    #: fraction of profile lookups that hit memcached; requests carry
+    #: the outcome in ``payload["mc_hit"]`` so the system-level model
+    #: and the instruction-level model agree
+    MEMCACHED_HIT_RATE = 0.9
+
+    def build_program(self):
+        b = ProgramBuilder(self.name)
+        b.bne("r1", "zero", "api_login")
+
+        # --- profile: Fig. 17 get-or-fill-cache pattern ---------------
+        emit_table_probe(b, "r3", "r6", "r10", mask=0x7FFFF8)
+        emit_pointer_chase(b, 1, "r6", "r10", "r9")  # follow row pointer
+        # r8 carries the precomputed hit/miss outcome (payload word)
+        b.bne("r8", "zero", "mc_hit")
+        # miss: fetch the row from storage and refill the cache
+        b.syscall(SyscallKind.STORAGE, note="db_select users")
+        b.li("r11", 10)
+        with b.loop("r11"):  # deserialize the row
+            b.hash("r12", "r11", "r3")
+            b.st("r12", "r5", 0, Segment.HEAP)
+        b.syscall(SyscallKind.MEMCACHED, note="memcached_add")
+        b.label("mc_hit")  # SIMT reconvergence point (Fig. 17 line 11)
+        emit_parallel_mix(b, 40, "r10", accs=("r20", "r21", "r22", "r23"))
+        b.st("r20", "sp", 16, Segment.STACK)
+        b.call("render_profile", frame=64)
+        b.jmp("finish")
+
+        # --- login: credential hash check ------------------------------
+        b.label("api_login")
+        emit_word_scan(b, "r2", "r4", "r10")
+        # password stretching rounds (uniform)
+        emit_parallel_mix(b, 40, "r10", accs=("r20", "r21", "r22", "r23"))
+        emit_hash(b, "r13", "r20", rounds=6)
+        b.call("session_helper", frame=64)
+
+        b.label("finish")
+        emit_locked_update(b, "r7", "r2")
+        emit_respond(b)
+        emit_helper_fn(b, "render_profile", spills=6, work_ops=5)
+        emit_helper_fn(b, "session_helper", spills=4, work_ops=4)
+        return b.build()
+
+    def setup_thread(self, thread, request, mem, allocator, shared):
+        super().setup_thread(thread, request, mem, allocator, shared)
+        thread.regs[8] = request.payload.get("mc_hit", 1)
+
+    def generate_requests(self, n, rng: random.Random, start_rid=0) -> List[Request]:
+        out = []
+        for i in range(n):
+            api = pick_api(rng, (0.7, 0.3))
+            hit = 1 if rng.random() < self.MEMCACHED_HIT_RATE else 0
+            out.append(
+                Request(rid=start_rid + i, service=self.name,
+                        api=self.apis[api], api_id=api,
+                        size=zipf_size(rng, 1, 8),
+                        key=zipf_key(rng),
+                        payload={"mc_hit": hit})
+            )
+        return out
+
+
+class SocialGraphService(Microservice):
+    """Streaming graph updates (SAGA-Bench): neighbor walks with
+    fine-grained atomic updates to shared vertex counters."""
+
+    name = "socialgraph"
+    apis = ("update",)
+    tier = "leaf"
+    footprint_bytes = 1024
+    #: graph partitions thrash the L1 at batch 32 (Section III-B3)
+    recommended_batch = 8
+
+    def build_program(self):
+        b = ProgramBuilder(self.name)
+        emit_hash(b, "r10", "r3", rounds=2)
+        b.andi("r11", "r10", 7)
+        b.addi("r11", "r11", 8)  # degree 8..15
+        b.andi("r12", "r10", 0x3FFF8)
+        b.add("r12", "r12", "r6")  # adjacency base (shared)
+        accs = ("r18", "r19")
+
+        def neighbor(j):
+            b.ld("r13", "r12", 8 * j, Segment.HEAP)  # neighbor id
+            b.andi("r14", "r13", 0xFFF8)
+            b.add("r14", "r14", "r6")
+            b.ld("r17", "r14", 0, Segment.HEAP)  # neighbor row
+            a = accs[j % 2]
+            b.add(a, a, "r17")
+
+        b.counted_loop("r11", neighbor, cursors=(("r12", 8),), unroll=4)
+        b.add("r18", "r18", "r19")
+        # one fine-grained atomic per update (aggregated delta)
+        b.amoadd("r16", "r7", "r18", note="vertex counter")
+        b.call("compact_helper", frame=48)
+        emit_respond(b)
+        emit_helper_fn(b, "compact_helper", spills=3, work_ops=3, frame=48)
+        return b.build()
+
+    def generate_requests(self, n, rng: random.Random, start_rid=0) -> List[Request]:
+        return [
+            Request(rid=start_rid + i, service=self.name, api="update",
+                    api_id=0, size=zipf_size(rng, 1, 4),
+                    key=zipf_key(rng))
+            for i in range(n)
+        ]

@@ -1,0 +1,138 @@
+"""Batching server tests: policies, splitter, tuner."""
+
+import random
+
+import pytest
+
+from repro.batching import (
+    BatchSizeTuner,
+    batch_naive,
+    batch_per_api,
+    batch_per_api_size,
+    form_batches,
+    memcached_miss_predicate,
+    rebatch_orphans,
+    split_batch,
+)
+from repro.workloads.base import Request
+
+
+def make_requests(n=64, apis=2, seed=0):
+    rng = random.Random(seed)
+    return [
+        Request(rid=i, service="t", api=f"api{i % apis}",
+                api_id=i % apis, size=rng.randint(1, 16),
+                key=rng.getrandbits(16))
+        for i in range(n)
+    ]
+
+
+def all_rids(batches):
+    return sorted(r.rid for b in batches for r in b)
+
+
+class TestPolicies:
+    def test_naive_preserves_arrival_order(self):
+        reqs = make_requests(70)
+        batches = batch_naive(reqs, 32)
+        assert [len(b) for b in batches] == [32, 32, 6]
+        assert [r.rid for r in batches[0]] == list(range(32))
+
+    def test_every_policy_conserves_requests(self):
+        reqs = make_requests(100, apis=3)
+        for policy in ("naive", "per_api", "per_api_size"):
+            assert all_rids(form_batches(reqs, 32, policy)) == \
+                list(range(100))
+
+    def test_per_api_batches_are_api_pure(self):
+        reqs = make_requests(100, apis=3)
+        for batch in batch_per_api(reqs, 32):
+            assert len({r.api_id for r in batch}) == 1
+
+    def test_per_api_size_sorts_by_size(self):
+        reqs = make_requests(100, apis=2)
+        for batch in batch_per_api_size(reqs, 32):
+            sizes = [r.size for r in batch]
+            assert sizes == sorted(sizes)
+            assert len({r.api_id for r in batch}) == 1
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(KeyError):
+            form_batches(make_requests(8), 8, "bogus")
+
+    def test_batch_size_one(self):
+        batches = form_batches(make_requests(5), 1, "naive")
+        assert [len(b) for b in batches] == [1] * 5
+
+
+class TestIsolateOutliers:
+    def test_outliers_get_their_own_batches(self):
+        from repro.batching import batch_isolate_outliers
+        reqs = make_requests(40)
+        for r in reqs[:3]:
+            r.size = 100  # maliciously long queries
+        batches = batch_isolate_outliers(reqs, 16, size_limit=24)
+        singles = [b for b in batches if len(b) == 1]
+        assert len(singles) >= 3
+        assert all(b[0].size > 24 for b in singles[-3:])
+        assert all_rids(batches) == list(range(40))
+
+    def test_no_outliers_reduces_to_per_api_size(self):
+        from repro.batching import batch_isolate_outliers, batch_per_api_size
+        reqs = make_requests(40)
+        a = batch_isolate_outliers(reqs, 16)
+        b = batch_per_api_size(reqs, 16)
+        assert [[r.rid for r in x] for x in a] == \
+            [[r.rid for r in x] for x in b]
+
+    def test_normal_batches_never_contain_outliers(self):
+        from repro.batching import batch_isolate_outliers
+        reqs = make_requests(60)
+        for r in reqs[::7]:
+            r.size = 99
+        for batch in batch_isolate_outliers(reqs, 16, size_limit=24):
+            if len(batch) > 1:
+                assert all(r.size <= 24 for r in batch)
+
+
+class TestSplitter:
+    def test_split_partitions(self):
+        reqs = make_requests(32)
+        for i, r in enumerate(reqs):
+            r.payload["mc_hit"] = 0 if i % 4 == 0 else 1
+        decision = split_batch(reqs, memcached_miss_predicate)
+        assert decision.did_split
+        assert len(decision.blocked) == 8
+        assert len(decision.fast) == 24
+        assert {r.rid for r in decision.fast} | \
+            {r.rid for r in decision.blocked} == {r.rid for r in reqs}
+
+    def test_no_split_when_uniform(self):
+        reqs = make_requests(8)
+        for r in reqs:
+            r.payload["mc_hit"] = 1
+        decision = split_batch(reqs, memcached_miss_predicate)
+        assert not decision.did_split
+        assert len(decision.fast) == 8
+
+    def test_rebatch_orphans(self):
+        orphans = make_requests(70)
+        groups = rebatch_orphans(orphans, 32)
+        assert [len(g) for g in groups] == [32, 32, 6]
+
+
+class TestTuner:
+    def test_picks_largest_batch_below_threshold(self):
+        curve = {32: 50.0, 16: 25.0, 8: 10.0, 4: 5.0}
+        tuner = BatchSizeTuner(lambda b: curve[b], mpki_threshold=20.0)
+        result = tuner.tune()
+        assert result.chosen == 8
+        assert result.mpki_by_batch == curve
+
+    def test_keeps_32_when_everything_fits(self):
+        tuner = BatchSizeTuner(lambda b: 1.0, mpki_threshold=20.0)
+        assert tuner.tune().chosen == 32
+
+    def test_falls_back_to_smallest(self):
+        tuner = BatchSizeTuner(lambda b: 100.0, mpki_threshold=20.0)
+        assert tuner.tune().chosen == 4

@@ -1,0 +1,47 @@
+"""Property-based tests for the RPU driver scheduler."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.batching import BatchTask, ComputePhase, IoPhase, RpuDriver
+
+
+def _tasks(compute_lists, io_lists):
+    tasks = []
+    for i, (c, io) in enumerate(zip(compute_lists, io_lists)):
+        phases = [ComputePhase(c)]
+        if io:
+            phases.append(IoPhase(tuple(io)))
+            phases.append(ComputePhase(1.0))
+        tasks.append(BatchTask(i, phases))
+    return tasks
+
+
+@settings(max_examples=40, deadline=None)
+@given(computes=st.lists(st.floats(1.0, 100.0), min_size=1, max_size=6),
+       ios=st.lists(st.lists(st.floats(1.0, 200.0), min_size=0,
+                              max_size=8), min_size=1, max_size=6))
+def test_grouped_never_more_switches_than_eager(computes, ios):
+    n = min(len(computes), len(ios))
+    computes, ios = computes[:n], ios[:n]
+    grouped = RpuDriver(wake_policy="grouped").run(_tasks(computes, ios))
+    eager = RpuDriver(wake_policy="eager").run(_tasks(computes, ios))
+    assert grouped.context_switches <= eager.context_switches
+    assert grouped.interrupts == eager.interrupts
+
+
+@settings(max_examples=40, deadline=None)
+@given(computes=st.lists(st.floats(1.0, 100.0), min_size=1, max_size=8))
+def test_compute_only_makespan_is_sum_plus_switches(computes):
+    driver = RpuDriver(context_switch_us=2.0)
+    stats = driver.run(_tasks(computes, [[] for _ in computes]))
+    expected = sum(computes) + 2.0 * len(computes)
+    assert stats.makespan_us <= expected + 1e-6
+    assert stats.busy_us <= stats.makespan_us
+
+
+@settings(max_examples=30, deadline=None)
+@given(io=st.lists(st.floats(1.0, 500.0), min_size=1, max_size=16))
+def test_every_task_finishes(io):
+    tasks = _tasks([10.0], [io])
+    RpuDriver().run(tasks)
+    assert all(t.finished_at > 0 for t in tasks)

@@ -1,0 +1,91 @@
+"""SimrSystem facade and qualitative-table tests."""
+
+import pytest
+
+from repro import RPU_CONFIG, SimrSystem, speedup_summary
+from repro.core import tables
+
+
+class TestSimrSystem:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return SimrSystem("mcrouter")
+
+    def test_accepts_service_name_or_object(self):
+        from repro.workloads import get_service
+        a = SimrSystem("post")
+        b = SimrSystem(get_service("post"))
+        assert a.service.name == b.service.name == "post"
+
+    def test_sample_requests(self, system):
+        reqs = system.sample_requests(16)
+        assert len(reqs) == 16
+        assert all(r.service == "mcrouter" for r in reqs)
+
+    def test_serve_report_fields(self, system):
+        rep = system.serve(system.sample_requests(96))
+        assert rep.config_name == "rpu"
+        assert rep.n_requests > 0
+        assert rep.avg_latency_us > 0
+        assert rep.requests_per_joule > 0
+        assert 0 < rep.simt_efficiency <= 1
+        assert rep.energy.total > 0
+
+    def test_compare_includes_baselines(self, system):
+        reports = system.compare(system.sample_requests(96))
+        assert set(reports) == {"rpu", "cpu", "cpu-smt8"}
+
+    def test_compare_unknown_baseline(self, system):
+        with pytest.raises(KeyError):
+            system.compare(system.sample_requests(8), baselines=("tpu",))
+
+    def test_speedup_summary_baseline_is_one(self, system):
+        reports = system.compare(system.sample_requests(96))
+        summary = speedup_summary(reports)
+        assert summary["cpu"]["requests_per_joule"] == pytest.approx(1.0)
+        assert summary["cpu"]["latency"] == pytest.approx(1.0)
+        assert summary["rpu"]["requests_per_joule"] > 1.0
+
+    def test_custom_config(self):
+        system = SimrSystem("uniqueid", config=RPU_CONFIG, batch_size=8)
+        rep = system.serve(system.sample_requests(64))
+        assert rep.chip_result.batch_size == 8
+
+
+class TestQualitativeTables:
+    def test_table_i_shape(self):
+        assert len(tables.TABLE_I) == 5
+        for metric, cpu, gpu, rpu in tables.TABLE_I:
+            assert isinstance(metric, str)
+
+    def test_table_ii_rpu_mixes_cpu_and_gpu_traits(self):
+        by_metric = {m: (c, g, r) for m, c, g, r in tables.TABLE_II}
+        # latency-side traits match the CPU
+        assert by_metric["Core model"][2] == by_metric["Core model"][0]
+        assert by_metric["ISA"][2] == by_metric["ISA"][0]
+        # memory-system traits match the GPU
+        assert by_metric["Consistency"][2] == by_metric["Consistency"][1]
+        assert by_metric["Interconnect"][2] == by_metric["Interconnect"][1]
+
+    def test_table_iii_pairs(self):
+        assert len(tables.TABLE_III) == 6
+
+    def test_terminology_lookup(self):
+        assert tables.gpu_terminology("Warp") == "HW Batch"
+        assert tables.gpu_terminology("kernel") == "Service"
+        with pytest.raises(KeyError):
+            tables.gpu_terminology("tensor core")
+
+    def test_table_vii_simr_row_unique(self):
+        simr = [r for r in tables.TABLE_VII if r["system"] == "SIMR"]
+        assert len(simr) == 1
+        assert simr[0]["ooo"] == "yes"
+        assert simr[0]["grain"] == "Coarse"
+        others = [r for r in tables.TABLE_VII if r["system"] != "SIMR"]
+        assert all(r["grain"] != "Coarse" for r in others)
+
+    def test_render(self):
+        text = tables.render(tables.TABLE_I, headers=("metric", "cpu",
+                                                      "gpu", "rpu"))
+        assert "SIMT" in text
+        assert tables.render(tables.TABLE_VII)

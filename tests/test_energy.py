@@ -1,0 +1,151 @@
+"""Energy model tests: runtime accounting, Table V, Equation 1."""
+
+import random
+
+import pytest
+
+from repro.energy import (
+    CPU_ENERGY,
+    RPU_ENERGY,
+    EnergyComposition,
+    anticipated_gain_range,
+    chip_totals,
+    constants_for,
+    core_totals,
+    energy_efficiency_gain,
+    energy_of,
+    format_table,
+    frontend_ooo_share,
+    requests_per_joule,
+    simt_overhead_share,
+)
+from repro.timing import CPU_CONFIG, RPU_CONFIG, run_chip
+from repro.workloads import get_service
+
+
+@pytest.fixture(scope="module")
+def cpu_result():
+    service = get_service("post")
+    requests = service.generate_requests(96, random.Random(5))
+    return run_chip(service, requests, CPU_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def rpu_result():
+    service = get_service("post")
+    requests = service.generate_requests(96, random.Random(5))
+    return run_chip(service, requests, RPU_CONFIG)
+
+
+class TestRuntimeEnergy:
+    def test_breakdown_parts_positive(self, cpu_result):
+        bd = energy_of(cpu_result)
+        assert bd.frontend_ooo > 0
+        assert bd.execution > 0
+        assert bd.memory > 0
+        assert bd.static > 0
+        assert bd.simt_overhead == 0  # MIMD design
+
+    def test_total_is_sum(self, cpu_result):
+        bd = energy_of(cpu_result)
+        assert bd.total == pytest.approx(
+            bd.frontend_ooo + bd.execution + bd.memory
+            + bd.simt_overhead + bd.static)
+
+    def test_shares_sum_to_one(self, cpu_result):
+        bd = energy_of(cpu_result)
+        total = sum(bd.share(p) for p in
+                    ("frontend_ooo", "execution", "memory",
+                     "simt_overhead"))
+        assert total == pytest.approx(1.0)
+
+    def test_cpu_frontend_dominates(self, cpu_result):
+        bd = energy_of(cpu_result)
+        assert bd.share("frontend_ooo") > 0.5  # paper: ~73% average
+
+    def test_rpu_has_simt_overhead(self, rpu_result):
+        bd = energy_of(rpu_result)
+        assert bd.simt_overhead > 0
+
+    def test_rpu_frontend_amortized(self, cpu_result, rpu_result):
+        cpu_fe = energy_of(cpu_result).frontend_ooo / cpu_result.n_requests
+        rpu_fe = energy_of(rpu_result).frontend_ooo / rpu_result.n_requests
+        assert rpu_fe < cpu_fe / 5
+
+    def test_requests_per_joule_positive(self, cpu_result):
+        assert requests_per_joule(cpu_result) > 0
+
+    def test_constants_lookup(self):
+        assert constants_for("cpu") is CPU_ENERGY
+        assert constants_for("rpu-no-mcu") is RPU_ENERGY
+        with pytest.raises(KeyError):
+            constants_for("tpu")
+
+    def test_rpu_cache_energy_ratios(self):
+        assert RPU_ENERGY.l1_access / CPU_ENERGY.l1_access == \
+            pytest.approx(1.72, abs=0.1)
+        assert RPU_ENERGY.l2_access / CPU_ENERGY.l2_access == \
+            pytest.approx(1.82, abs=0.1)
+
+
+class TestAreaPower:
+    def test_core_ratios_match_paper(self):
+        totals = core_totals()
+        assert totals["core_area_ratio"] == pytest.approx(6.3, abs=0.2)
+        assert totals["core_power_ratio"] == pytest.approx(4.5, abs=0.2)
+
+    def test_frontend_share(self):
+        area, power = frontend_ooo_share()
+        assert area == pytest.approx(0.40, abs=0.05)
+        assert power == pytest.approx(0.50, abs=0.08)
+
+    def test_simt_overhead_share(self):
+        assert simt_overhead_share() == pytest.approx(0.118, abs=0.02)
+
+    def test_thread_density(self):
+        assert chip_totals()["thread_density_ratio"] == \
+            pytest.approx(5.2, abs=0.3)
+
+    def test_chip_totals_match_table(self):
+        ch = chip_totals()
+        assert ch["cpu_chip_area_mm2"] == pytest.approx(141, abs=2)
+        assert ch["rpu_chip_area_mm2"] == pytest.approx(173.9, abs=2)
+        assert ch["cpu_chip_power_w"] == pytest.approx(338.1, abs=3)
+        assert ch["rpu_chip_power_w"] == pytest.approx(304.2, abs=3)
+
+    def test_format_table_renders(self):
+        text = format_table()
+        assert "L1-Xbar" in text and "Total Chip" in text
+
+
+class TestEquationOne:
+    def test_gain_increases_with_batch(self):
+        assert energy_efficiency_gain(n=32) > energy_efficiency_gain(n=8)
+
+    def test_gain_increases_with_efficiency(self):
+        assert energy_efficiency_gain(eff=0.95) > \
+            energy_efficiency_gain(eff=0.5)
+
+    def test_gain_increases_with_coalescing(self):
+        assert energy_efficiency_gain(r=0.9) > energy_efficiency_gain(r=0.1)
+
+    def test_degenerate_batch_of_one(self):
+        assert energy_efficiency_gain(n=1, eff=1.0, r=0.0,
+                                      simt_overhead=0.0) == \
+            pytest.approx(1.0)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            energy_efficiency_gain(n=0)
+        with pytest.raises(ValueError):
+            energy_efficiency_gain(eff=0.0)
+        with pytest.raises(ValueError):
+            energy_efficiency_gain(r=1.5)
+        with pytest.raises(ValueError):
+            EnergyComposition(frontend_ooo=0.9, execution=0.9,
+                              memory=0.9, static=0.9)
+
+    def test_anticipated_range_matches_paper(self):
+        low, high = anticipated_gain_range()
+        assert 1.5 < low < 3.0
+        assert 8.0 < high < 11.0

@@ -1,0 +1,285 @@
+"""Lockstep executor tests: reconvergence, efficiency, equivalence."""
+
+import pytest
+
+from repro.engine import (
+    IpdomExecutor,
+    MemoryImage,
+    MinSpPcExecutor,
+    SoloExecutor,
+    ThreadState,
+    make_executor,
+)
+from repro.isa import ControlFlowGraph, ProgramBuilder, Segment
+
+
+def diamond_program():
+    """The Fig. 7 example: if/else with a join (BBA-BBB/BBC-BBD)."""
+    b = ProgramBuilder("diamond")
+    b.addi("r2", "r1", 0)          # BBA
+    b.ble("r1", "zero", "else_")   # if (x > 0)
+    b.addi("r3", "r2", 100)        # BBB
+    b.jmp("join")
+    b.label("else_")
+    b.addi("r3", "r2", 200)        # BBC
+    b.label("join")
+    b.addi("r4", "r3", 1)          # BBD
+    b.halt()
+    return b.build()
+
+
+def run_batch(program, inputs, policy):
+    mem = MemoryImage()
+    threads = []
+    for tid, x in enumerate(inputs):
+        t = ThreadState(tid)
+        t.regs[1] = x
+        threads.append(t)
+    ex = make_executor(program, policy)
+    res = ex.run(threads, mem)
+    return threads, res
+
+
+@pytest.mark.parametrize("policy", ["ipdom", "minsp_pc"])
+def test_diamond_results_correct(policy):
+    threads, res = run_batch(diamond_program(), [5, 3, -1, -2], policy)
+    assert threads[0].regs[4] == 5 + 100 + 1
+    assert threads[1].regs[4] == 3 + 100 + 1
+    assert threads[2].regs[4] == -1 + 200 + 1
+    assert threads[3].regs[4] == -2 + 200 + 1
+    assert all(t.halted for t in threads)
+
+
+@pytest.mark.parametrize("policy", ["ipdom", "minsp_pc"])
+def test_diamond_reconverges(policy):
+    """Divergent sides are serialized but the join runs with everyone."""
+    _, res = run_batch(diamond_program(), [5, 3, -1, -2], policy)
+    assert res.divergent_branches == 1
+    # 4 threads: uniform part has 2+2 insts (BBA, branch, BBD join+halt),
+    # sides have 2 and 1 batch instructions -> efficiency strictly <1 but
+    # well above the serialized 1/4 floor.
+    assert 0.5 < res.simt_efficiency < 1.0
+
+
+@pytest.mark.parametrize("policy", ["ipdom", "minsp_pc"])
+def test_uniform_batch_is_fully_efficient(policy):
+    _, res = run_batch(diamond_program(), [5, 6, 7, 8], policy)
+    assert res.divergent_branches == 0
+    assert res.simt_efficiency == 1.0
+
+
+def test_ipdom_matches_fig7_step_count():
+    """Fig. 7: with 2 taken and 2 not-taken threads, the MinPC schedule
+    issues each side once and reconverges at the join."""
+    program = diamond_program()
+    _, res = run_batch(program, [5, 5, -1, -1], "ipdom")
+    # batch instructions: BBA(1) + branch(1) + BBB(2: addi,jmp) +
+    # BBC(1) + BBD(2: addi, halt) = 7
+    assert res.steps == 7
+    assert res.scalar_instructions == 4 + 4 + 2 * 2 + 2 * 1 + 4 * 2
+
+
+@pytest.mark.parametrize("policy", ["ipdom", "minsp_pc"])
+def test_solo_equivalence_on_diamond(policy):
+    inputs = [9, -4, 0, 13]
+    program = diamond_program()
+    batch_threads, _ = run_batch(program, inputs, policy)
+
+    for tid, x in enumerate(inputs):
+        mem = MemoryImage()
+        t = ThreadState(tid)
+        t.regs[1] = x
+        SoloExecutor(program).run(t, mem)
+        assert t.regs[4] == batch_threads[tid].regs[4]
+        assert t.retired == batch_threads[tid].retired
+
+
+def loop_program():
+    """Per-thread trip counts -> latency/control divergence."""
+    b = ProgramBuilder("loop")
+    with b.loop("r1"):
+        b.addi("r2", "r2", 3)
+    b.halt()
+    return b.build()
+
+
+@pytest.mark.parametrize("policy", ["ipdom", "minsp_pc"])
+def test_variable_trip_counts(policy):
+    threads, res = run_batch(loop_program(), [1, 2, 4, 8], policy)
+    for t, n in zip(threads, [1, 2, 4, 8]):
+        assert t.regs[2] == 3 * n
+    # efficiency dominated by the longest thread
+    assert res.simt_efficiency < 1.0
+
+
+def call_program():
+    b = ProgramBuilder("call")
+    b.call("double", frame=32)
+    b.addi("r3", "r1", 5)
+    b.halt()
+    b.label("double")
+    b.add("r1", "r1", "r1")
+    b.ret()
+    return b.build()
+
+
+@pytest.mark.parametrize("policy", ["ipdom", "minsp_pc"])
+def test_call_ret_and_sp(policy):
+    threads, _ = run_batch(call_program(), [10, 20], policy)
+    assert threads[0].regs[3] == 25
+    assert threads[1].regs[3] == 45
+    for t in threads:
+        assert t.depth == 0
+        assert t.sp == t.stack_top - 128  # frame fully released
+
+
+def test_minsp_prioritizes_deeper_call():
+    """A thread inside a call executes before shallower threads resume."""
+    b = ProgramBuilder("t")
+    b.ble("r1", "zero", "skip")
+    b.call("fn", frame=16)
+    b.label("skip")
+    b.addi("r2", "r2", 1)
+    b.halt()
+    b.label("fn")
+    b.addi("r2", "r2", 10)
+    b.ret()
+    program = b.build()
+    threads, res = run_batch(program, [1, 0], "minsp_pc")
+    assert threads[0].regs[2] == 11
+    assert threads[1].regs[2] == 1
+
+
+def store_load_program():
+    b = ProgramBuilder("t")
+    b.st("r1", "sp", -8, Segment.STACK)
+    b.ld("r2", "sp", -8, Segment.STACK)
+    b.halt()
+    return b.build()
+
+
+@pytest.mark.parametrize("policy", ["ipdom", "minsp_pc"])
+def test_private_stacks_do_not_alias(policy):
+    threads, _ = run_batch(store_load_program(), [111, 222, 333], policy)
+    for t, v in zip(threads, [111, 222, 333]):
+        assert t.regs[2] == v
+
+
+def test_spinlock_escape_makes_progress():
+    """Classic SIMT-induced deadlock: t1 spins on a lock t0 holds.
+
+    Without multipath escape the MinSP-PC schedule would spin forever;
+    the escape hatch must let t0 release the lock.
+    """
+    b = ProgramBuilder("spin")
+    # r1 = who I am (0 acquires first because it arrives at the amoswap
+    # one step earlier via the initial branch)
+    b.li("r10", 1)
+    b.bne("r1", "zero", "spin")
+    # t0 path: acquire (lock starts 0), work, release
+    b.amoswap("r3", "r20", "r10")      # returns 0 -> acquired
+    b.li("r4", 20)
+    with b.loop("r4"):
+        b.addi("r5", "r5", 1)
+    b.st("zero", "r20", 0, Segment.HEAP)  # release
+    b.jmp("done")
+    b.label("spin")
+    b.amoswap("r3", "r20", "r10")
+    b.bne("r3", "zero", "spin")        # spin until lock free
+    b.label("done")
+    b.addi("r6", "r6", 1)
+    b.halt()
+    program = b.build()
+
+    mem = MemoryImage()
+    lock_addr = 0x4000_1000
+    mem.write(lock_addr, 0)
+    threads = []
+    for tid in range(2):
+        t = ThreadState(tid)
+        t.regs[1] = tid
+        t.regs[20] = lock_addr
+        threads.append(t)
+    ex = MinSpPcExecutor(program, spin_k=16, spin_b=4, spin_t=16,
+                         max_steps=20_000)
+    res = ex.run(threads, mem)
+    assert not res.truncated
+    assert all(t.halted for t in threads)
+    assert all(t.regs[6] == 1 for t in threads)
+
+
+def test_cfg_reconvergence_point_of_diamond():
+    program = diamond_program()
+    cfg = ControlFlowGraph(program)
+    branch_pc = 1
+    assert cfg.reconvergence_pc(branch_pc) == program.labels["join"]
+
+
+def test_max_steps_truncation():
+    b = ProgramBuilder("inf")
+    b.label("top")
+    b.jmp("top")
+    program = b.build()
+    mem = MemoryImage()
+    threads = [ThreadState(0)]
+    res = MinSpPcExecutor(program, max_steps=100).run(threads, mem)
+    assert res.truncated
+
+
+def test_predicated_executor_architecturally_equivalent():
+    """Predication changes timing/energy events, not results."""
+    from repro.engine.lockstep import PredicatedExecutor
+
+    program = diamond_program()
+    inputs = [5, -1, 3, -2]
+    ipdom_threads, _ = run_batch(program, inputs, "ipdom")
+    mem = MemoryImage()
+    threads = []
+    for tid, x in enumerate(inputs):
+        t = ThreadState(tid)
+        t.regs[1] = x
+        threads.append(t)
+    PredicatedExecutor(program).run(threads, mem)
+    for a, b in zip(ipdom_threads, threads):
+        assert a.regs[4] == b.regs[4]
+        assert a.retired == b.retired
+
+
+def test_predicated_executor_reports_full_width():
+    """Every step the sink sees carries the full SIMD width (and
+    emulated ops an inflated width)."""
+    from repro.engine import StepSink
+    from repro.engine.lockstep import PredicatedExecutor
+    from repro.isa import OpClass
+
+    widths = []
+
+    class Sink(StepSink):
+        def on_step(self, pc, inst, active, addrs, outcomes):
+            widths.append((inst.cls, active))
+            assert outcomes is None  # predicates never reach the BP
+
+        def on_done(self):
+            pass
+
+    b = ProgramBuilder("pred")
+    b.ble("r1", "zero", "skip")
+    b.addi("r2", "r2", 1)
+    b.label("skip")
+    b.amoadd("r3", "r4", "r2")
+    b.halt()
+    program = b.build()
+
+    mem = MemoryImage()
+    threads = []
+    for tid, x in enumerate([1, 0, 1, 0]):
+        t = ThreadState(tid)
+        t.regs[1] = x
+        t.regs[4] = 0x4000_0100
+        threads.append(t)
+    PredicatedExecutor(program, sink=Sink(),
+                       emulation_factor=4).run(threads, mem)
+    normal = [w for cls, w in widths if cls is not OpClass.ATOMIC]
+    assert all(w == 4 for w in normal)
+    emulated = [w for cls, w in widths if cls is OpClass.ATOMIC]
+    assert emulated == [16]

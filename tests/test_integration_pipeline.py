@@ -1,0 +1,66 @@
+"""Cross-module integration invariants over the full pipeline."""
+
+import random
+
+import pytest
+
+from repro import SimrSystem
+from repro.energy import energy_of
+from repro.timing import CPU_CONFIG, RPU_CONFIG, run_chip
+from repro.workloads import get_service
+
+SERVICES = ("mcrouter", "usertag", "uniqueid")
+
+
+@pytest.mark.parametrize("name", SERVICES)
+def test_counter_consistency_rpu(name):
+    service = get_service(name)
+    requests = service.generate_requests(96, random.Random(21))
+    res = run_chip(service, requests, RPU_CONFIG)
+    c = res.counters
+    # per-class scalar counts sum to the total
+    per_class = sum(v for k, v in c.items() if k.startswith("scalar_")
+                    and k != "scalar_instructions")
+    assert per_class == c["scalar_instructions"]
+    # every L1 miss goes somewhere downstream
+    assert c["l2_accesses"] + c["mshr_merges"] >= c["l1_misses"]
+    assert c["l3_accesses"] >= c["l2_misses"]
+    assert c["dram_accesses"] <= c["l3_accesses"] + 1
+    # the RPU issues far fewer batch instructions than scalar ones
+    assert c["batch_instructions"] < c["scalar_instructions"]
+
+
+@pytest.mark.parametrize("name", SERVICES)
+def test_cpu_batch_equals_scalar(name):
+    service = get_service(name)
+    requests = service.generate_requests(64, random.Random(22))
+    res = run_chip(service, requests, CPU_CONFIG)
+    c = res.counters
+    assert c["batch_instructions"] == c["scalar_instructions"]
+    assert res.simt_efficiency == 1.0
+
+
+def test_energy_breakdown_consistent_with_report():
+    system = SimrSystem("post")
+    rep = system.serve(system.sample_requests(96))
+    bd = energy_of(rep.chip_result)
+    assert rep.energy.total == pytest.approx(bd.total)
+    assert rep.requests_per_joule == pytest.approx(
+        rep.n_requests / bd.total)
+
+
+def test_deterministic_end_to_end():
+    a = SimrSystem("urlshort", seed=5)
+    b = SimrSystem("urlshort", seed=5)
+    ra = a.serve(a.sample_requests(64))
+    rb = b.serve(b.sample_requests(64))
+    assert ra.avg_latency_us == rb.avg_latency_us
+    assert ra.requests_per_joule == rb.requests_per_joule
+
+
+def test_batch_sizes_multiply_out():
+    """At batch 32, measured requests = batches x 32 (full batches)."""
+    service = get_service("uniqueid")  # single API, uniform sizes
+    requests = service.generate_requests(192, random.Random(23))
+    res = run_chip(service, requests, RPU_CONFIG)
+    assert res.n_requests % 32 == 0

@@ -1,0 +1,146 @@
+"""Unit tests for the ISA layer: builder, program resolution, listing."""
+
+import pytest
+
+from repro.isa import (
+    Instruction,
+    OpClass,
+    Program,
+    ProgramBuilder,
+    ProgramError,
+    Segment,
+    SyscallKind,
+    classify,
+    reg,
+)
+
+
+def test_reg_resolution():
+    assert reg("r0") == 0
+    assert reg("r31") == 31
+    assert reg("sp") == 29
+    assert reg("zero") == 0
+    assert reg(7) == 7
+
+
+@pytest.mark.parametrize("bad", ["x1", "r32", "r-1", 99])
+def test_reg_rejects_bad_names(bad):
+    with pytest.raises(ValueError):
+        reg(bad)
+
+
+def test_classify_known_ops():
+    assert classify("add") is OpClass.ALU
+    assert classify("mul") is OpClass.MUL
+    assert classify("beq") is OpClass.BRANCH
+    assert classify("ld") is OpClass.LOAD
+    assert classify("vop") is OpClass.SIMD
+    assert classify("amoadd") is OpClass.ATOMIC
+
+
+def test_classify_unknown_raises():
+    with pytest.raises(ValueError):
+        classify("frobnicate")
+
+
+def test_builder_simple_program():
+    b = ProgramBuilder("t")
+    b.li("r1", 5)
+    b.add("r2", "r1", "r1")
+    b.halt()
+    p = b.build()
+    assert len(p) == 3
+    assert p.instructions[0].imm == 5
+    assert p.instructions[1].srcs == (1, 1)
+
+
+def test_builder_resolves_labels():
+    b = ProgramBuilder("t")
+    b.li("r1", 3)
+    b.label("loop")
+    b.addi("r1", "r1", -1)
+    b.bgt("r1", "zero", "loop")
+    b.halt()
+    p = b.build()
+    assert p.targets[1] is None
+    assert p.targets[2] == p.labels["loop"] == 1
+
+
+def test_unknown_label_raises():
+    b = ProgramBuilder("t")
+    b.jmp("nowhere")
+    with pytest.raises(ProgramError):
+        b.build()
+
+
+def test_duplicate_label_raises():
+    b = ProgramBuilder("t")
+    b.label("x")
+    b.nop()
+    with pytest.raises(ValueError):
+        b.label("x")
+
+
+def test_fallthrough_off_end_raises():
+    b = ProgramBuilder("t")
+    b.li("r1", 1)
+    with pytest.raises(ProgramError):
+        b.build()
+
+
+def test_loop_helper_emits_counted_loop():
+    b = ProgramBuilder("t")
+    b.li("r4", 3)
+    with b.loop("r4"):
+        b.addi("r5", "r5", 1)
+    b.halt()
+    p = b.build()
+    ops = [i.op for i in p.instructions]
+    assert "ble" in ops and "jmp" in ops
+
+
+def test_if_helper():
+    b = ProgramBuilder("t")
+    with b.if_("beq", "r1", "zero"):
+        b.li("r2", 1)
+    b.halt()
+    p = b.build()
+    assert p.instructions[0].op == "bne"  # negated guard
+
+
+def test_if_else_helper():
+    b = ProgramBuilder("t")
+    b.if_else("beq", "r1", "zero",
+              lambda: b.li("r2", 1),
+              lambda: b.li("r2", 2))
+    b.halt()
+    p = b.build()
+    ops = [i.op for i in p.instructions]
+    assert ops.count("li") == 2 and "jmp" in ops
+
+
+def test_listing_is_readable():
+    b = ProgramBuilder("t")
+    b.label("entry")
+    b.li("r1", 1)
+    b.halt()
+    text = b.build().listing()
+    assert "entry:" in text
+    assert "li" in text
+
+
+def test_syscall_and_mem_ops():
+    b = ProgramBuilder("t")
+    b.ld("r1", "r2", 8, Segment.STACK)
+    b.st("r1", "r2", 16, Segment.HEAP)
+    b.syscall(SyscallKind.STORAGE)
+    b.halt()
+    p = b.build()
+    assert p.instructions[0].segment is Segment.STACK
+    assert p.instructions[1].srcs == (2, 1)
+    assert p.instructions[2].syscall is SyscallKind.STORAGE
+
+
+def test_instruction_str_smoke():
+    i = Instruction(op="add", cls=OpClass.ALU, dst=1, srcs=(2, 3))
+    assert "add" in str(i)

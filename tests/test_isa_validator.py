@@ -1,0 +1,107 @@
+"""Static program validator tests."""
+
+import pytest
+
+from repro.isa import ProgramBuilder, Segment, validate
+from repro.workloads import all_services
+
+
+def test_all_service_programs_are_error_free():
+    """The shipped workloads must pass static validation (warnings are
+    allowed: uninitialized registers read as architectural zeros)."""
+    for service in all_services():
+        report = validate(service.program)
+        assert report.ok, (service.name, [str(e) for e in report.errors])
+
+
+def test_sp_write_is_an_error():
+    b = ProgramBuilder("bad")
+    b.li("sp", 100)
+    b.halt()
+    report = validate(b.build())
+    assert not report.ok
+    assert any("stack pointer" in str(e) for e in report.errors)
+
+
+def test_r0_write_warns():
+    b = ProgramBuilder("odd")
+    b.li("r0", 5)
+    b.halt()
+    report = validate(b.build())
+    assert report.ok
+    assert any("r0" in str(w) for w in report.warnings)
+
+
+def test_unreachable_block_warns():
+    b = ProgramBuilder("dead")
+    b.jmp("end")
+    b.label("orphan")
+    b.li("r1", 1)
+    b.jmp("end")
+    b.label("end")
+    b.halt()
+    report = validate(b.build())
+    assert any("unreachable" in str(w) for w in report.warnings)
+
+
+def test_called_helper_is_reachable():
+    b = ProgramBuilder("helped")
+    b.call("fn")
+    b.halt()
+    b.label("fn")
+    b.li("r9", 1)
+    b.ret()
+    report = validate(b.build())
+    assert not any("unreachable" in str(w) for w in report.warnings)
+
+
+def test_use_before_def_warns():
+    b = ProgramBuilder("undef")
+    b.add("r11", "r20", "r21")  # r20/r21 never defined, not ABI
+    b.halt()
+    report = validate(b.build())
+    flagged = {str(w) for w in report.warnings}
+    assert any("r20" in w for w in flagged)
+    assert any("r21" in w for w in flagged)
+
+
+def test_abi_registers_are_live_in():
+    b = ProgramBuilder("abi")
+    b.add("r9", "r1", "r2")  # request ABI registers
+    b.halt()
+    report = validate(b.build())
+    assert not report.warnings
+
+
+def test_definition_on_one_path_suppresses_warning():
+    """'May be defined' on some path is enough for the conservative
+    analysis not to flag the use."""
+    b = ProgramBuilder("maybe")
+    with b.if_("beq", "r1", "zero"):
+        b.li("r20", 7)
+    b.add("r9", "r20", "r1")
+    b.halt()
+    report = validate(b.build())
+    assert not any("r20" in str(w) for w in report.warnings)
+
+
+def test_frame_overflow_is_an_error():
+    b = ProgramBuilder("overflow")
+    b.call("fn", frame=16)
+    b.halt()
+    b.label("fn")
+    b.st("r9", "sp", 24, Segment.STACK)  # beyond the 16-byte frame
+    b.ret()
+    report = validate(b.build())
+    assert not report.ok
+    assert any("frame" in str(e) for e in report.errors)
+
+
+def test_frame_within_bounds_ok():
+    b = ProgramBuilder("fits")
+    b.call("fn", frame=32)
+    b.halt()
+    b.label("fn")
+    b.st("r9", "sp", 8, Segment.STACK)
+    b.ret()
+    assert validate(b.build()).ok

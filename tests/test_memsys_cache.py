@@ -1,0 +1,106 @@
+"""Set-associative cache model tests."""
+
+import pytest
+
+from repro.memsys import SetAssociativeCache
+
+
+def make(size=1024, assoc=2, line=32, banks=1):
+    return SetAssociativeCache("t", size, assoc, line, n_banks=banks)
+
+
+def test_geometry():
+    c = make(size=64 * 1024, assoc=8, line=32)
+    assert c.n_sets == 64 * 1024 // (8 * 32)
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ValueError):
+        SetAssociativeCache("t", 1000, 3, 32)
+
+
+def test_miss_then_hit():
+    c = make()
+    assert c.access(0x1000) is False
+    assert c.access(0x1000) is True
+    assert c.access(0x1010) is True  # same line
+    assert c.stats.hits == 2 and c.stats.misses == 1
+
+
+def test_lru_eviction_order():
+    c = make(size=2 * 32, assoc=2, line=32)  # one set, two ways
+    c.access(0)       # A
+    c.access(32)      # B
+    c.access(0)       # touch A -> B is LRU
+    c.access(64)      # C evicts B
+    assert c.access(0) is True
+    assert c.access(64) is True
+    assert c.access(32) is False  # B was evicted
+    assert c.stats.evictions >= 1
+
+
+def test_writeback_counted_only_for_dirty():
+    c = make(size=2 * 32, assoc=2, line=32)
+    c.access(0, write=True)
+    c.access(32)
+    c.access(64)  # evicts LRU (dirty line 0)
+    assert c.stats.writebacks == 1
+    c.access(96)  # evicts clean line 32
+    assert c.stats.writebacks == 1
+
+
+def test_write_hit_marks_dirty():
+    c = make(size=2 * 32, assoc=2, line=32)
+    c.access(0)              # clean fill
+    c.access(0, write=True)  # dirty it
+    c.access(32)
+    c.access(64)             # evicts line 0
+    assert c.stats.writebacks == 1
+
+
+def test_probe_does_not_disturb_state():
+    c = make()
+    c.access(0x2000)
+    before = c.stats.accesses
+    assert c.probe(0x2000) is True
+    assert c.probe(0x3000) is False
+    assert c.stats.accesses == before
+
+
+def test_bank_conflicts_count_max_per_bank():
+    c = make(banks=8)
+    # 8 addresses in distinct banks -> serialization 1
+    addrs = [i * 32 for i in range(8)]
+    assert c.bank_conflicts(addrs) == 1
+    # all in the same bank -> serialization 8
+    addrs = [i * 32 * 8 for i in range(8)]
+    assert c.bank_conflicts(addrs) == 8
+    assert c.bank_conflicts([]) == 0
+
+
+def test_flush_and_reset_stats():
+    c = make()
+    c.access(0x100)
+    c.flush()
+    assert c.access(0x100) is False
+    c.reset_stats()
+    assert c.stats.accesses == 0
+
+
+def test_miss_rate_and_mpki():
+    c = make()
+    for i in range(10):
+        c.access(i * 4096)
+    assert c.stats.miss_rate == 1.0
+    assert c.stats.mpki(1.0) == 10.0
+    assert c.stats.mpki(0.0) == 0.0
+
+
+def test_capacity_monotonicity_on_streaming_reuse():
+    """A bigger cache never misses more on a two-pass stream."""
+    trace = [i * 32 for i in range(512)] * 2
+    small, big = make(size=4096, assoc=8), make(size=32768, assoc=8)
+    for a in trace:
+        small.access(a)
+        big.access(a)
+    assert big.stats.misses <= small.stats.misses

@@ -1,0 +1,107 @@
+"""Memory coalescing unit and stack interleaving tests."""
+
+import pytest
+
+from repro.engine.memory import HEAP_BASE, STACK_TOP, stack_base
+from repro.isa import Segment
+from repro.memsys import (
+    MemoryCoalescingUnit,
+    StackInterleaver,
+    scalar_accesses,
+)
+
+
+def heap_accesses(addrs, size=8):
+    return [(i, a, size) for i, a in enumerate(addrs)]
+
+
+def test_same_word_broadcast_is_single_access():
+    mcu = MemoryCoalescingUnit()
+    res = mcu.coalesce(Segment.HEAP,
+                       heap_accesses([HEAP_BASE + 64] * 32))
+    assert res.pattern == "same_word"
+    assert res.n_accesses == 1
+
+
+def test_consecutive_words_coalesce_per_line():
+    mcu = MemoryCoalescingUnit(line_size=32)
+    addrs = [HEAP_BASE + 8 * i for i in range(32)]  # 256B consecutive
+    res = mcu.coalesce(Segment.HEAP, heap_accesses(addrs))
+    assert res.pattern == "consecutive"
+    assert res.n_accesses == 8  # 256B / 32B lines
+
+
+def test_divergent_gets_one_access_per_lane():
+    mcu = MemoryCoalescingUnit()
+    addrs = [HEAP_BASE + 4096 * i for i in range(16)]
+    res = mcu.coalesce(Segment.HEAP, heap_accesses(addrs))
+    assert res.pattern == "divergent"
+    assert res.n_accesses == 16
+
+
+def test_empty_access_list():
+    mcu = MemoryCoalescingUnit()
+    assert mcu.coalesce(Segment.HEAP, []).n_accesses == 0
+
+
+def test_scalar_accesses_reference():
+    res = scalar_accesses(heap_accesses([HEAP_BASE, HEAP_BASE + 8]))
+    assert res.pattern == "scalar"
+    assert res.n_accesses == 2
+
+
+def test_stack_interleaving_paper_example():
+    """32 threads pushing an 8-byte value -> 8 line accesses, the
+    paper's Section III-B2 worked example (vs 32 on the CPU)."""
+    interleaver = StackInterleaver(32)
+    mcu = MemoryCoalescingUnit(interleaver=interleaver)
+    accesses = [(t, stack_base(t) - 128, 8) for t in range(32)]
+    res = mcu.coalesce(Segment.STACK, accesses)
+    assert res.pattern == "stack"
+    assert res.n_accesses == 8
+    assert scalar_accesses(accesses).n_accesses == 32
+
+
+def test_stack_tagged_heap_pointer_not_remapped():
+    """A stack-tagged op whose address is actually in the heap must not
+    go through the interleaver (dynamic address detection)."""
+    interleaver = StackInterleaver(32)
+    mcu = MemoryCoalescingUnit(interleaver=interleaver)
+    res = mcu.coalesce(Segment.STACK,
+                       heap_accesses([HEAP_BASE + 4096 * i
+                                      for i in range(4)]))
+    assert res.pattern == "divergent"
+
+
+def test_interleaver_owner_tid():
+    si = StackInterleaver(32)
+    for tid in (0, 1, 5, 31):
+        top = stack_base(tid)
+        assert si.owner_tid(top - 1) == tid
+        assert si.owner_tid(top - 64 * 1024 + 1) == tid
+
+
+def test_interleaver_same_offset_addresses_contiguous():
+    """The same stack offset across threads maps to one dense region."""
+    si = StackInterleaver(8)
+    vaddrs = [stack_base(t) - 200 for t in range(8)]
+    phys = sorted(si.physical(v) for v in vaddrs)
+    assert phys[-1] - phys[0] == (8 - 1) * 4  # 4B interleave
+
+
+def test_interleaver_distinct_vaddrs_distinct_paddrs():
+    si = StackInterleaver(8)
+    seen = set()
+    for t in range(8):
+        for off in range(128, 256, 4):
+            pa = si.physical(stack_base(t) - off)
+            assert pa not in seen
+            seen.add(pa)
+
+
+def test_partial_batch_stack_coalescing_still_beats_scalar():
+    interleaver = StackInterleaver(32)
+    mcu = MemoryCoalescingUnit(interleaver=interleaver)
+    accesses = [(t, stack_base(t) - 128, 8) for t in range(12)]
+    res = mcu.coalesce(Segment.STACK, accesses)
+    assert res.n_accesses <= 12

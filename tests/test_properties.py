@@ -1,0 +1,245 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The headline property is **lockstep transparency**: for randomly
+generated structured programs, executing a batch of threads under
+either SIMT reconvergence policy leaves every thread in exactly the
+architectural state it reaches when run alone.  This is the invariant
+that makes the RPU a drop-in replacement for the CPU.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.batching import form_batches
+from repro.engine import (
+    IpdomExecutor,
+    MemoryImage,
+    MinSpPcExecutor,
+    SoloExecutor,
+    ThreadState,
+)
+from repro.engine.memory import HEAP_BASE
+from repro.isa import ProgramBuilder, Segment
+from repro.memsys import (
+    DefaultAllocator,
+    MemoryCoalescingUnit,
+    SetAssociativeCache,
+    SimrAwareAllocator,
+    StackInterleaver,
+)
+from repro.workloads.base import Request, zipf_key, zipf_size
+
+# ---------------------------------------------------------------------------
+# random structured-program generation
+# ---------------------------------------------------------------------------
+
+ALU_OPS = ("add", "sub", "xor", "hash", "min", "max")
+CONDS = ("beq", "bne", "blt", "bge")
+
+_alu = st.tuples(st.just("alu"), st.sampled_from(ALU_OPS),
+                 st.integers(1, 10), st.integers(1, 10),
+                 st.integers(1, 10))
+_li = st.tuples(st.just("li"), st.integers(1, 10), st.integers(0, 9))
+_store = st.tuples(st.just("st"), st.integers(1, 10), st.integers(0, 7))
+_load = st.tuples(st.just("ld"), st.integers(1, 10), st.integers(0, 7))
+_spill = st.tuples(st.just("spill"), st.integers(1, 10),
+                   st.integers(1, 6))
+
+_simple = st.one_of(_alu, _li, _store, _load, _spill)
+
+
+def _compound(children):
+    body = st.lists(children, min_size=1, max_size=4)
+    _if = st.tuples(st.just("if"), st.sampled_from(CONDS),
+                    st.integers(1, 10), st.integers(1, 10), body)
+    _loop = st.tuples(st.just("loop"), st.integers(1, 3), body)
+    _callh = st.tuples(st.just("call"))
+    return st.one_of(_if, _loop, _callh)
+
+
+_stmt = st.recursive(_simple, _compound, max_leaves=12)
+programs = st.lists(_stmt, min_size=1, max_size=10)
+
+
+def _emit(b: ProgramBuilder, node, depth: int) -> None:
+    kind = node[0]
+    if kind == "alu":
+        op, dst, a, c = node[1], node[2], node[3], node[4]
+        b._alu(op, f"r{dst}", f"r{a}", f"r{c}")
+    elif kind == "li":
+        b.li(f"r{node[1]}", node[2])
+    elif kind == "st":
+        b.st(f"r{node[1]}", "r13", 8 * node[2], Segment.HEAP)
+    elif kind == "ld":
+        b.ld(f"r{node[1]}", "r13", 8 * node[2], Segment.HEAP)
+    elif kind == "spill":
+        b.st(f"r{node[1]}", "sp", 8 * node[2], Segment.STACK)
+        b.ld(f"r{node[1]}", "sp", 8 * node[2], Segment.STACK)
+    elif kind == "if":
+        _k, cond, a, c, body = node
+        with b.if_(cond, f"r{a}", f"r{c}"):
+            for child in body:
+                _emit(b, child, depth + 1)
+    elif kind == "loop":
+        _k, trips, body = node
+        counter = f"r{14 + min(depth, 2)}"
+        b.li(counter, trips)
+        with b.loop(counter):
+            for child in body:
+                _emit(b, child, depth + 1)
+    elif kind == "call":
+        b.call("helper", frame=32)
+    else:  # pragma: no cover - exhaustive
+        raise AssertionError(kind)
+
+
+def build_program(stmts):
+    b = ProgramBuilder("random")
+    for node in stmts:
+        _emit(b, node, 0)
+    b.halt()
+    # shared leaf helper with stack traffic
+    b.label("helper")
+    b.st("r9", "sp", 8, Segment.STACK)
+    b.hash("r9", "r9", "r9")
+    b.ld("r9", "sp", 8, Segment.STACK)
+    b.ret()
+    return b.build()
+
+
+def make_threads(inputs):
+    threads = []
+    for tid, seed in enumerate(inputs):
+        t = ThreadState(tid)
+        for r in range(1, 11):
+            t.regs[r] = (seed * (r + 3)) % 17
+        t.regs[13] = HEAP_BASE + 0x10000 * (tid + 1)  # private scratch
+        threads.append(t)
+    return threads
+
+
+@settings(max_examples=60, deadline=None)
+@given(stmts=programs, inputs=st.lists(st.integers(0, 50), min_size=2,
+                                       max_size=6))
+def test_lockstep_equivalence_random_programs(stmts, inputs):
+    """Threads finish lockstep execution with exactly their solo state."""
+    program = build_program(stmts)
+
+    solo_threads = make_threads(inputs)
+    for t in solo_threads:
+        SoloExecutor(program, max_steps=60_000).run(t, MemoryImage(salt=3))
+
+    for executor_cls in (IpdomExecutor, MinSpPcExecutor):
+        batch_threads = make_threads(inputs)
+        result = executor_cls(program, max_steps=200_000).run(
+            batch_threads, MemoryImage(salt=3))
+        assert not result.truncated
+        for solo, batch in zip(solo_threads, batch_threads):
+            assert batch.halted
+            assert batch.regs == solo.regs
+            assert batch.retired == solo.retired
+
+
+@settings(max_examples=40, deadline=None)
+@given(stmts=programs, inputs=st.lists(st.integers(0, 50), min_size=2,
+                                       max_size=6))
+def test_efficiency_bounds_random_programs(stmts, inputs):
+    program = build_program(stmts)
+    threads = make_threads(inputs)
+    result = MinSpPcExecutor(program, max_steps=200_000).run(
+        threads, MemoryImage(salt=4))
+    n = len(threads)
+    assert 1.0 / n - 1e-9 <= result.simt_efficiency <= 1.0 + 1e-9
+    assert result.scalar_instructions == sum(result.retired_per_thread)
+
+
+# ---------------------------------------------------------------------------
+# memory-system properties
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(addrs=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=32),
+       size=st.sampled_from([4, 8, 32]))
+def test_mcu_never_exceeds_lane_count(addrs, size):
+    mcu = MemoryCoalescingUnit()
+    accesses = [(i, HEAP_BASE + (a & ~7), size)
+                for i, a in enumerate(addrs)]
+    res = mcu.coalesce(Segment.HEAP, accesses)
+    limit = len(accesses) * max(1, size // 32 + 1)
+    assert 1 <= res.n_accesses <= limit
+
+
+@settings(max_examples=40, deadline=None)
+@given(offsets=st.lists(st.integers(0, 255), min_size=1, max_size=16,
+                        unique=True),
+       batch=st.sampled_from([4, 8, 16, 32]))
+def test_stack_interleaver_is_injective(offsets, batch):
+    si = StackInterleaver(batch)
+    seen = {}
+    for tid in range(batch):
+        from repro.engine.memory import stack_base
+        for off in offsets:
+            va = stack_base(tid) - 128 - 4 * off
+            pa = si.physical(va)
+            assert pa not in seen or seen[pa] == va
+            seen[pa] = va
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace=st.lists(st.integers(0, 255), min_size=10, max_size=300))
+def test_cache_hits_plus_misses_equals_accesses(trace):
+    c = SetAssociativeCache("t", 1024, 2, 32)
+    for a in trace:
+        c.access(a * 32)
+    assert c.stats.hits + c.stats.misses == c.stats.accesses
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace=st.lists(st.integers(0, 511), min_size=10, max_size=400))
+def test_bigger_cache_never_misses_more(trace):
+    small = SetAssociativeCache("s", 2048, 8, 32)
+    big = SetAssociativeCache("b", 16384, 8, 32)
+    for a in trace:
+        small.access(a * 32)
+        big.access(a * 32)
+    assert big.stats.misses <= small.stats.misses
+
+
+@settings(max_examples=40, deadline=None)
+@given(sizes=st.lists(st.integers(1, 4096), min_size=1, max_size=40),
+       tids=st.lists(st.integers(0, 31), min_size=1, max_size=40))
+def test_allocators_never_overlap(sizes, tids):
+    for cls in (DefaultAllocator, SimrAwareAllocator):
+        a = cls()
+        spans = []
+        for size, tid in zip(sizes, tids):
+            start = a.alloc(size, tid)
+            for s0, e0 in spans:
+                assert start + size <= s0 or start >= e0
+            spans.append((start, start + size))
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(1, 200), bs=st.sampled_from([8, 16, 32]),
+       policy=st.sampled_from(["naive", "per_api", "per_api_size"]),
+       seed=st.integers(0, 1000))
+def test_batching_policies_conserve_requests(n, bs, policy, seed):
+    rng = random.Random(seed)
+    reqs = [Request(rid=i, service="t", api=str(i % 3), api_id=i % 3,
+                    size=zipf_size(rng, 1, 16), key=zipf_key(rng))
+            for i in range(n)]
+    batches = form_batches(reqs, bs, policy)
+    assert sorted(r.rid for b in batches for r in b) == list(range(n))
+    assert all(1 <= len(b) <= bs for b in batches)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), lo=st.integers(1, 8),
+       span=st.integers(0, 40))
+def test_zipf_size_stays_in_range(seed, lo, span):
+    rng = random.Random(seed)
+    hi = lo + span
+    for _ in range(20):
+        v = zipf_size(rng, lo, hi)
+        assert lo <= v <= hi

@@ -1,0 +1,56 @@
+"""ASCII reporting helper tests."""
+
+from repro.report import bar_chart, grouped_bar_chart, series_plot
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart([("a", 1.0), ("b", 2.0)], width=20)
+        rows = text.splitlines()
+        assert rows[0].count("#") * 2 == rows[1].count("#")
+
+    def test_reference_marker(self):
+        text = bar_chart([("rpu", 3.0)], width=20, reference=6.0)
+        assert "|" in text
+        assert "marks 6.00" in text
+
+    def test_empty_items(self):
+        assert bar_chart([], title="t") == "t"
+
+    def test_zero_values_do_not_crash(self):
+        text = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "0.00" in text
+
+    def test_title_prepended(self):
+        assert bar_chart([("a", 1.0)], title="T").startswith("T")
+
+
+class TestGroupedBarChart:
+    def test_renders_all_pairs(self):
+        text = grouped_bar_chart(
+            [("svc1", {"x": 1.0, "y": 2.0}), ("svc2", {"x": 0.5})],
+            series=("x", "y"))
+        assert "svc1/x" in text and "svc1/y" in text
+        assert "svc2/x" in text and "svc2/y" not in text
+
+
+class TestSeriesPlot:
+    def test_plot_contains_markers_and_legend(self):
+        points = [(float(q), {"cpu": q * 1.0, "rpu": q * 0.2})
+                  for q in range(1, 10)]
+        text = series_plot(points, series=("cpu", "rpu"))
+        assert "o" in text and "x" in text
+        assert "legend" in text
+
+    def test_log_scale(self):
+        points = [(1.0, {"a": 10.0}), (2.0, {"a": 100000.0})]
+        text = series_plot(points, series=("a",), logy=True)
+        assert "log10" in text
+
+    def test_empty_points(self):
+        assert series_plot([], series=("a",), title="t") == "t"
+
+    def test_bounds_line_reports_ranges(self):
+        points = [(0.0, {"a": 1.0}), (10.0, {"a": 5.0})]
+        text = series_plot(points, series=("a",))
+        assert "x in [0, 10]" in text

@@ -1,0 +1,62 @@
+"""CLI and example-script smoke tests."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments import run_all
+
+
+def test_run_all_unknown_experiment_exits():
+    with pytest.raises(SystemExit):
+        run_all.main(["--only", "fig99"])
+
+
+def test_run_all_single_cheap_experiment(capsys):
+    assert run_all.main(["--only", "fig05", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 5" in out
+    assert "threads" in out.lower()
+
+
+def test_run_all_table_experiments(capsys):
+    assert run_all.main(["--only", "table04", "--only", "table05"]) == 0
+    out = capsys.readouterr().out
+    assert "Table IV" in out and "L1-Xbar" in out
+
+
+@pytest.mark.parametrize("script,args", [
+    ("examples/quickstart.py", ["64"]),
+])
+def test_example_scripts_run(script, args):
+    proc = subprocess.run(
+        [sys.executable, script, *args],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "relative to the CPU" in proc.stdout
+
+
+def test_run_all_json_export(tmp_path, capsys):
+    out = tmp_path / "rows.json"
+    assert run_all.main(["--only", "fig05", "--only", "fig13",
+                         "--scale", "0.1", "--json", str(out)]) == 0
+    capsys.readouterr()
+    import json
+
+    data = json.loads(out.read_text())
+    assert data["scale"] == 0.1
+    assert "fig05" in data["experiments"]
+    rows = data["experiments"]["fig13"]
+    assert rows[0]["reduction"] == 4.0
+
+
+def test_fig13_experiment_values():
+    from repro.experiments import fig13_stack_interleaving as fig13
+
+    rows = {r.label: r for r in fig13.run()}
+    assert rows["batch 32"]["rpu_lines"] == 8.0  # the paper's example
+    assert rows["batch 32"]["cpu_accesses"] == 32.0
+    table = fig13.mapping_table(batch=4, words=2)
+    assert "0x2" in table  # physical window addresses present

@@ -1,0 +1,64 @@
+"""Full service-graph simulator tests (Fig. 3 topology)."""
+
+import pytest
+
+from repro.system import (
+    GraphConfig,
+    GraphNode,
+    run_graph,
+    social_network_graph,
+)
+
+
+def test_social_graph_conservation():
+    res = run_graph(social_network_graph(), qps=5000, n_requests=600)
+    assert res.completed == 600
+
+
+def test_rpu_graph_conservation():
+    res = run_graph(social_network_graph(rpu=True), qps=30000,
+                    n_requests=600)
+    assert res.completed == 600
+
+
+def test_fanout_joins_on_slowest_child():
+    """A post request can't finish before its slowest fan-out leg."""
+    nodes = {
+        "root": GraphNode("root", 10.0, servers=100,
+                          fanout=["fast", "slow"]),
+        "fast": GraphNode("fast", 5.0, servers=100),
+        "slow": GraphNode("slow", 500.0, servers=100),
+    }
+    cfg = GraphConfig(nodes=nodes, entry="root", network_us=10.0)
+    res = run_graph(cfg, qps=1000, n_requests=100)
+    # root + net + slow + net (join) + net (respond)
+    assert res.p50_us >= 10.0 + 10.0 + 500.0 + 10.0
+
+
+def test_routing_probabilities_split_traffic():
+    nodes = {
+        "root": GraphNode("root", 1.0, servers=100,
+                          route=[("a", 0.8), ("b", 0.2)]),
+        "a": GraphNode("a", 1.0, servers=100),
+        "b": GraphNode("b", 1.0, servers=100),
+    }
+    cfg = GraphConfig(nodes=nodes, entry="root", network_us=0.0)
+    sim_res = run_graph(cfg, qps=10000, n_requests=2000, seed=5)
+    assert sim_res.completed == 2000
+
+
+def test_miss_branch_adds_storage_latency():
+    always_miss = social_network_graph()
+    always_miss.nodes["memcached"].miss_rate = 1.0
+    never_miss = social_network_graph()
+    never_miss.nodes["memcached"].miss_rate = 0.0
+    hit = run_graph(never_miss, qps=2000, n_requests=400, seed=2)
+    miss = run_graph(always_miss, qps=2000, n_requests=400, seed=2)
+    assert miss.p99_us > hit.p99_us + 500
+
+
+def test_cpu_graph_saturates_before_rpu():
+    qps = 60000
+    cpu = run_graph(social_network_graph(), qps, n_requests=1200)
+    rpu = run_graph(social_network_graph(rpu=True), qps, n_requests=1200)
+    assert cpu.p99_us > 3 * rpu.p99_us

@@ -1,0 +1,62 @@
+"""Property-based tests for the queueing simulator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.system import EndToEndConfig, Job, Simulator, Station, run_end_to_end
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 60), servers=st.integers(1, 4),
+       latency=st.floats(1.0, 50.0))
+def test_station_serves_every_job_exactly_once(n, servers, latency):
+    sim = Simulator()
+    st_ = Station(sim, "s", latency_us=latency, servers=servers)
+    done = []
+    for i in range(n):
+        sim.schedule(float(i), lambda t, i=i: st_.arrive(
+            t, Job(i, float(i)), lambda tt, js: done.extend(js)))
+    sim.run()
+    assert sorted(j.jid for j in done) == list(range(n))
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 60), batch=st.sampled_from([2, 4, 8]),
+       timeout=st.floats(5.0, 100.0))
+def test_batched_station_conserves_jobs(n, batch, timeout):
+    sim = Simulator()
+    st_ = Station(sim, "s", latency_us=10.0, servers=2, batch_size=batch,
+                  batch_timeout_us=timeout)
+    done = []
+    for i in range(n):
+        sim.schedule(float(i), lambda t, i=i: st_.arrive(
+            t, Job(i, float(i)), lambda tt, js: done.extend(js)))
+    sim.run()
+    assert sorted(j.jid for j in done) == list(range(n))
+    assert st_.dispatched_jobs == n
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 40))
+def test_single_server_completions_are_serialized(n):
+    sim = Simulator()
+    st_ = Station(sim, "s", latency_us=10.0, servers=1)
+    times = []
+    for i in range(n):
+        sim.schedule(0.0, lambda t, i=i: st_.arrive(
+            t, Job(i, 0.0), lambda tt, js: times.append(tt)))
+    sim.run()
+    assert times == sorted(times)
+    assert times[-1] >= 10.0 * n
+
+
+@settings(max_examples=10, deadline=None)
+@given(qps=st.sampled_from([3000, 8000, 15000]),
+       hit=st.floats(0.5, 0.99), seed=st.integers(0, 99))
+def test_end_to_end_latency_floor_and_conservation(qps, hit, seed):
+    cfg = EndToEndConfig(memcached_hit_rate=hit)
+    res = run_end_to_end(cfg, qps, n_requests=400, seed=seed)
+    assert res.completed == 400
+    # nobody finishes faster than the sum of mandatory stages
+    floor = (cfg.web_us + cfg.user_us + cfg.mcrouter_us
+             + cfg.memcached_us + 2 * cfg.network_us)
+    assert res.p50_us >= floor

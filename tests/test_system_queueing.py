@@ -1,0 +1,138 @@
+"""System-level queueing simulator tests (uqsim role)."""
+
+import pytest
+
+from repro.system import (
+    EndToEndConfig,
+    Job,
+    Simulator,
+    Station,
+    max_throughput_kqps,
+    run_end_to_end,
+    saturation_sweep,
+)
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda t: seen.append(("b", t)))
+        sim.schedule(1.0, lambda t: seen.append(("a", t)))
+        sim.run()
+        assert seen == [("a", 1.0), ("b", 5.0)]
+
+    def test_ties_fifo(self):
+        sim = Simulator()
+        seen = []
+        for name in "abc":
+            sim.schedule(1.0, lambda t, n=name: seen.append(n))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+
+class TestStation:
+    def test_single_server_queues(self):
+        sim = Simulator()
+        st = Station(sim, "s", latency_us=10.0, servers=1)
+        done = []
+        sim.schedule(0.0, lambda t: st.arrive(
+            t, Job(0, 0.0), lambda tt, js: done.append(tt)))
+        sim.schedule(0.0, lambda t: st.arrive(
+            t, Job(1, 0.0), lambda tt, js: done.append(tt)))
+        sim.run()
+        assert done == [10.0, 20.0]
+
+    def test_batch_waits_for_fill(self):
+        sim = Simulator()
+        st = Station(sim, "s", latency_us=10.0, servers=1, batch_size=4,
+                     batch_timeout_us=100.0)
+        done = []
+        for i in range(4):
+            sim.schedule(float(i), lambda t, i=i: st.arrive(
+                t, Job(i, 0.0), lambda tt, js: done.append((tt, len(js)))))
+        sim.run()
+        assert done == [(13.0, 4)]  # dispatched at the 4th arrival (t=3)
+
+    def test_batch_timeout_flushes_partial(self):
+        sim = Simulator()
+        st = Station(sim, "s", latency_us=10.0, servers=1, batch_size=4,
+                     batch_timeout_us=20.0)
+        done = []
+        sim.schedule(0.0, lambda t: st.arrive(
+            t, Job(0, 0.0), lambda tt, js: done.append((tt, len(js)))))
+        sim.run()
+        assert done == [(30.0, 1)]  # 20us timeout + 10us service
+
+    def test_pipelined_occupancy_allows_overlap(self):
+        sim = Simulator()
+        st = Station(sim, "s", latency_us=100.0, servers=1,
+                     occupancy_us=1.0)
+        done = []
+        for i in range(4):
+            sim.schedule(0.0, lambda t, i=i: st.arrive(
+                t, Job(i, 0.0), lambda tt, js: done.append(tt)))
+        sim.run()
+        assert done == [100.0, 101.0, 102.0, 103.0]
+
+
+class TestEndToEnd:
+    def test_request_conservation(self):
+        res = run_end_to_end(EndToEndConfig(), qps=5000, n_requests=500)
+        assert res.completed == 500
+
+    def test_rpu_split_conservation(self):
+        cfg = EndToEndConfig(rpu=True, batch_split=True)
+        res = run_end_to_end(cfg, qps=20000, n_requests=500)
+        assert res.completed == 500
+
+    def test_rpu_nosplit_conservation(self):
+        cfg = EndToEndConfig(rpu=True, batch_split=False)
+        res = run_end_to_end(cfg, qps=20000, n_requests=500)
+        assert res.completed == 500
+
+    def test_percentiles_ordered(self):
+        res = run_end_to_end(EndToEndConfig(), qps=10000, n_requests=800)
+        assert 0 < res.p50_us <= res.p99_us
+
+    def test_latency_grows_near_saturation(self):
+        cfg = EndToEndConfig()
+        low = run_end_to_end(cfg, qps=2000, n_requests=800)
+        high = run_end_to_end(cfg, qps=40000, n_requests=800)
+        assert high.p99_us > 3 * low.p99_us
+
+    def test_rpu_sustains_higher_load(self):
+        points = [10000, 20000, 40000, 60000, 80000]
+        cpu = saturation_sweep(EndToEndConfig(), points, n_requests=800)
+        rpu = saturation_sweep(
+            EndToEndConfig(rpu=True, batch_split=True), points,
+            n_requests=800)
+        assert max_throughput_kqps(rpu) >= 3 * max_throughput_kqps(cpu)
+
+    def test_split_improves_average_latency(self):
+        """Fig. 22's message: without splitting, hits wait for their
+        batch's storage misses, inflating the average."""
+        q = 40000
+        no_split = run_end_to_end(
+            EndToEndConfig(rpu=True, batch_split=False), q, 1500)
+        split = run_end_to_end(
+            EndToEndConfig(rpu=True, batch_split=True), q, 1500)
+        assert split.avg_latency_us < no_split.avg_latency_us
+
+    def test_split_does_not_change_tail_much(self):
+        q = 40000
+        no_split = run_end_to_end(
+            EndToEndConfig(rpu=True, batch_split=False), q, 1500)
+        split = run_end_to_end(
+            EndToEndConfig(rpu=True, batch_split=True), q, 1500)
+        assert no_split.p99_us <= 1.5 * split.p99_us + 100
+
+    def test_storage_latency_visible_in_tail(self):
+        """With a 90% hit rate the p99 must include storage visits."""
+        res = run_end_to_end(EndToEndConfig(), qps=2000, n_requests=1000)
+        assert res.p99_us > EndToEndConfig().storage_us
+
+    def test_deterministic_given_seed(self):
+        a = run_end_to_end(EndToEndConfig(), 5000, 300, seed=3)
+        b = run_end_to_end(EndToEndConfig(), 5000, 300, seed=3)
+        assert a.avg_latency_us == b.avg_latency_us

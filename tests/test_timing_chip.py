@@ -1,0 +1,123 @@
+"""Chip-level orchestration tests."""
+
+import random
+
+import pytest
+
+from repro.energy import requests_per_joule
+from repro.timing import (
+    CPU_CONFIG,
+    GPU_CONFIG,
+    RPU_CONFIG,
+    SMT8_CONFIG,
+    run_chip,
+    rpu_with_lanes,
+    rpu_without,
+)
+from repro.workloads import get_service
+
+
+@pytest.fixture(scope="module")
+def memcached_runs():
+    service = get_service("memcached")
+    requests = service.generate_requests(128, random.Random(9))
+    return {
+        "service": service,
+        "requests": requests,
+        "cpu": run_chip(service, requests, CPU_CONFIG),
+        "smt": run_chip(service, requests, SMT8_CONFIG),
+        "rpu": run_chip(service, requests, RPU_CONFIG),
+    }
+
+
+def test_all_requests_measured_after_warmup(memcached_runs):
+    for key in ("cpu", "smt", "rpu"):
+        res = memcached_runs[key]
+        assert 0 < res.n_requests < 128  # warmup excluded
+        assert len(res.latencies_cycles) == pytest.approx(
+            res.n_requests, abs=res.batch_size)
+
+
+def test_scalar_instruction_parity_across_designs(memcached_runs):
+    """Same requests, same programs: per-request scalar instruction
+    counts must be close across designs (warmup cut points differ)."""
+    cpu = memcached_runs["cpu"]
+    rpu = memcached_runs["rpu"]
+    per_cpu = cpu.scalar_instructions / cpu.n_requests
+    per_rpu = rpu.scalar_instructions / rpu.n_requests
+    assert per_rpu == pytest.approx(per_cpu, rel=0.15)
+
+
+def test_rpu_issues_fewer_instructions(memcached_runs):
+    cpu, rpu = memcached_runs["cpu"], memcached_runs["rpu"]
+    cpu_rate = cpu.counters["batch_instructions"] / cpu.n_requests
+    rpu_rate = rpu.counters["batch_instructions"] / rpu.n_requests
+    assert rpu_rate < cpu_rate / 4
+
+
+def test_rpu_beats_cpu_energy_efficiency(memcached_runs):
+    assert requests_per_joule(memcached_runs["rpu"]) > \
+        requests_per_joule(memcached_runs["cpu"])
+
+
+def test_rpu_latency_within_bounds(memcached_runs):
+    ratio = (memcached_runs["rpu"].avg_latency_cycles
+             / memcached_runs["cpu"].avg_latency_cycles)
+    assert 1.0 < ratio < 4.0
+
+
+def test_smt_latency_higher_than_cpu(memcached_runs):
+    assert memcached_runs["smt"].avg_latency_cycles > \
+        memcached_runs["cpu"].avg_latency_cycles
+
+
+def test_chip_throughput_uses_core_count(memcached_runs):
+    cpu = memcached_runs["cpu"]
+    per_core = cpu.n_requests / cpu.core_time_s
+    assert cpu.chip_throughput_rps == pytest.approx(
+        per_core * CPU_CONFIG.n_cores)
+
+
+def test_batch_size_override():
+    service = get_service("mcrouter")
+    requests = service.generate_requests(96, random.Random(1))
+    res = run_chip(service, requests, RPU_CONFIG, batch_size=8)
+    assert res.batch_size == 8
+
+
+def test_recommended_batch_respected():
+    service = get_service("hdsearch-leaf")
+    requests = service.generate_requests(32, random.Random(1))
+    res = run_chip(service, requests, RPU_CONFIG)
+    assert res.batch_size == 8
+
+
+def test_gpu_runs_and_is_slower():
+    service = get_service("uniqueid")
+    requests = service.generate_requests(256, random.Random(2))
+    cpu = run_chip(service, requests, CPU_CONFIG)
+    gpu = run_chip(service, requests, GPU_CONFIG)
+    cpu_us = cpu.avg_latency_cycles / cpu.freq_ghz
+    gpu_us = gpu.avg_latency_cycles / gpu.freq_ghz
+    assert gpu_us > 3 * cpu_us
+
+
+def test_ablation_configs():
+    assert rpu_with_lanes(32).lanes == 32
+    assert rpu_without("mcu").mcu_enabled is False
+    with pytest.raises(KeyError):
+        rpu_without("nonsense")
+
+
+def test_simt_efficiency_reported():
+    service = get_service("post")
+    requests = service.generate_requests(96, random.Random(3))
+    res = run_chip(service, requests, RPU_CONFIG)
+    assert 0.5 < res.simt_efficiency <= 1.0
+
+
+def test_warmup_zero_measures_everything():
+    service = get_service("mcrouter")
+    requests = service.generate_requests(64, random.Random(4))
+    res = run_chip(service, requests, CPU_CONFIG, warmup_frac=0.0)
+    assert res.n_requests == 64

@@ -1,0 +1,68 @@
+"""ChipResult / ServeReport dataclass behavior tests."""
+
+import pytest
+
+from repro.core.simr import ServeReport
+from repro.timing.chip import ChipResult
+from repro.timing.memhier import Counters
+
+
+def make_result(**kw):
+    defaults = dict(config_name="cpu", service="t", n_requests=10,
+                    core_cycles=25_000.0,
+                    latencies_cycles=[2500.0] * 10,
+                    counters=Counters(), simt_efficiency=1.0,
+                    scalar_instructions=10_000, freq_ghz=2.5, n_cores=98,
+                    batch_size=1)
+    defaults.update(kw)
+    return ChipResult(**defaults)
+
+
+def test_latency_conversions():
+    r = make_result()
+    assert r.avg_latency_cycles == 2500.0
+    assert r.avg_latency_us == pytest.approx(1.0)
+
+
+def test_empty_latencies():
+    r = make_result(latencies_cycles=[])
+    assert r.avg_latency_cycles == 0.0
+
+
+def test_throughput_scales_with_cores():
+    r = make_result()
+    per_core = r.n_requests / r.core_time_s
+    assert r.chip_throughput_rps == pytest.approx(per_core * 98)
+
+
+def test_zero_cycles_guards():
+    r = make_result(core_cycles=0.0)
+    assert r.chip_throughput_rps == 0.0
+    assert r.ipc == 0.0
+
+
+def test_ipc():
+    r = make_result()
+    assert r.ipc == pytest.approx(10_000 / 25_000)
+
+
+def test_serve_report_from_chip():
+    r = make_result()
+    rep = ServeReport.from_chip(r)
+    assert rep.config_name == "cpu"
+    assert rep.n_requests == 10
+    assert rep.avg_latency_us == pytest.approx(1.0)
+    assert rep.requests_per_joule > 0
+    assert rep.chip_result is r
+
+
+def test_counters_missing_key_reads_zero():
+    c = Counters()
+    assert c["nonexistent"] == 0
+    c.inc("x")
+    c.inc("x", 2)
+    assert c["x"] == 3
+    d = Counters()
+    d.inc("x", 5)
+    d.merge(c)
+    assert d["x"] == 8

@@ -1,0 +1,87 @@
+"""Trace-collection tests: ListSink, batch_trace, solo_traces."""
+
+import random
+
+import pytest
+
+from repro.engine.events import MultiSink
+from repro.isa import OpClass
+from repro.timing import ListSink, batch_trace, solo_traces
+from repro.workloads import get_service
+
+
+@pytest.fixture(scope="module")
+def service():
+    return get_service("mcrouter")
+
+
+@pytest.fixture(scope="module")
+def requests(service):
+    return service.generate_requests(8, random.Random(3))
+
+
+def test_batch_trace_events_match_result(service, requests):
+    events, result = batch_trace(service, requests)
+    assert len(events) == result.steps
+    assert sum(e[2] for e in events) == result.scalar_instructions
+
+
+def test_batch_trace_event_structure(service, requests):
+    events, _ = batch_trace(service, requests)
+    pc, inst, active, addrs, outcomes = events[0]
+    assert isinstance(pc, int)
+    assert 1 <= active <= len(requests)
+    mem_events = [e for e in events if e[1].is_mem()]
+    assert mem_events and all(isinstance(e[3], tuple) for e in mem_events)
+    branch_events = [e for e in events if e[1].cls is OpClass.BRANCH]
+    assert branch_events
+    assert all(e[4] is not None for e in branch_events)
+
+
+def test_batch_trace_policies_agree_on_work(service, requests):
+    _, ipdom = batch_trace(service, requests, policy="ipdom")
+    _, minsp = batch_trace(service, requests, policy="minsp_pc")
+    assert ipdom.scalar_instructions == minsp.scalar_instructions
+
+
+def test_solo_traces_one_stream_per_request(service, requests):
+    traces = solo_traces(service, requests)
+    assert len(traces) == len(requests)
+    for t in traces:
+        assert all(e[2] == 1 for e in t)  # solo: active always 1
+
+
+def test_solo_traces_worker_pool_reuses_addresses(service, requests):
+    pooled = solo_traces(service, requests, pool_size=1)
+
+    from repro.isa import Segment
+
+    def first_stack_addr(trace):
+        for _pc, inst, _a, addrs, _o in trace:
+            if inst.segment is Segment.STACK and addrs:
+                return addrs[0][1]
+        return None
+
+    # with one worker, every request reuses the same stack (and arena)
+    # addresses - the warm-cache behaviour of consecutive CPU requests
+    addrs = {first_stack_addr(t) for t in pooled}
+    assert len(addrs) == 1
+
+
+def test_solo_traces_distinct_workers_distinct_addresses(service, requests):
+    spread = solo_traces(service, requests, pool_size=8)
+    tids = set()
+    for t in spread:
+        for _pc, inst, _a, addrs, _o in t:
+            if addrs:
+                tids.add(addrs[0][0])
+                break
+    assert len(tids) == 8
+
+
+def test_multisink_fans_out(service, requests):
+    a, b = ListSink(), ListSink()
+    sink = MultiSink(a, b, None)
+    sink.on_step(0, None, 1, (), None)
+    sink.on_done()
+    assert len(a.events) == len(b.events) == 1

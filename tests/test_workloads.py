@@ -1,0 +1,164 @@
+"""Workload suite tests: all 15 services build, run, and obey the ABI."""
+
+import random
+
+import pytest
+
+from repro.batching import form_batches
+from repro.core.run import run_batch, run_solo
+from repro.workloads import SERVICE_NAMES, all_services, get_service
+from repro.workloads.base import zipf_key, zipf_size
+
+ALL = all_services()
+
+
+def test_fifteen_services_registered():
+    assert len(SERVICE_NAMES) == 15
+    assert len(set(SERVICE_NAMES)) == 15
+
+
+def test_get_service_unknown_raises():
+    with pytest.raises(KeyError):
+        get_service("nope")
+
+
+@pytest.mark.parametrize("service", ALL, ids=lambda s: s.name)
+def test_program_builds_and_is_cached(service):
+    p1 = service.program
+    p2 = service.program
+    assert p1 is p2
+    assert len(p1) > 10
+
+
+@pytest.mark.parametrize("service", ALL, ids=lambda s: s.name)
+def test_request_generation_deterministic(service):
+    a = service.generate_requests(20, random.Random(1))
+    b = service.generate_requests(20, random.Random(1))
+    assert [(r.api_id, r.size, r.key) for r in a] == \
+        [(r.api_id, r.size, r.key) for r in b]
+    for r in a:
+        assert r.service == service.name
+        assert 0 <= r.api_id < len(service.apis)
+        assert r.size >= 1
+
+
+@pytest.mark.parametrize("service", ALL, ids=lambda s: s.name)
+def test_solo_execution_terminates(service):
+    requests = service.generate_requests(4, random.Random(2))
+    steps = run_solo(service, requests)
+    assert all(s > 10 for s in steps)
+
+
+@pytest.mark.parametrize("service", ALL, ids=lambda s: s.name)
+@pytest.mark.parametrize("policy", ["ipdom", "minsp_pc"])
+def test_lockstep_execution_terminates(service, policy):
+    requests = service.generate_requests(8, random.Random(3))
+    result = run_batch(service, requests, policy=policy)
+    assert not result.truncated
+    assert 1.0 / 8 <= result.simt_efficiency <= 1.0
+
+
+#: services whose *control flow* can read shared data that other
+#: requests write (memcached sets, urlshort mapping inserts): under the
+#: RPU's weak consistency the write interleavings may differ between
+#: lockstep and sequential execution, so only aggregate behaviour is
+#: comparable for them
+RACY_CONTROL_FLOW = {"memcached", "urlshort"}
+
+
+@pytest.mark.parametrize("service", ALL, ids=lambda s: s.name)
+def test_lockstep_matches_solo_instruction_counts(service):
+    """Each thread retires exactly as many instructions in lockstep as
+    it does alone - the core RPU transparency property (exact for
+    race-free control flow, approximate under races)."""
+    requests = service.generate_requests(8, random.Random(4))
+    solo_steps = run_solo(service, requests)
+    batch = run_batch(service, requests, policy="ipdom")
+    if service.name in RACY_CONTROL_FLOW:
+        assert abs(sum(batch.retired_per_thread) - sum(solo_steps)) \
+            <= 0.1 * sum(solo_steps)
+    else:
+        assert batch.retired_per_thread == solo_steps
+
+
+def test_multi_api_services_have_api_diversity():
+    for name in ("memcached", "post", "usertag", "user"):
+        service = get_service(name)
+        requests = service.generate_requests(100, random.Random(5))
+        assert len({r.api_id for r in requests}) > 1
+
+
+def test_batch_size_tuned_services():
+    assert get_service("hdsearch-leaf").recommended_batch == 8
+    assert get_service("search-leaf").recommended_batch == 8
+    assert get_service("mcrouter").recommended_batch == 32
+
+
+def test_optimized_batching_beats_naive_on_multi_api():
+    service = get_service("post")
+    requests = service.generate_requests(128, random.Random(6))
+
+    def avg_eff(policy):
+        batches = form_batches(requests, 32, policy)
+        effs = [run_batch(service, b).simt_efficiency for b in batches]
+        return sum(effs) / len(effs)
+
+    assert avg_eff("per_api_size") > avg_eff("naive") + 0.1
+
+
+def test_speculative_reconvergence_override_points_at_expensive():
+    service = get_service("hdsearch-midtier")
+    override = service.speculative_reconvergence_override()
+    rerank = service.program.labels[service.EXPENSIVE_LABEL]
+    assert override and all(t == rerank for t in override.values())
+    for branch_pc in override:
+        assert service.program.instructions[branch_pc].cls.value == "branch"
+
+
+def test_speculative_reconvergence_improves_efficiency():
+    """Section III-B1: merging at the expensive block beats the static
+    post-dominator on HDSearch-midtier."""
+    import random as _random
+    from repro.batching import form_batches
+
+    service = get_service("hdsearch-midtier")
+    requests = service.generate_requests(64, _random.Random(11))
+    override = service.speculative_reconvergence_override()
+    batches = form_batches(requests, 32, "per_api_size")
+    default = sum(run_batch(service, b, policy="ipdom").simt_efficiency
+                  for b in batches) / len(batches)
+    spec = sum(run_batch(service, b, policy="ipdom",
+                         reconv_override=override).simt_efficiency
+               for b in batches) / len(batches)
+    assert spec > default
+
+
+def test_zipf_size_bounds():
+    rng = random.Random(0)
+    values = [zipf_size(rng, 1, 16) for _ in range(500)]
+    assert min(values) >= 1 and max(values) <= 16
+    assert sum(values) / len(values) < 8  # skewed toward small
+
+
+def test_zipf_key_hot_set():
+    rng = random.Random(0)
+    keys = [zipf_key(rng) for _ in range(1000)]
+    hot = sum(1 for k in keys if k < 512)
+    assert hot > 900
+
+
+def test_user_payload_controls_storage_path():
+    service = get_service("user")
+    hit = [r for r in service.generate_requests(200, random.Random(7))
+           if r.api == "profile" and r.payload["mc_hit"]]
+    miss = [r for r in service.generate_requests(200, random.Random(7))
+            if r.api == "profile" and not r.payload["mc_hit"]]
+    assert hit and miss
+    hit_steps = run_solo(service, hit[:2])
+    miss_steps = run_solo(service, miss[:2])
+    assert min(miss_steps) > max(hit_steps)  # miss path does more work
+
+
+def test_simd_heavy_flags():
+    simd = {s.name for s in ALL if s.simd_heavy}
+    assert simd == {"hdsearch-leaf", "recommender-leaf"}
