@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Compare two benchmark result files and flag mean-time regressions.
+
+Accepts either format, in either position:
+
+* native ``pytest-benchmark --benchmark-json`` output
+  (``{"benchmarks": [{"name": ..., "stats": {"mean": seconds}}]}``), or
+* the committed summary ``BENCH_simulator_speed.json``
+  (``{"current": {name: {"mean_us": ...}}}``).
+
+Typical CI usage::
+
+    PYTHONPATH=src pytest benchmarks/bench_simulator_speed.py \
+        --benchmark-only --benchmark-json=bench.json
+    python scripts/compare_bench.py BENCH_simulator_speed.json bench.json
+
+Exits non-zero when any benchmark's mean time grew by more than
+``--threshold`` (default 10%) over the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_means(path: str) -> dict[str, float]:
+    """Return {benchmark name: mean microseconds} from either format."""
+    with open(path) as f:
+        data = json.load(f)
+    if "benchmarks" in data:  # native pytest-benchmark output
+        return {b["name"]: b["stats"]["mean"] * 1e6
+                for b in data["benchmarks"]}
+    if "current" in data:  # committed summary artifact
+        return {name: row["mean_us"]
+                for name, row in data["current"].items()}
+    raise SystemExit(f"{path}: unrecognised benchmark JSON shape")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("current", help="current benchmark JSON")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional slowdown (default 0.10)")
+    args = parser.parse_args(argv)
+
+    base = load_means(args.baseline)
+    cur = load_means(args.current)
+    common = sorted(base.keys() & cur.keys())
+    if not common:
+        raise SystemExit("no benchmarks in common between the two files")
+
+    regressions = []
+    width = max(len(n) for n in common)
+    print(f"{'benchmark':{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in common:
+        ratio = cur[name] / base[name]
+        mark = ""
+        if ratio > 1.0 + args.threshold:
+            regressions.append(name)
+            mark = "  <-- REGRESSION"
+        print(f"{name:{width}}  {base[name]:>10.1f}us  "
+              f"{cur[name]:>10.1f}us  {ratio:5.2f}x{mark}")
+
+    for name in sorted(base.keys() - cur.keys()):
+        print(f"{name:{width}}  missing from current run", file=sys.stderr)
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed by more than "
+              f"{args.threshold:.0%}: {', '.join(regressions)}")
+        return 1
+    print(f"\nOK: no benchmark regressed by more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,13 +21,16 @@ def main(argv=None) -> int:
     parser.add_argument("--service", default="memcached",
                         choices=SERVICE_NAMES)
     parser.add_argument("--requests", type=int, default=128)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the design comparison")
     args = parser.parse_args(argv)
 
     print(f"SIMR reproduction v{__version__}")
     print(f"services: {', '.join(SERVICE_NAMES)}\n")
 
     system = SimrSystem(args.service)
-    reports = system.compare(system.sample_requests(args.requests))
+    reports = system.compare(system.sample_requests(args.requests),
+                             jobs=args.jobs)
     print(f"{args.service}: {args.requests} requests, "
           f"SIMT efficiency {reports['rpu'].simt_efficiency:.2f}\n")
     for name, ratios in speedup_summary(reports).items():

@@ -68,6 +68,12 @@ class ServeReport:
         )
 
 
+def _serve_task(item) -> ServeReport:
+    """Worker entry point for :meth:`SimrSystem.compare` fan-out."""
+    service, requests, cfg, opts = item
+    return ServeReport.from_chip(run_chip(service, requests, cfg, **opts))
+
+
 class SimrSystem:
     """The SIMR-aware server + RPU pairing for one microservice."""
 
@@ -110,19 +116,34 @@ class SimrSystem:
         self,
         requests: Sequence[Request],
         baselines: Sequence[str] = ("cpu", "cpu-smt8"),
+        jobs: Optional[int] = None,
     ) -> Dict[str, ServeReport]:
-        """Serve on this system and on the named baseline designs."""
-        out = {self.config.name: self.serve(requests)}
+        """Serve on this system and on the named baseline designs.
+
+        The designs are independent simulations over the same request
+        population, so with ``jobs > 1`` they run in parallel worker
+        processes with identical results.
+        """
+        from ..experiments.common import parallel_map
+
+        cfgs = []
         for name in baselines:
             try:
-                cfg = _CONFIGS[name]
+                cfgs.append(_CONFIGS[name])
             except KeyError:
                 raise KeyError(
                     f"unknown design {name!r}; known: {', '.join(_CONFIGS)}"
                 ) from None
-            out[name] = ServeReport.from_chip(
-                run_chip(self.service, requests, cfg)
-            )
+        tasks = [(
+            self.service, requests, self.config,
+            {"policy": self.policy, "batching": self.batching,
+             "batch_size": self.batch_size, "warmup_frac": 0.2},
+        )]
+        tasks += [(self.service, requests, cfg, {}) for cfg in cfgs]
+        reports = parallel_map(_serve_task, tasks, jobs=jobs)
+        out = {self.config.name: reports[0]}
+        for name, report in zip(baselines, reports[1:]):
+            out[name] = report
         return out
 
 

@@ -15,6 +15,20 @@ Two reconvergence policies from the paper are implemented:
   (MinPC).  A spin-lock escape hatch rotates selection away from a
   group that keeps re-executing atomics without global progress,
   mirroring the paper's k-cycle / b-atomics multipath rule.
+
+Every executor has two execution engines:
+
+* the **reference engine** — the original, obviously-correct loops
+  built on :func:`repro.engine.interpreter.execute`.  It is always used
+  when a sink is attached (sinks need per-step events) or when
+  ``fastpath=False`` is requested.
+
+* the **fast-path engine** — pre-decoded handler dispatch plus
+  superblock fusion (:mod:`repro.engine.decode`), used when no sink is
+  attached.  It is required to leave architectural state *and* every
+  :class:`LockstepResult` counter bit-identical to the reference
+  engine; ``tests/test_differential_fastpath.py`` enforces this over
+  all 15 workloads and all policies.
 """
 
 from __future__ import annotations
@@ -24,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..isa.cfg import ControlFlowGraph
 from ..isa.instructions import Instruction, OpClass
 from ..isa.program import Program
+from .decode import RK_BRANCH, RK_CALL, RK_FALL, RK_JUMP, RK_RET
 from .events import LockstepResult, StepSink
 from .interpreter import execute
 from .memory import MemoryImage
@@ -34,31 +49,79 @@ class ExecutionError(Exception):
     """Raised when lockstep invariants are violated or budgets exceeded."""
 
 
+def _tid_key(t: ThreadState) -> int:
+    return t.tid
+
+
+def _regroup_insert(groups: Dict, key, moved: List[ThreadState]) -> None:
+    """Insert ``moved`` (tid-sorted) into ``groups[key]``, keeping the
+    group list tid-sorted so execution order matches the reference
+    engine (which rebuilds groups by iterating threads in tid order)."""
+    cur = groups.get(key)
+    if cur is None:
+        groups[key] = moved
+    else:
+        cur.extend(moved)
+        cur.sort(key=_tid_key)
+
+
 class SoloExecutor:
     """Runs one thread to completion (the MIMD CPU reference)."""
 
     def __init__(self, program: Program, sink: Optional[StepSink] = None,
-                 max_steps: int = 2_000_000):
+                 max_steps: int = 2_000_000, fastpath: bool = True):
         self.program = program
         self.sink = sink
         self.max_steps = max_steps
+        self.fastpath = fastpath
 
     def run(self, thread: ThreadState, mem: MemoryImage) -> int:
+        if self.fastpath and self.sink is None:
+            return self._run_fast(thread, mem)
+        return self._run_reference(thread, mem)
+
+    def _run_fast(self, thread: ThreadState, mem: MemoryImage) -> int:
+        prog = self.program
+        decoded = prog.decoded
+        handlers = decoded.handlers
+        blocks = decoded.solo_blocks
+        max_steps = self.max_steps
+        steps = 0
+        # single-thread execution keeps memory ops in program order no
+        # matter how they are batched, so whole basic blocks (terminator
+        # included) collapse into one call each
+        while not thread.halted:
+            b = blocks[thread.pc]
+            if b is not None and steps + b[0] <= max_steps:
+                b[1](thread, mem)
+                steps += b[0]
+                continue
+            if steps >= max_steps:
+                raise ExecutionError(
+                    f"{prog.name}: thread {thread.tid} exceeded "
+                    f"{max_steps} steps"
+                )
+            handlers[thread.pc](thread, mem)
+            steps += 1
+        return steps
+
+    def _run_reference(self, thread: ThreadState, mem: MemoryImage) -> int:
         prog = self.program
         insts = prog.instructions
         targets = prog.targets
         sink = self.sink
+        max_steps = self.max_steps
         steps = 0
         addrs: List[Tuple[int, int, int]] = []
         while not thread.halted:
-            if steps >= self.max_steps:
+            if steps >= max_steps:
                 raise ExecutionError(
                     f"{prog.name}: thread {thread.tid} exceeded "
-                    f"{self.max_steps} steps"
+                    f"{max_steps} steps"
                 )
             pc = thread.pc
             inst = insts[pc]
-            del addrs[:]
+            addrs.clear()
             taken = execute(thread, inst, targets[pc], mem, addrs)
             if sink is not None:
                 outcomes = ((thread.tid, taken),) if taken is not None else None
@@ -71,16 +134,27 @@ class SoloExecutor:
 
 class _BaseLockstep:
     def __init__(self, program: Program, sink: Optional[StepSink] = None,
-                 max_steps: int = 4_000_000):
+                 max_steps: int = 4_000_000, fastpath: bool = True):
         self.program = program
         self.sink = sink
         self.max_steps = max_steps
+        self.fastpath = fastpath
 
     def _emit(self, pc: int, inst: Instruction, group: Sequence[ThreadState],
               mem: MemoryImage) -> Tuple[int, bool]:
         """Execute ``inst`` for every thread in ``group``; returns
         (#active, diverged?) for branch bookkeeping."""
         target = self.program.targets[pc]
+        sink = self.sink
+        if sink is None:
+            # no-sink fast path: no address list, no outcome tuples
+            if inst.cls is OpClass.BRANCH:
+                outs = [execute(t, inst, target, mem, None) for t in group]
+                first = outs[0]
+                return len(group), any(o != first for o in outs)
+            for t in group:
+                execute(t, inst, target, mem, None)
+            return len(group), False
         addrs: List[Tuple[int, int, int]] = []
         outcomes: Optional[List[Tuple[int, bool]]] = None
         if inst.cls is OpClass.BRANCH:
@@ -91,8 +165,7 @@ class _BaseLockstep:
         else:
             for t in group:
                 execute(t, inst, target, mem, addrs)
-        if self.sink is not None:
-            self.sink.on_step(pc, inst, len(group), addrs, outcomes)
+        sink.on_step(pc, inst, len(group), addrs, outcomes)
         diverged = False
         if outcomes is not None:
             first = outcomes[0][1]
@@ -105,14 +178,27 @@ class IpdomExecutor(_BaseLockstep):
 
     def __init__(self, program: Program, cfg: Optional[ControlFlowGraph] = None,
                  sink: Optional[StepSink] = None, max_steps: int = 4_000_000,
-                 reconv_override: Optional[Dict[int, int]] = None):
-        super().__init__(program, sink, max_steps)
+                 reconv_override: Optional[Dict[int, int]] = None,
+                 fastpath: bool = True):
+        super().__init__(program, sink, max_steps, fastpath)
         self.cfg = cfg if cfg is not None else ControlFlowGraph(program)
         self.reconv_override = reconv_override or {}
 
     def run(self, threads: Sequence[ThreadState], mem: MemoryImage) -> LockstepResult:
+        if self.fastpath and self.sink is None:
+            return self._run_fast(threads, mem)
+        return self._run_reference(threads, mem)
+
+    def _run_fast(self, threads: Sequence[ThreadState],
+                  mem: MemoryImage) -> LockstepResult:
         prog = self.program
-        insts = prog.instructions
+        decoded = prog.decoded
+        handlers = decoded.handlers
+        fused = decoded.superblocks
+        is_branch = decoded.is_branch
+        reconv_override = self.reconv_override
+        cfg = self.cfg
+        max_steps = self.max_steps
         end = len(prog)
         # stack entries: (threads_in_region, reconvergence_pc)
         stack: List[Tuple[List[ThreadState], int]] = [(list(threads), end)]
@@ -128,7 +214,95 @@ class IpdomExecutor(_BaseLockstep):
             if not running:
                 stack.pop()
                 continue
-            if steps >= self.max_steps:
+            if steps >= max_steps:
+                truncated = True
+                break
+            pc = running[0].pc
+            for t in running:
+                if t.pc != pc:
+                    raise ExecutionError(
+                        f"{prog.name}: IPDOM invariant broken at pc {pc} "
+                        f"vs {t.pc} (irreducible control flow?)"
+                    )
+            f = fused[pc]
+            if f is not None:
+                k = f[0]
+                # a fused run may end exactly at the reconvergence pc
+                # (the re-filter above catches the threads there) but
+                # must never cross it mid-run (possible only with
+                # speculative reconv overrides; CFG reconv pcs are
+                # block leaders, which no run interior contains)
+                if steps + k <= max_steps and not (pc < reconv < pc + k):
+                    fn = f[1]
+                    for t in running:
+                        fn(t)
+                    steps += k
+                    scalar += k * len(running)
+                    continue
+            h = handlers[pc]
+            n = len(running)
+            if is_branch[pc]:
+                outs = [h(t, mem) for t in running]
+                steps += 1
+                scalar += n
+                branches += 1
+                first = outs[0]
+                diverged = False
+                for o in outs:
+                    if o != first:
+                        diverged = True
+                        break
+                if diverged:
+                    divergent += 1
+                    rpc = reconv_override.get(pc)
+                    if rpc is None:
+                        rpc = cfg.reconvergence_pc(pc)
+                    taken_pc = prog.target_of(pc)
+                    taken = [t for t in running if t.pc == taken_pc]
+                    not_taken = [t for t in running if t.pc != taken_pc]
+                    # execute the lower-pc side first (MinPC-style order)
+                    first_side, second = (taken, not_taken)
+                    if not_taken and taken and not_taken[0].pc < taken_pc:
+                        first_side, second = not_taken, taken
+                    stack.append((second, rpc))
+                    stack.append((first_side, rpc))
+            else:
+                for t in running:
+                    h(t, mem)
+                steps += 1
+                scalar += n
+
+        return LockstepResult(
+            batch_size=len(threads),
+            steps=steps,
+            scalar_instructions=scalar,
+            divergent_branches=divergent,
+            branches=branches,
+            retired_per_thread=[t.retired for t in threads],
+            truncated=truncated,
+        )
+
+    def _run_reference(self, threads: Sequence[ThreadState],
+                       mem: MemoryImage) -> LockstepResult:
+        prog = self.program
+        insts = prog.instructions
+        end = len(prog)
+        max_steps = self.max_steps
+        # stack entries: (threads_in_region, reconvergence_pc)
+        stack: List[Tuple[List[ThreadState], int]] = [(list(threads), end)]
+        steps = 0
+        scalar = 0
+        branches = 0
+        divergent = 0
+        truncated = False
+
+        while stack:
+            region, reconv = stack[-1]
+            running = [t for t in region if not t.halted and t.pc != reconv]
+            if not running:
+                stack.pop()
+                continue
+            if steps >= max_steps:
                 truncated = True
                 break
             pc = running[0].pc
@@ -185,15 +359,39 @@ class MinSpPcExecutor(_BaseLockstep):
 
     def __init__(self, program: Program, sink: Optional[StepSink] = None,
                  max_steps: int = 4_000_000, spin_k: int = 256,
-                 spin_b: int = 4, spin_t: int = 32):
-        super().__init__(program, sink, max_steps)
+                 spin_b: int = 4, spin_t: int = 32, fastpath: bool = True):
+        super().__init__(program, sink, max_steps, fastpath)
         self.spin_k = spin_k
         self.spin_b = spin_b
         self.spin_t = spin_t
 
     def run(self, threads: Sequence[ThreadState], mem: MemoryImage) -> LockstepResult:
+        if self.fastpath and self.sink is None:
+            return self._run_fast(threads, mem)
+        return self._run_reference(threads, mem)
+
+    def _run_fast(self, threads: Sequence[ThreadState],
+                  mem: MemoryImage) -> LockstepResult:
+        """Incremental-grouping fast loop.
+
+        The reference engine rebuilds the (depth, pc) group map from
+        scratch every step (O(batch) per issued instruction); here only
+        the threads of the executed group are re-keyed.  Group lists are
+        kept tid-sorted so per-step execution order - and therefore
+        every racy memory interleaving - matches the reference engine
+        exactly.
+        """
         prog = self.program
-        insts = prog.instructions
+        decoded = prog.decoded
+        handlers = decoded.handlers
+        fused = decoded.superblocks
+        rekey = decoded.rekey
+        is_atomic = decoded.is_atomic
+        max_steps = self.max_steps
+        spin_k = self.spin_k
+        spin_b = self.spin_b
+        spin_t = self.spin_t
+
         steps = 0
         scalar = 0
         branches = 0
@@ -204,6 +402,158 @@ class MinSpPcExecutor(_BaseLockstep):
         boost_remaining = 0
         last_executed: Dict[int, int] = {t.tid: 0 for t in threads}
 
+        groups: Dict[Tuple[int, int], List[ThreadState]] = {}
+        for t in threads:  # tid order -> tid-sorted group lists
+            if not t.halted:
+                groups.setdefault((-len(t.call_stack), t.pc), []).append(t)
+
+        while groups:
+            if steps >= max_steps:
+                truncated = True
+                break
+
+            if boost_remaining > 0 and len(groups) > 1:
+                boost_remaining -= 1
+                # oldest-waiter first; ties resolve to the lowest-tid
+                # group, matching the reference engine's insertion order
+                key = min(
+                    groups,
+                    key=lambda k: (
+                        min(last_executed[t.tid] for t in groups[k]),
+                        groups[k][0].tid,
+                    ),
+                )
+            else:
+                key = min(groups)  # deepest call, then lowest pc
+
+            group = groups.pop(key)
+            pc = key[1]
+
+            f = fused[pc]
+            if (f is not None
+                    and steps + f[0] <= max_steps
+                    # no spin-escape check can fire during the run: the
+                    # atomics window must already be stale for its first
+                    # fused step (runs contain no atomics, so it only
+                    # gets staler)
+                    and steps + 1 - last_atomic_step > spin_b
+                    # an active boost re-ranks groups every step
+                    and (boost_remaining == 0 or not groups)):
+                k = f[0]
+                fusable = True
+                if groups:
+                    depth = key[0]
+                    hi = pc + k
+                    for d2, p2 in groups:
+                        # a same-depth group strictly inside the run
+                        # would merge with (or preempt) us mid-run
+                        if d2 == depth and pc < p2 < hi:
+                            fusable = False
+                            break
+                if fusable:
+                    fn = f[1]
+                    for t in group:
+                        fn(t)
+                    steps += k
+                    scalar += k * len(group)
+                    for t in group:
+                        last_executed[t.tid] = steps
+                    _regroup_insert(groups, (key[0], pc + k), group)
+                    continue
+
+            h = handlers[pc]
+            n = len(group)
+            rk = rekey[pc]
+            kind = rk[0]
+            outs = None
+            uniform = True
+            if kind == RK_BRANCH:
+                outs = [h(t, mem) for t in group]
+                branches += 1
+                first = outs[0]
+                for o in outs:
+                    if o != first:
+                        uniform = False
+                        divergent += 1
+                        break
+            else:
+                for t in group:
+                    h(t, mem)
+            steps += 1
+            scalar += n
+            for t in group:
+                last_executed[t.tid] = steps
+            if is_atomic[pc]:
+                last_atomic_step = steps
+
+            # Spin-lock escape (see _run_reference); the popped group
+            # counts toward the reference's len(groups) > 1 condition,
+            # so the remaining map only needs to be non-empty.  The
+            # cheap atomics-window test goes first: computing the
+            # oldest waiter is O(batch).
+            if (boost_remaining == 0 and groups
+                    and steps - last_atomic_step <= spin_b):
+                oldest = min(
+                    last_executed[t.tid] for t in threads if not t.halted
+                )
+                if steps - oldest >= spin_k:
+                    boost_remaining = spin_t
+
+            # re-key the executed group: O(1) whole-group moves for
+            # straight-line code, per-outcome partition for branches,
+            # per-thread buckets only for ret (threads of one (depth,
+            # pc) group may hold different return addresses)
+            if kind == RK_FALL:
+                _regroup_insert(groups, (key[0], pc + 1), group)
+            elif kind == RK_BRANCH:
+                if uniform:
+                    npc = rk[1] if outs[0] else pc + 1
+                    _regroup_insert(groups, (key[0], npc), group)
+                else:
+                    taken = [t for t, o in zip(group, outs) if o]
+                    fell = [t for t, o in zip(group, outs) if not o]
+                    _regroup_insert(groups, (key[0], rk[1]), taken)
+                    _regroup_insert(groups, (key[0], pc + 1), fell)
+            elif kind == RK_JUMP:
+                _regroup_insert(groups, (key[0], rk[1]), group)
+            elif kind == RK_CALL:
+                _regroup_insert(groups, (key[0] - 1, rk[1]), group)
+            elif kind == RK_RET:
+                d2 = key[0] + 1
+                buckets: Dict[int, List[ThreadState]] = {}
+                for t in group:
+                    buckets.setdefault(t.pc, []).append(t)
+                for p2, moved in buckets.items():
+                    _regroup_insert(groups, (d2, p2), moved)
+            # RK_HALT: the whole group halted and leaves the schedule
+
+        return LockstepResult(
+            batch_size=len(threads),
+            steps=steps,
+            scalar_instructions=scalar,
+            divergent_branches=divergent,
+            branches=branches,
+            retired_per_thread=[t.retired for t in threads],
+            truncated=truncated,
+        )
+
+    def _run_reference(self, threads: Sequence[ThreadState],
+                       mem: MemoryImage) -> LockstepResult:
+        prog = self.program
+        insts = prog.instructions
+        max_steps = self.max_steps
+        steps = 0
+        scalar = 0
+        branches = 0
+        divergent = 0
+        truncated = False
+
+        last_atomic_step = -(10**9)
+        boost_remaining = 0
+        # lazily keyed: threads may join mid-run (e.g. a sink spawning
+        # work), so unknown tids default to "never executed"
+        last_executed: Dict[int, int] = {t.tid: 0 for t in threads}
+
         while True:
             groups: Dict[Tuple[int, int], List[ThreadState]] = {}
             for t in threads:
@@ -211,7 +561,7 @@ class MinSpPcExecutor(_BaseLockstep):
                     groups.setdefault((-t.depth, t.pc), []).append(t)
             if not groups:
                 break
-            if steps >= self.max_steps:
+            if steps >= max_steps:
                 truncated = True
                 break
 
@@ -219,7 +569,9 @@ class MinSpPcExecutor(_BaseLockstep):
                 boost_remaining -= 1
                 key = min(
                     groups,
-                    key=lambda k: min(last_executed[t.tid] for t in groups[k]),
+                    key=lambda k: min(
+                        last_executed.get(t.tid, 0) for t in groups[k]
+                    ),
                 )
             else:
                 key = min(groups)  # deepest call, then lowest pc
@@ -244,7 +596,8 @@ class MinSpPcExecutor(_BaseLockstep):
                 last_atomic_step = steps
             if boost_remaining == 0 and len(groups) > 1:
                 oldest = min(
-                    last_executed[t.tid] for t in threads if not t.halted
+                    last_executed.get(t.tid, 0)
+                    for t in threads if not t.halted
                 )
                 if (
                     steps - oldest >= self.spin_k
@@ -298,6 +651,16 @@ class PredicatedExecutor(IpdomExecutor):
 
     def _emit(self, pc, inst, group, mem):
         target = self.program.targets[pc]
+        sink = self.sink
+        if sink is None:
+            # architecturally identical to the base no-sink path
+            if inst.cls is OpClass.BRANCH:
+                outs = [execute(t, inst, target, mem, None) for t in group]
+                first = outs[0]
+                return len(group), any(o != first for o in outs)
+            for t in group:
+                execute(t, inst, target, mem, None)
+            return len(group), False
         addrs = []
         diverged = False
         if inst.cls is OpClass.BRANCH:
@@ -307,13 +670,12 @@ class PredicatedExecutor(IpdomExecutor):
         else:
             for t in group:
                 execute(t, inst, target, mem, addrs)
-        if self.sink is not None:
-            width = self._full
-            if (inst.cls in self.EMULATED_CLASSES
-                    or inst.op in self.EMULATED_OPS):
-                width *= self.emulation_factor
-            # full-width issue, no branch outcomes (predication)
-            self.sink.on_step(pc, inst, width, addrs, None)
+        width = self._full
+        if (inst.cls in self.EMULATED_CLASSES
+                or inst.op in self.EMULATED_OPS):
+            width *= self.emulation_factor
+        # full-width issue, no branch outcomes (predication)
+        sink.on_step(pc, inst, width, addrs, None)
         return len(group), diverged
 
 

@@ -66,7 +66,11 @@ class MemoryImage:
         a = addr & ~7
         v = self._store.get(a)
         if v is None:
-            return self.background(a)
+            # inlined background(a): this is the hottest call in the
+            # interpreter fast path and a is already 8-byte aligned
+            x = (a * _MIX + self.salt) & _MASK64
+            x ^= x >> 29
+            return (x >> 17) & 0xFFFF_FFFF
         return v
 
     def write(self, addr: int, value: int) -> None:

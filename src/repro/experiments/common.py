@@ -10,9 +10,13 @@ path.  ``scale`` multiplies the default request counts; the paper uses
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import random
+import sys
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..workloads import Microservice, all_services, get_service
 
@@ -20,6 +24,65 @@ from ..workloads import Microservice, all_services, get_service
 DEFAULT_REQUESTS = 192
 
 SEED = 7
+
+#: process-wide worker count used when a caller does not pass ``jobs``
+#: explicitly; set from the ``--jobs`` CLI flag (or REPRO_JOBS)
+_default_jobs: Optional[int] = None
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide default worker count (``--jobs`` flag)."""
+    global _default_jobs
+    _default_jobs = jobs
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve an explicit/default/environment worker count to >= 1."""
+    if jobs is None:
+        jobs = _default_jobs
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "1") or "1"
+        try:
+            jobs = int(raw)
+        except ValueError:
+            print(f"ignoring non-integer REPRO_JOBS={raw!r}",
+                  file=sys.stderr)
+            jobs = 1
+    return max(1, int(jobs))
+
+
+def task_seed(*parts, base: int = SEED) -> int:
+    """Deterministic seed for one (service, chip, batch, ...) task.
+
+    Derived from the task identity alone - never from worker id or
+    submission order - so a parallel sweep draws exactly the same
+    request populations as a serial one.
+    """
+    h = zlib.crc32(repr(parts).encode("utf-8"))
+    return (base * 1_000_003 + h) & 0x7FFF_FFFF
+
+
+def parallel_map(fn: Callable, items: Iterable, jobs: Optional[int] = None,
+                 chunksize: int = 1) -> List:
+    """``[fn(x) for x in items]``, optionally across worker processes.
+
+    Results keep item order, so parallel and serial runs produce
+    identical output.  ``fn`` must be a module-level callable and the
+    items picklable.  Falls back to the serial path when only one job
+    is requested, when there is at most one item, or inside a worker
+    process (daemonic workers cannot spawn nested pools).
+    """
+    items = list(items)
+    jobs = resolve_jobs(jobs)
+    if (jobs <= 1 or len(items) <= 1
+            or multiprocessing.current_process().daemon):
+        return [fn(x) for x in items]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork: inherit the default
+        ctx = multiprocessing.get_context()
+    with ctx.Pool(min(jobs, len(items))) as pool:
+        return pool.map(fn, items, chunksize=chunksize)
 
 
 def requests_for(service: Microservice, scale: float = 1.0,
@@ -82,3 +145,26 @@ def summary_row(rows: Sequence[Row], columns: Sequence[str],
         values={c: agg([r.values[c] for r in rows if c in r.values])
                 for c in columns},
     )
+
+
+def experiment_cli(main_fn: Callable[[float], str], argv=None) -> int:
+    """Shared ``__main__`` driver for the per-figure experiment modules.
+
+    Gives every experiment the same flags as ``run_all``: ``--scale``,
+    ``--full`` (the paper's ~2400-request populations) and ``--jobs N``
+    for the multiprocessing sweep driver.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=main_fn.__doc__)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="request-count multiplier (paper scale ~12)")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale populations (same as --scale 12)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for independent simulations")
+    args = parser.parse_args(argv)
+    if args.jobs is not None:
+        set_default_jobs(args.jobs)
+    print(main_fn(12.0 if args.full else args.scale))
+    return 0

@@ -18,8 +18,14 @@ from typing import Dict, List, Optional
 
 from ..energy import energy_of, requests_per_joule
 from ..timing import CPU_CONFIG, RPU_CONFIG, SMT8_CONFIG, run_chip
-from ..workloads import all_services
-from .common import Row, format_rows, requests_for, summary_row
+from ..workloads import all_services, get_service
+from .common import (
+    Row,
+    format_rows,
+    parallel_map,
+    requests_for,
+    summary_row,
+)
 
 PAPER = {
     "rpu_requests_per_joule": 5.7,
@@ -46,43 +52,61 @@ def _mem_latency(result) -> float:
     return result.counters["miss_latency_sum"] / n if n else 0.0
 
 
+def _measure(service, scale: float) -> Row:
+    """Run the three-chip sweep for one service and build its row."""
+    requests = requests_for(service, scale)
+    cpu = run_chip(service, requests, CPU_CONFIG)
+    smt = run_chip(service, requests, SMT8_CONFIG)
+    rpu = run_chip(service, requests, RPU_CONFIG)
+
+    ee_cpu = requests_per_joule(cpu)
+    cpu_l1 = cpu.counters["l1_accesses"] / max(1, cpu.n_requests)
+    rpu_l1 = rpu.counters["l1_accesses"] / max(1, rpu.n_requests)
+    cpu_issued = (cpu.counters["batch_instructions"]
+                  / max(1, cpu.n_requests))
+    rpu_issued = (rpu.counters["batch_instructions"]
+                  / max(1, rpu.n_requests))
+    rpu_mem = _mem_latency(rpu)
+    cpu_mem = _mem_latency(cpu)
+
+    values = {
+        "rpu_ee": requests_per_joule(rpu) / ee_cpu,
+        "smt_ee": requests_per_joule(smt) / ee_cpu,
+        "rpu_lat": rpu.avg_latency_cycles
+        / max(1e-9, cpu.avg_latency_cycles),
+        "smt_lat": smt.avg_latency_cycles
+        / max(1e-9, cpu.avg_latency_cycles),
+        "traffic_reduction": cpu_l1 / rpu_l1 if rpu_l1 else 0.0,
+        "issued_reduction": cpu_issued / rpu_issued
+        if rpu_issued else 0.0,
+        "ipc_gain": rpu.ipc / cpu.ipc if cpu.ipc else 0.0,
+        "simt_eff": rpu.simt_efficiency,
+    }
+    # only meaningful when the service misses the L1 at all
+    # post-warmup (cache-resident services never exercise the NoC)
+    if rpu_mem > 0 and cpu_mem > 0:
+        values["mem_lat_reduction"] = cpu_mem / rpu_mem
+    return Row(label=service.name, values=values)
+
+
+def _service_row(item) -> Row:
+    """Worker entry point: measure one service by name."""
+    name, scale = item
+    return _measure(get_service(name), scale)
+
+
 def run(scale: float = 1.0, services=None) -> List[Row]:
-    """Measure the experiment; returns structured rows."""
-    rows = []
-    for service in services or all_services():
-        requests = requests_for(service, scale)
-        cpu = run_chip(service, requests, CPU_CONFIG)
-        smt = run_chip(service, requests, SMT8_CONFIG)
-        rpu = run_chip(service, requests, RPU_CONFIG)
+    """Measure the experiment; returns structured rows.
 
-        ee_cpu = requests_per_joule(cpu)
-        cpu_l1 = cpu.counters["l1_accesses"] / max(1, cpu.n_requests)
-        rpu_l1 = rpu.counters["l1_accesses"] / max(1, rpu.n_requests)
-        cpu_issued = (cpu.counters["batch_instructions"]
-                      / max(1, cpu.n_requests))
-        rpu_issued = (rpu.counters["batch_instructions"]
-                      / max(1, rpu.n_requests))
-        rpu_mem = _mem_latency(rpu)
-        cpu_mem = _mem_latency(cpu)
-
-        values = {
-            "rpu_ee": requests_per_joule(rpu) / ee_cpu,
-            "smt_ee": requests_per_joule(smt) / ee_cpu,
-            "rpu_lat": rpu.avg_latency_cycles
-            / max(1e-9, cpu.avg_latency_cycles),
-            "smt_lat": smt.avg_latency_cycles
-            / max(1e-9, cpu.avg_latency_cycles),
-            "traffic_reduction": cpu_l1 / rpu_l1 if rpu_l1 else 0.0,
-            "issued_reduction": cpu_issued / rpu_issued
-            if rpu_issued else 0.0,
-            "ipc_gain": rpu.ipc / cpu.ipc if cpu.ipc else 0.0,
-            "simt_eff": rpu.simt_efficiency,
-        }
-        # only meaningful when the service misses the L1 at all
-        # post-warmup (cache-resident services never exercise the NoC)
-        if rpu_mem > 0 and cpu_mem > 0:
-            values["mem_lat_reduction"] = cpu_mem / rpu_mem
-        rows.append(Row(label=service.name, values=values))
+    The per-service sweeps are independent (each builds its own memory
+    images from fixed seeds), so the default all-services run fans out
+    over the ``--jobs`` worker pool with identical results.
+    """
+    if services is None:
+        names = [s.name for s in all_services()]
+        rows = parallel_map(_service_row, [(n, scale) for n in names])
+    else:
+        rows = [_measure(s, scale) for s in services]
     rows.append(summary_row(rows, ALL_COLUMNS))
     return rows
 
@@ -126,4 +150,6 @@ def main(scale: float = 1.0) -> str:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    print(main())
+    from .common import experiment_cli
+
+    raise SystemExit(experiment_cli(main))

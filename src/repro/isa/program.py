@@ -29,6 +29,43 @@ class Program:
         if not self.targets:
             self.targets = self._resolve_targets()
         self._validate()
+        # decode cache: per-pc specialized handlers + fused superblocks
+        # (built on first executor use, shared by every executor of this
+        # program; see repro.engine.decode)
+        self._decoded = None
+
+    @property
+    def decoded(self):
+        """Pre-decoded dispatch tables (lazily compiled, then cached).
+
+        Decoding happens once per program, not per step: every
+        instruction is specialized into a closure with operands,
+        immediates and resolved branch targets bound, and straight-line
+        ALU/MUL runs are fused into composite superblock handlers.
+        """
+        dec = self._decoded
+        if dec is None:
+            from ..engine.decode import compile_program
+
+            dec = self._decoded = compile_program(self)
+        return dec
+
+    @property
+    def handlers(self):
+        """Per-pc specialized handler table (see :attr:`decoded`)."""
+        return self.decoded.handlers
+
+    @property
+    def superblocks(self):
+        """Per-pc fused superblock table (see :attr:`decoded`)."""
+        return self.decoded.superblocks
+
+    def __getstate__(self):
+        # compiled handlers are closures and cannot cross process
+        # boundaries; drop the cache and let the receiver re-decode
+        state = dict(self.__dict__)
+        state["_decoded"] = None
+        return state
 
     def _resolve_targets(self) -> List[Optional[int]]:
         targets: List[Optional[int]] = []

@@ -165,12 +165,8 @@ def test_private_stacks_do_not_alias(policy):
         assert t.regs[2] == v
 
 
-def test_spinlock_escape_makes_progress():
-    """Classic SIMT-induced deadlock: t1 spins on a lock t0 holds.
-
-    Without multipath escape the MinSP-PC schedule would spin forever;
-    the escape hatch must let t0 release the lock.
-    """
+def _spinlock_setup():
+    """Classic SIMT-induced deadlock: t1 spins on a lock t0 holds."""
     b = ProgramBuilder("spin")
     # r1 = who I am (0 acquires first because it arrives at the amoswap
     # one step earlier via the initial branch)
@@ -200,12 +196,116 @@ def test_spinlock_escape_makes_progress():
         t.regs[1] = tid
         t.regs[20] = lock_addr
         threads.append(t)
+    return program, threads, mem
+
+
+@pytest.mark.parametrize("fastpath", [True, False])
+def test_spinlock_escape_makes_progress(fastpath):
+    """Without multipath escape the MinSP-PC schedule would spin
+    forever; the escape hatch must let t0 release the lock."""
+    program, threads, mem = _spinlock_setup()
     ex = MinSpPcExecutor(program, spin_k=16, spin_b=4, spin_t=16,
-                         max_steps=20_000)
+                         max_steps=20_000, fastpath=fastpath)
     res = ex.run(threads, mem)
     assert not res.truncated
     assert all(t.halted for t in threads)
     assert all(t.regs[6] == 1 for t in threads)
+
+
+def _minpc_deadlock_setup():
+    """A spin loop at *lower* pcs than the lock holder's work loop.
+
+    Pure MinPC keeps selecting the spinner (lowest pc wins), so the
+    holder never runs and never releases: the textbook SIMT-induced
+    livelock the spin_k/spin_b/spin_t escape exists for.
+    """
+    b = ProgramBuilder("deadlock")
+    b.li("r10", 1)
+    b.jmp("start")
+    b.label("spin")                    # low-pc spin loop
+    b.amoswap("r3", "r20", "r10")
+    b.bne("r3", "zero", "spin")
+    b.jmp("done")
+    b.label("start")
+    b.amoswap("r3", "r20", "r10")      # everyone tries; t0 wins (tid order)
+    b.bne("r3", "zero", "spin")        # losers spin at lower pcs
+    b.li("r4", 20)                     # winner's work loop (higher pcs)
+    with b.loop("r4"):
+        b.addi("r5", "r5", 1)
+    b.st("zero", "r20", 0, Segment.HEAP)  # release
+    b.label("done")
+    b.addi("r6", "r6", 1)
+    b.halt()
+    program = b.build()
+
+    mem = MemoryImage()
+    lock_addr = 0x4000_1000
+    mem.write(lock_addr, 0)
+    threads = []
+    for tid in range(2):
+        t = ThreadState(tid)
+        t.regs[20] = lock_addr
+        threads.append(t)
+    return program, threads, mem
+
+
+@pytest.mark.parametrize("fastpath", [True, False])
+def test_spinlock_escape_boost_actually_triggers(fastpath):
+    """The spin parameters actively trigger the boost: the same batch
+    with the escape disabled (huge spin_k) spins until truncation."""
+    program, threads, mem = _minpc_deadlock_setup()
+    ex = MinSpPcExecutor(program, spin_k=10**9, spin_b=4, spin_t=16,
+                         max_steps=2_000, fastpath=fastpath)
+    res = ex.run(threads, mem)
+    assert res.truncated          # the lock holder was starved
+    assert not threads[0].halted  # ... and never released
+
+    # re-enable the escape on the same batch: completes well within
+    # the same step budget
+    program2, threads2, mem2 = _minpc_deadlock_setup()
+    ex2 = MinSpPcExecutor(program2, spin_k=16, spin_b=4, spin_t=16,
+                          max_steps=2_000, fastpath=fastpath)
+    res2 = ex2.run(threads2, mem2)
+    assert not res2.truncated
+    assert all(t.halted for t in threads2)
+    assert all(t.regs[6] == 1 for t in threads2)
+
+
+def test_minsp_thread_injected_mid_run():
+    """Threads appended to the batch mid-run (e.g. by a sink modelling
+    request arrival) must not break the spin-escape bookkeeping, which
+    initializes ``last_executed`` lazily for unknown tids."""
+    from repro.engine import StepSink
+
+    program = loop_program()
+    threads = []
+    for tid, n in enumerate([1, 8]):
+        t = ThreadState(tid)
+        t.regs[1] = n
+        threads.append(t)
+
+    class InjectSink(StepSink):
+        def __init__(self):
+            self.steps = 0
+
+        def on_step(self, pc, inst, active, addrs, outcomes):
+            self.steps += 1
+            if self.steps == 3:  # mid-run: divergence already exists
+                t = ThreadState(len(threads))
+                t.regs[1] = 2
+                threads.append(t)
+
+        def on_done(self):
+            pass
+
+    ex = MinSpPcExecutor(program, sink=InjectSink(), spin_k=2, spin_b=10,
+                         spin_t=4, max_steps=10_000)
+    res = ex.run(threads, mem=MemoryImage())
+    assert not res.truncated
+    assert len(threads) == 3
+    assert all(t.halted for t in threads)
+    assert threads[2].regs[2] == 3 * 2  # the late thread ran its loop
+    assert res.batch_size == 3
 
 
 def test_cfg_reconvergence_point_of_diamond():

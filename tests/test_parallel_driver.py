@@ -1,0 +1,84 @@
+"""Parallel experiment driver: determinism and serial/parallel parity."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.run import BatchTask, run_batch_task, run_batch_tasks
+from repro.experiments.common import (
+    parallel_map,
+    resolve_jobs,
+    set_default_jobs,
+    task_seed,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def test_parallel_map_matches_serial_and_preserves_order():
+    items = list(range(20))
+    assert parallel_map(_square, items, jobs=1) == [x * x for x in items]
+    assert parallel_map(_square, items, jobs=4) == [x * x for x in items]
+
+
+def test_parallel_map_single_item_stays_serial():
+    assert parallel_map(_square, [3], jobs=8) == [9]
+
+
+def test_resolve_jobs_precedence(monkeypatch):
+    set_default_jobs(None)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs() == 1
+    assert resolve_jobs(6) == 6
+    assert resolve_jobs(0) == 1  # floor at one worker
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert resolve_jobs() == 3
+    assert resolve_jobs(2) == 2  # explicit beats environment
+    set_default_jobs(5)
+    try:
+        assert resolve_jobs() == 5  # CLI default beats environment
+    finally:
+        set_default_jobs(None)
+
+
+def test_task_seed_is_deterministic_and_distinct():
+    assert task_seed("post", 0, 3) == task_seed("post", 0, 3)
+    seeds = {task_seed(svc, chip, batch)
+             for svc in ("post", "memcached")
+             for chip in ("cpu", "rpu")
+             for batch in range(4)}
+    assert len(seeds) == 16  # no collisions across the sweep
+
+
+def test_batch_tasks_parallel_is_bit_identical():
+    tasks = [
+        BatchTask("memcached", 8, task_seed("memcached", b))
+        for b in range(3)
+    ] + [
+        BatchTask("urlshort", 8, task_seed("urlshort", 0), policy="ipdom"),
+    ]
+    serial = run_batch_tasks(tasks, jobs=1)
+    parallel = run_batch_tasks(tasks, jobs=2)
+    assert [dataclasses.asdict(r) for r in serial] == \
+        [dataclasses.asdict(r) for r in parallel]
+
+
+def test_batch_task_carries_its_own_seed():
+    a = run_batch_task(BatchTask("memcached", 8, 1))
+    b = run_batch_task(BatchTask("memcached", 8, 2))
+    assert dataclasses.asdict(a) != dataclasses.asdict(b)
+
+
+@pytest.mark.parametrize("flags", [[], ["--jobs", "2"]])
+def test_run_all_output_independent_of_jobs(flags, capsys):
+    """The acceptance contract: ``--jobs N`` stdout is byte-identical."""
+    from repro.experiments import run_all
+
+    args = ["--only", "fig13", "--only", "table04", "--scale", "0.1"]
+    assert run_all.main(args) == 0
+    baseline = capsys.readouterr().out
+    assert run_all.main(args + flags) == 0
+    assert capsys.readouterr().out == baseline
+    set_default_jobs(None)  # don't leak the CLI default to other tests
