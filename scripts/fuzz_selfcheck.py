@@ -1,0 +1,102 @@
+"""Mutation sanity check for the differential fuzzing oracle.
+
+A differential oracle that never fires is indistinguishable from one
+that cannot fire.  This script proves the oracle's teeth by seeding one
+bug into each engine and confirming the oracle detects both:
+
+* fast path only: ``decode._BIN_OPS["sub"]`` compiled as ``+`` (the
+  reference interpreter is untouched);
+* reference only: ``interpreter._COND["ble"]`` evaluated as ``<`` (the
+  decoder compiles branch conditions from its own table).
+
+Every generated program contains a fused ``sub`` and a ``ble`` loop
+branch in its prologue precisely so these two mutations are detectable
+on any spec.  The script also exercises the shrinker and repro-file
+round trip on a mutated failure.
+
+Run with ``PYTHONPATH=src python scripts/fuzz_selfcheck.py``; exits
+non-zero on any failed expectation.
+"""
+
+import contextlib
+import os
+import random
+import sys
+import tempfile
+
+os.environ.setdefault("REPRO_SANITIZE", "1")
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import repro.engine.decode as decode
+import repro.engine.interpreter as interpreter
+from repro.fuzz.gen import gen_spec
+from repro.fuzz.oracle import check_spec, shrink_spec, write_repro
+
+N_SPECS = 8
+BASE_SEED = 20_240_806
+
+
+@contextlib.contextmanager
+def mutated(table, key, value):
+    original = table[key]
+    table[key] = value
+    try:
+        yield
+    finally:
+        table[key] = original
+
+
+def main() -> int:
+    rng = random.Random(BASE_SEED)
+    specs = [gen_spec(rng) for _ in range(N_SPECS)]
+    failures = []
+
+    clean = [check_spec(s) for s in specs]
+    dirty = [m for ms in clean for m in ms]
+    if dirty:
+        failures.append(f"clean campaign reported mismatches: {dirty}")
+    print(f"clean campaign: {N_SPECS} specs, "
+          f"{sum(map(bool, clean))} mismatching (want 0)")
+
+    with mutated(decode._BIN_OPS, "sub", "+"):
+        detected = sum(bool(check_spec(s)) for s in specs)
+    print(f"fast-path mutation (sub compiled as +): detected on "
+          f"{detected}/{N_SPECS} specs (want {N_SPECS})")
+    if detected != N_SPECS:
+        failures.append("fast-path mutation escaped the oracle")
+
+    with mutated(interpreter._COND, "ble", lambda a, b: a < b):
+        detected = sum(bool(check_spec(s)) for s in specs)
+        # shrinker + repro round trip on a known failure
+        shrunk = shrink_spec(specs[0], budget=60)
+        mismatches = check_spec(shrunk)
+        if not mismatches:
+            failures.append("shrunken spec stopped mismatching")
+        if len(shrunk["constructs"]) > len(specs[0]["constructs"]):
+            failures.append("shrinker grew the spec")
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "repro_selfcheck.py")
+            write_repro(shrunk, mismatches, path)
+            scope = {}
+            with open(path, encoding="utf-8") as f:
+                exec(compile(f.read(), path, "exec"),
+                     {"__name__": "__repro__"}, scope)
+            if scope["SPEC"] != shrunk:
+                failures.append("repro file does not round-trip its spec")
+    print(f"reference mutation (ble evaluated as <): detected on "
+          f"{detected}/{N_SPECS} specs (want {N_SPECS})")
+    if detected != N_SPECS:
+        failures.append("reference mutation escaped the oracle")
+
+    after = [m for s in specs for m in check_spec(s)]
+    if after:
+        failures.append(f"mutation leaked past restore: {after}")
+
+    for f in failures:
+        print(f"SELFCHECK FAIL: {f}")
+    print("selfcheck:", "FAIL" if failures else "ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

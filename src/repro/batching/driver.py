@@ -21,6 +21,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
+from ..sanitize import check, sanitizer_enabled
+
 
 @dataclass(frozen=True)
 class ComputePhase:
@@ -90,6 +92,8 @@ class RpuDriver:
         busy = 0.0
         switches = 0
         interrupts = 0
+        san = sanitizer_enabled()
+        last_pop = 0.0
 
         #: batches ready to run: (ready_time, bid, task, phase_index)
         ready: List[Tuple[float, int, BatchTask, int]] = []
@@ -100,6 +104,13 @@ class RpuDriver:
 
         while ready:
             ready_time, bid, task, idx = heapq.heappop(ready)
+            if san:
+                # wake times are always pushed at or after `now`, so
+                # ready-queue pops must be time-monotonic
+                check(ready_time >= last_pop,
+                      "driver: ready-time regression (%f after %f)",
+                      ready_time, last_pop)
+                last_pop = ready_time
             now = max(now, ready_time)
             if running != bid:
                 now += self.context_switch_us
@@ -125,14 +136,16 @@ class RpuDriver:
                 else:
                     # eager: the batch is woken per interrupt to handle
                     # it; each wake costs a switch + handling time.
-                    # Model the cost as serialized handling at each
-                    # completion; the batch only proceeds after the last.
+                    # Model the cost as serialized switch-in + handling
+                    # at each completion; the batch only proceeds after
+                    # the last.
                     wake = now + phase.last_completion
                     extra = (len(phase.latencies_us) - 1)
+                    per_wake = self.context_switch_us \
+                        + self.interrupt_handling_us
                     heapq.heappush(
                         ready,
-                        (wake + extra * self.interrupt_handling_us,
-                         bid, task, idx + 1),
+                        (wake + extra * per_wake, bid, task, idx + 1),
                     )
                     switches += extra
                 idx = -1  # mark blocked
@@ -141,6 +154,13 @@ class RpuDriver:
                 task.finished_at = now
             running = None if idx == -1 else running
 
+        if san:
+            check(busy <= now + 1e-9,
+                  "driver: busy %f exceeds makespan %f", busy, now)
+            for t in tasks:
+                check(t.finished_at <= now + 1e-9,
+                      "driver: batch %d finished at %f after makespan %f",
+                      t.bid, t.finished_at, now)
         return DriverStats(makespan_us=now, context_switches=switches,
                            busy_us=busy, interrupts=interrupts)
 

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..isa.cfg import ControlFlowGraph
 from ..isa.instructions import Instruction, OpClass
 from ..isa.program import Program
+from ..sanitize import check, sanitizer_enabled
 from .decode import RK_BRANCH, RK_CALL, RK_FALL, RK_JUMP, RK_RET
 from .events import LockstepResult, StepSink
 from .interpreter import execute
@@ -47,6 +48,45 @@ from .thread import ThreadState
 
 class ExecutionError(Exception):
     """Raised when lockstep invariants are violated or budgets exceeded."""
+
+
+def _san_group(name: str, group: Sequence[ThreadState], alive: set,
+               pc: int, depth: Optional[int] = None) -> None:
+    """Sanitizer: an executed group is an active mask over the batch.
+
+    It must be non-empty, duplicate-free, a subset of the batch's alive
+    (non-halted) threads, tid-sorted (execution order contract) and
+    every member must sit at the scheduled pc (and call depth, for the
+    MinSP-PC keyed schedule).
+    """
+    check(len(group) > 0, "%s: empty group scheduled at pc %d", name, pc)
+    prev_tid = -1
+    for t in group:
+        check(t.tid in alive,
+              "%s: unknown thread %d in group at pc %d", name, t.tid, pc)
+        check(t.tid > prev_tid,
+              "%s: group not tid-sorted/duplicate tid %d at pc %d",
+              name, t.tid, pc)
+        prev_tid = t.tid
+        check(not t.halted,
+              "%s: halted thread %d scheduled at pc %d", name, t.tid, pc)
+        check(t.pc == pc,
+              "%s: thread %d at pc %d scheduled under pc %d",
+              name, t.tid, t.pc, pc)
+        if depth is not None:
+            check(len(t.call_stack) == depth,
+                  "%s: thread %d at depth %d scheduled under depth %d",
+                  name, t.tid, len(t.call_stack), depth)
+
+
+def _san_result(name: str, threads: Sequence[ThreadState], retired0: int,
+                scalar: int) -> None:
+    """Sanitizer: the scalar-instruction counter must equal the sum of
+    per-thread retire deltas (no instruction is counted twice or lost)."""
+    delta = sum(t.retired for t in threads) - retired0
+    check(delta == scalar,
+          "%s: scalar_instructions=%d but threads retired %d",
+          name, scalar, delta)
 
 
 def _tid_key(t: ThreadState) -> int:
@@ -74,11 +114,20 @@ class SoloExecutor:
         self.sink = sink
         self.max_steps = max_steps
         self.fastpath = fastpath
+        # run() is called once per thread (not per batch like the
+        # lockstep executors), so the env lookup is captured here
+        self._san = sanitizer_enabled()
 
     def run(self, thread: ThreadState, mem: MemoryImage) -> int:
+        san = self._san
+        retired0 = thread.retired if san else 0
         if self.fastpath and self.sink is None:
-            return self._run_fast(thread, mem)
-        return self._run_reference(thread, mem)
+            steps = self._run_fast(thread, mem)
+        else:
+            steps = self._run_reference(thread, mem)
+        if san:
+            _san_result(self.program.name, (thread,), retired0, steps)
+        return steps
 
     def _run_fast(self, thread: ThreadState, mem: MemoryImage) -> int:
         prog = self.program
@@ -200,6 +249,9 @@ class IpdomExecutor(_BaseLockstep):
         cfg = self.cfg
         max_steps = self.max_steps
         end = len(prog)
+        san = sanitizer_enabled()
+        alive = {t.tid for t in threads} if san else None
+        retired0 = sum(t.retired for t in threads) if san else 0
         # stack entries: (threads_in_region, reconvergence_pc)
         stack: List[Tuple[List[ThreadState], int]] = [(list(threads), end)]
         steps = 0
@@ -224,6 +276,8 @@ class IpdomExecutor(_BaseLockstep):
                         f"{prog.name}: IPDOM invariant broken at pc {pc} "
                         f"vs {t.pc} (irreducible control flow?)"
                     )
+            if san:
+                _san_group(prog.name, running, alive, pc)
             f = fused[pc]
             if f is not None:
                 k = f[0]
@@ -272,6 +326,8 @@ class IpdomExecutor(_BaseLockstep):
                 steps += 1
                 scalar += n
 
+        if san:
+            _san_result(prog.name, threads, retired0, scalar)
         return LockstepResult(
             batch_size=len(threads),
             steps=steps,
@@ -288,6 +344,9 @@ class IpdomExecutor(_BaseLockstep):
         insts = prog.instructions
         end = len(prog)
         max_steps = self.max_steps
+        san = sanitizer_enabled()
+        alive = {t.tid for t in threads} if san else None
+        retired0 = sum(t.retired for t in threads) if san else 0
         # stack entries: (threads_in_region, reconvergence_pc)
         stack: List[Tuple[List[ThreadState], int]] = [(list(threads), end)]
         steps = 0
@@ -313,6 +372,8 @@ class IpdomExecutor(_BaseLockstep):
                         f"{prog.name}: IPDOM invariant broken at pc {pc} "
                         f"vs {t.pc} (irreducible control flow?)"
                     )
+            if san:
+                _san_group(prog.name, group, alive, pc)
             inst = insts[pc]
             active, diverged = self._emit(pc, inst, group, mem)
             steps += 1
@@ -334,6 +395,8 @@ class IpdomExecutor(_BaseLockstep):
                     stack.append((second, rpc))
                     stack.append((first, rpc))
 
+        if san:
+            _san_result(prog.name, threads, retired0, scalar)
         if self.sink is not None:
             self.sink.on_done()
         return LockstepResult(
@@ -391,6 +454,9 @@ class MinSpPcExecutor(_BaseLockstep):
         spin_k = self.spin_k
         spin_b = self.spin_b
         spin_t = self.spin_t
+        san = sanitizer_enabled()
+        alive = {t.tid for t in threads} if san else None
+        retired0 = sum(t.retired for t in threads) if san else 0
 
         steps = 0
         scalar = 0
@@ -428,6 +494,8 @@ class MinSpPcExecutor(_BaseLockstep):
 
             group = groups.pop(key)
             pc = key[1]
+            if san:
+                _san_group(prog.name, group, alive, pc, depth=-key[0])
 
             f = fused[pc]
             if (f is not None
@@ -527,6 +595,8 @@ class MinSpPcExecutor(_BaseLockstep):
                     _regroup_insert(groups, (d2, p2), moved)
             # RK_HALT: the whole group halted and leaves the schedule
 
+        if san:
+            _san_result(prog.name, threads, retired0, scalar)
         return LockstepResult(
             batch_size=len(threads),
             steps=steps,
@@ -542,6 +612,8 @@ class MinSpPcExecutor(_BaseLockstep):
         prog = self.program
         insts = prog.instructions
         max_steps = self.max_steps
+        san = sanitizer_enabled()
+        retired0 = sum(t.retired for t in threads) if san else 0
         steps = 0
         scalar = 0
         branches = 0
@@ -578,6 +650,11 @@ class MinSpPcExecutor(_BaseLockstep):
 
             group = groups[key]
             pc = group[0].pc
+            if san:
+                # alive set recomputed per step: a sink may inject new
+                # threads into the batch mid-run
+                _san_group(prog.name, group, {t.tid for t in threads},
+                           pc, depth=-key[0])
             inst = insts[pc]
             active, diverged = self._emit(pc, inst, group, mem)
             steps += 1
@@ -605,6 +682,8 @@ class MinSpPcExecutor(_BaseLockstep):
                 ):
                     boost_remaining = self.spin_t
 
+        if san:
+            _san_result(prog.name, threads, retired0, scalar)
         if self.sink is not None:
             self.sink.on_done()
         return LockstepResult(

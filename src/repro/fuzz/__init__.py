@@ -1,0 +1,23 @@
+"""Differential fuzzing for the execution engines.
+
+``repro.fuzz`` generates random (but always-terminating) ISA programs
+from small JSON-serializable *specs*, runs each one through every
+execution policy with both the reference interpreter and the pre-decoded
+fast path, and cross-checks all observable state.  Mismatching specs are
+greedily shrunk and emitted as standalone repro files.
+
+Run a campaign with ``python -m repro.fuzz --iters N --seed S``.
+"""
+
+from .gen import GeneratorError, build_program, gen_spec, spec_is_racy
+from .oracle import check_spec, shrink_spec, write_repro
+
+__all__ = [
+    "GeneratorError",
+    "build_program",
+    "gen_spec",
+    "spec_is_racy",
+    "check_spec",
+    "shrink_spec",
+    "write_repro",
+]

@@ -1,0 +1,106 @@
+"""Differential fuzzing CLI: ``python -m repro.fuzz --iters N --seed S``.
+
+Runs a campaign of generated specs through the differential oracle,
+fanned across worker processes by the shared parallel driver.  Spec
+seeds derive from the task identity alone (``task_seed``), so a
+campaign is bit-identical for any ``--jobs`` value and any iteration
+reproduces standalone via its repro file.
+
+Simulation sanitizers (``REPRO_SANITIZE=1``) are force-enabled for the
+campaign unless the variable is already set, so invariant violations
+surface even when the final states happen to agree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+from typing import Dict, List, Tuple
+
+# sanitizers on before any worker forks (and before executors capture
+# the flag); an explicit REPRO_SANITIZE=0 from the caller wins
+os.environ.setdefault("REPRO_SANITIZE", "1")
+
+from ..experiments.common import parallel_map, task_seed
+from .gen import gen_spec
+from .oracle import DEFAULT_MAX_STEPS, check_spec, shrink_spec, write_repro
+
+
+def _check_task(payload: Tuple[Dict, int]) -> List[str]:
+    spec, max_steps = payload
+    return check_spec(spec, max_steps=max_steps)
+
+
+def _load_spec(path: str) -> Dict:
+    scope: Dict = {}
+    with open(path, "r", encoding="utf-8") as f:
+        src = f.read()
+    exec(compile(src, path, "exec"), {"__name__": "__repro__"}, scope)
+    if "SPEC" not in scope:
+        raise SystemExit(f"{path}: no SPEC dict found")
+    return scope["SPEC"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="differential fuzzing of the execution engines")
+    parser.add_argument("--iters", type=int, default=100,
+                        help="number of generated specs (default 100)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="campaign base seed (default 1)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default REPRO_JOBS or 1)")
+    parser.add_argument("--max-steps", type=int,
+                        default=DEFAULT_MAX_STEPS,
+                        help="per-run step budget")
+    parser.add_argument("--out", default="artifacts/fuzz",
+                        help="directory for shrunken repro files")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="emit failing specs without minimizing")
+    parser.add_argument("--replay", metavar="REPRO_PY",
+                        help="re-check the SPEC of one repro file and "
+                             "exit (ignores --iters)")
+    args = parser.parse_args(argv)
+
+    if args.replay:
+        spec = _load_spec(args.replay)
+        mismatches = check_spec(spec, max_steps=args.max_steps)
+        for m in mismatches:
+            print(f"MISMATCH: {m}")
+        print("replay:", "FAIL" if mismatches else "ok")
+        return 1 if mismatches else 0
+
+    specs = []
+    for i in range(args.iters):
+        rng = random.Random(task_seed("fuzz", i, base=args.seed))
+        specs.append(gen_spec(rng))
+
+    results = parallel_map(_check_task,
+                           [(s, args.max_steps) for s in specs],
+                           jobs=args.jobs)
+
+    failures = [(i, specs[i], ms)
+                for i, ms in enumerate(results) if ms]
+    print(f"fuzz: {args.iters} specs, seed {args.seed}: "
+          f"{len(failures)} mismatching")
+
+    if failures:
+        os.makedirs(args.out, exist_ok=True)
+    for i, spec, mismatches in failures:
+        print(f"-- iter {i} (program seed {spec['seed']:#x}):")
+        for m in mismatches:
+            print(f"   MISMATCH: {m}")
+        if not args.no_shrink:
+            spec = shrink_spec(spec, max_steps=args.max_steps)
+            mismatches = check_spec(spec, max_steps=args.max_steps)
+        path = os.path.join(args.out, f"repro_{args.seed}_{i}.py")
+        write_repro(spec, mismatches, path)
+        print(f"   repro written to {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

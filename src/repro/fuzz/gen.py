@@ -1,0 +1,350 @@
+"""Seeded random program generator for differential fuzzing.
+
+Programs are described by *specs*: plain dicts of JSON-serializable
+construct descriptions.  A spec is deterministic to rebuild, cheap to
+pickle across the parallel driver, and easy to shrink (drop a
+construct, lower a trip count) - which is what makes the greedy
+minimizer in :mod:`repro.fuzz.oracle` possible.
+
+Generated programs always terminate under every policy: loops are
+bounded, spin locks retry a bounded number of times before giving up
+(IPDOM has no spin-escape hatch, so an unbounded spin could livelock a
+batch), and divergent trip counts come from per-thread ABI registers.
+The generator is deliberately biased toward the paper's hard cases:
+branches around reconvergence points, loops with divergent trip
+counts, mixed stack/heap access streams and system calls issued from
+inside divergent regions.
+
+Register map (on top of the workload ABI in ``repro.workloads.base``):
+
+===== ==========================================================
+reg   meaning
+===== ==========================================================
+r9    running accumulator, stored to scratch before halt
+r10   copy of r2 (request size)
+r11   copy of r3 (request key)
+r12   copy of r8 (thread id, set up by the fuzz harness)
+r15+  per-construct scratch, re-initialized by each construct
+===== ==========================================================
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..engine.memory import GLOBAL_BASE
+from ..isa.builder import ProgramBuilder
+from ..isa.instructions import Segment, SyscallKind
+from ..isa.program import Program
+from ..isa.validator import validate
+
+
+class GeneratorError(Exception):
+    """A spec produced an invalid program (a generator bug, not a
+    simulator bug - the oracle treats these as fatal)."""
+
+
+#: constructs whose cross-thread interleaving is policy-visible; specs
+#: containing one are only checked for fast-vs-reference agreement
+#: (plus ipdom==predicated), never across policies
+RACY_KINDS = frozenset({"spin_lock", "atomic_rmw"})
+
+#: two-source ALU/MUL ops safe for arbitrary register operands
+_REG_OPS = ("add", "sub", "xor", "and", "or", "min", "max", "slt",
+            "hash", "mul", "div", "rem")
+
+#: immediate-form ops (shift amounts kept small to bound magnitudes)
+_IMM_OPS = ("addi", "xori", "andi", "ori", "shli", "shri", "muli")
+
+_BRANCH_OPS = ("beq", "bne", "blt", "bge", "ble", "bgt")
+
+_SYSCALLS = ("network", "storage", "memcached", "log")
+
+
+def spec_is_racy(spec: Dict) -> bool:
+    return any(c["kind"] in RACY_KINDS for c in spec["constructs"])
+
+
+# ----------------------------------------------------------------------
+# spec generation
+# ----------------------------------------------------------------------
+
+def gen_spec(rng: random.Random, max_constructs: int = 5) -> Dict:
+    """Draw one program spec (all fields JSON-serializable)."""
+    kinds = (
+        ["divergent_if"] * 3
+        + ["bounded_loop"] * 2
+        + ["heap_stream"] * 2
+        + ["alu_run"] * 2
+        + ["stack_frame", "spin_lock", "atomic_rmw", "syscall",
+           "global_read"]
+    )
+    n = rng.randint(1, max_constructs)
+    return {
+        "seed": rng.randrange(1 << 31),
+        "n_threads": rng.randint(2, 8),
+        "salt": rng.randrange(4),
+        "constructs": [_gen_construct(rng, rng.choice(kinds))
+                       for _ in range(n)],
+    }
+
+
+def _gen_construct(rng: random.Random, kind: str) -> Dict:
+    if kind == "alu_run":
+        ops = []
+        for _ in range(rng.randint(2, 8)):
+            if rng.random() < 0.3:
+                ops.append({"op": rng.choice(_IMM_OPS),
+                            "val": rng.randint(1, 8)})
+            else:
+                ops.append({"op": rng.choice(_REG_OPS),
+                            "src": rng.choice(("imm", "tid", "key")),
+                            "val": rng.randint(1, 64)})
+        return {"kind": kind, "init": rng.randint(1, 64), "ops": ops}
+    if kind == "heap_stream":
+        return {"kind": kind,
+                "counter": rng.choice(("size", "tid", "const")),
+                "trips": rng.randint(1, 8),
+                "base": rng.choice(("inbuf", "scratch")),
+                "store": rng.random() < 0.5,
+                "unroll": rng.choice((1, 1, 2, 4))}
+    if kind == "global_read":
+        return {"kind": kind, "offset": rng.randrange(1 << 14) * 8,
+                "words": rng.randint(1, 4)}
+    if kind == "divergent_if":
+        c = {"kind": kind,
+             "cond": rng.choice(("tid", "key", "mem")),
+             "op": rng.choice(_BRANCH_OPS),
+             "thresh": rng.randint(0, 7),
+             "then_add": rng.randint(1, 64),
+             "else_xor": rng.randint(1, 64),
+             "then_syscall": rng.choice((None,) + _SYSCALLS),
+             "else_syscall": rng.choice((None, None, None, "log")),
+             "nested": rng.random() < 0.4}
+        if c["nested"]:
+            c["nested_op"] = rng.choice(_BRANCH_OPS)
+        return c
+    if kind == "bounded_loop":
+        return {"kind": kind, "mask": rng.choice((1, 3, 7)),
+                "body_ops": rng.randint(1, 4),
+                "inner": rng.random() < 0.4,
+                "inner_trips": rng.randint(1, 3)}
+    if kind == "stack_frame":
+        return {"kind": kind, "spills": rng.randint(1, 4),
+                "work": rng.randint(1, 4),
+                "frame": rng.choice((48, 64)),
+                "seed_val": rng.randint(1, 64)}
+    if kind == "spin_lock":
+        return {"kind": kind, "retries": rng.randint(2, 6),
+                "crit_ops": rng.randint(1, 3)}
+    if kind == "atomic_rmw":
+        return {"kind": kind, "op": rng.choice(("amoadd", "amoswap")),
+                "offset": rng.choice((16, 24)),
+                "src": rng.choice(("tid", "const")),
+                "val": rng.randint(1, 16)}
+    if kind == "syscall":
+        return {"kind": kind, "syscall": rng.choice(_SYSCALLS)}
+    raise GeneratorError(f"unknown construct kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# spec -> Program
+# ----------------------------------------------------------------------
+
+def build_program(spec: Dict) -> Program:
+    """Deterministically assemble a spec into a validated Program."""
+    b = ProgramBuilder(f"fuzz_{spec['seed']:08x}")
+    helpers: List[Tuple[str, Dict]] = []
+
+    # prologue: accumulator + stable copies of the divergence sources.
+    # The trailing `sub` and the 2-trip loop guarantee every program
+    # exercises a fused binary op and a `ble` loop branch, so the
+    # mutation self-check (scripts/fuzz_selfcheck.py) detects its
+    # seeded engine bugs on any spec.
+    b.li("r9", 0)
+    b.mov("r10", "r2")
+    b.mov("r11", "r3")
+    b.mov("r12", "r8")
+    b.sub("r9", "r9", "r12")
+    b.li("r15", 2)
+    with b.loop("r15"):
+        b.addi("r9", "r9", 3)
+
+    for idx, c in enumerate(spec["constructs"]):
+        _EMITTERS[c["kind"]](b, c, idx, helpers)
+
+    # epilogue: make the accumulator memory-observable, then halt
+    b.st("r9", "r5", 0, Segment.HEAP)
+    b.halt()
+    for label, c in helpers:
+        _emit_helper(b, label, c)
+
+    program = b.build()
+    report = validate(program)
+    if not report.ok:
+        raise GeneratorError(
+            "generated program fails validation:\n"
+            + "\n".join(str(i) for i in report.errors)
+            + "\n" + program.listing())
+    return program
+
+
+def _emit_alu_run(b, c, idx, helpers):
+    b.li("r15", c["init"])
+    for step in c["ops"]:
+        op = step["op"]
+        if op in _IMM_OPS:
+            getattr(b, op)("r15", "r15", step["val"])
+            continue
+        if step["src"] == "imm":
+            b.li("r16", step["val"])
+        elif step["src"] == "tid":
+            b.mov("r16", "r12")
+        else:
+            b.mov("r16", "r11")
+        getattr(b, op)("r15", "r15", "r16")
+    b.add("r9", "r9", "r15")
+
+
+def _emit_heap_stream(b, c, idx, helpers):
+    if c["counter"] == "size":
+        b.mov("r17", "r10")
+    elif c["counter"] == "tid":
+        b.andi("r17", "r12", 3)
+        b.addi("r17", "r17", 1)
+    else:
+        b.li("r17", c["trips"])
+    b.mov("r18", "r4" if c["base"] == "inbuf" else "r5")
+
+    def body(j):
+        b.ld("r20", "r18", 8 * j, Segment.HEAP)
+        b.add("r9", "r9", "r20")
+        if c["store"]:
+            b.st("r9", "r18", 8 * j, Segment.HEAP)
+
+    b.counted_loop("r17", body, cursors=(("r18", 8),),
+                   unroll=c["unroll"])
+
+
+def _emit_global_read(b, c, idx, helpers):
+    b.li("r21", GLOBAL_BASE + c["offset"])
+    for i in range(c["words"]):
+        b.ld("r22", "r21", 8 * i, Segment.GLOBAL)
+        b.add("r9", "r9", "r22")
+
+
+def _emit_divergent_if(b, c, idx, helpers):
+    if c["cond"] == "tid":
+        b.mov("r23", "r12")
+    elif c["cond"] == "key":
+        b.andi("r23", "r11", 7)
+    else:
+        b.ld("r23", "r4", 0, Segment.HEAP)
+        b.andi("r23", "r23", 15)
+    b.li("r24", c["thresh"])
+
+    def then_body():
+        b.addi("r9", "r9", c["then_add"])
+        if c["then_syscall"]:
+            b.syscall(SyscallKind(c["then_syscall"]),
+                      note="mid-divergence")
+        if c.get("nested"):
+            with b.if_(c["nested_op"], "r23", "zero"):
+                b.xori("r9", "r9", 21)
+
+    def else_body():
+        b.xori("r9", "r9", c["else_xor"])
+        if c["else_syscall"]:
+            b.syscall(SyscallKind(c["else_syscall"]),
+                      note="mid-divergence")
+
+    b.if_else(c["op"], "r23", "r24", then_body, else_body)
+
+
+def _emit_bounded_loop(b, c, idx, helpers):
+    b.andi("r25", "r12", c["mask"])
+    b.addi("r25", "r25", 1)
+    with b.loop("r25"):
+        for _ in range(c["body_ops"]):
+            b.hash("r9", "r9", "r25")
+        if c["inner"]:
+            b.li("r26", c["inner_trips"])
+            with b.loop("r26"):
+                b.add("r9", "r9", "r26")
+
+
+def _emit_stack_frame(b, c, idx, helpers):
+    label = f"c{idx}_fn"
+    b.li("r15", c["seed_val"])
+    b.call(label, frame=c["frame"])
+    b.add("r9", "r9", "r15")
+    helpers.append((label, c))
+
+
+def _emit_helper(b, label, c):
+    """Leaf helper body (emitted after the final halt, as the workload
+    kernels do): spill/work/reload produces the mixed stack streams the
+    stack-interleaving layer has to get right."""
+    b.label(label)
+    for i in range(c["spills"]):
+        b.st(f"r{16 + i}", "sp", 8 * (i + 1), Segment.STACK)
+    for _ in range(c["work"]):
+        b.hash("r15", "r15", "r12")
+    for i in range(c["spills"]):
+        b.ld(f"r{16 + i}", "sp", 8 * (i + 1), Segment.STACK)
+    b.ret()
+
+
+def _emit_spin_lock(b, c, idx, helpers):
+    """Bounded-retry spin lock on the shared lock word (r7).
+
+    The retry count is bounded so the batch terminates even under
+    IPDOM, which has no spin-escape: a loser that exhausts its retries
+    gives up and skips the critical section.
+    """
+    retry = f"c{idx}_retry"
+    acq = f"c{idx}_acq"
+    done = f"c{idx}_done"
+    b.li("r22", c["retries"])
+    b.li("r23", 1)
+    b.label(retry)
+    b.amoswap("r24", "r7", "r23", note="lock acquire")
+    b.beq("r24", "zero", acq)
+    b.addi("r22", "r22", -1)
+    b.bgt("r22", "zero", retry)
+    b.jmp(done)
+    b.label(acq)
+    b.ld("r26", "r7", 8, Segment.HEAP)
+    for _ in range(c["crit_ops"]):
+        b.addi("r26", "r26", 1)
+    b.st("r26", "r7", 8, Segment.HEAP)
+    b.add("r9", "r9", "r26")
+    b.amoswap("r27", "r7", "zero", note="lock release")
+    b.label(done)
+
+
+def _emit_atomic_rmw(b, c, idx, helpers):
+    if c["src"] == "tid":
+        b.addi("r27", "r12", 1)
+    else:
+        b.li("r27", c["val"])
+    getattr(b, c["op"])("r28", "r7", "r27", offset=c["offset"])
+    b.add("r9", "r9", "r28")
+
+
+def _emit_syscall(b, c, idx, helpers):
+    b.syscall(SyscallKind(c["syscall"]))
+
+
+_EMITTERS = {
+    "alu_run": _emit_alu_run,
+    "heap_stream": _emit_heap_stream,
+    "global_read": _emit_global_read,
+    "divergent_if": _emit_divergent_if,
+    "bounded_loop": _emit_bounded_loop,
+    "stack_frame": _emit_stack_frame,
+    "spin_lock": _emit_spin_lock,
+    "atomic_rmw": _emit_atomic_rmw,
+    "syscall": _emit_syscall,
+}

@@ -17,10 +17,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..engine.memory import HEAP_BASE, HEAP_SIZE
+from ..sanitize import check, sanitizer_enabled
 
 
 class AllocationError(Exception):
-    """Raised when the heap region is exhausted."""
+    """Raised when the heap region or a thread arena is exhausted."""
 
 
 @dataclass
@@ -41,6 +42,9 @@ class BaseAllocator:
         self.capacity = capacity
         self._next = base
         self.stats = AllocStats()
+        # captured once per allocator (same pattern as Simulator): the
+        # per-allocation env lookup is measurable in alloc-heavy setup
+        self._san = sanitizer_enabled()
 
     def _bump(self, start: int, size: int) -> int:
         if start + size > self.base + self.capacity:
@@ -77,14 +81,13 @@ class BaseAllocator:
         return (addr // self.line_size) % self.n_banks
 
 
-class DefaultAllocator(BaseAllocator):
-    """SIMR-agnostic allocator modelling per-thread glibc-style arenas.
+class ArenaAllocator(BaseAllocator):
+    """Shared per-thread arena bookkeeping for both heap allocators.
 
-    Each thread owns an arena carved from the heap; within an arena,
-    allocations bump with 16-byte alignment.  Because arena sizes are a
-    multiple of the bank period, threads performing the same allocation
-    sequence receive blocks whose starts fall in the *same* bank - the
-    pathological case of paper Fig. 16b (top).
+    Every allocation is bounds-checked against its thread's arena: a
+    thread whose cumulative allocations exceed ``arena_size`` would
+    otherwise silently bleed into its neighbour's arena, corrupting the
+    bank-conflict model (and, in a real service, the neighbour's data).
     """
 
     def __init__(self, arena_size: int = 1 << 20, **kwargs):
@@ -98,14 +101,26 @@ class DefaultAllocator(BaseAllocator):
         self._arenas = {}
         self._arena_starts = {}
 
-    def alloc(self, size: int, tid: int = 0) -> int:
+    def _arena_cursor(self, tid: int) -> int:
         if tid not in self._arenas:
             start = _align(self._next, self.arena_size)
             self._bump(start, self.arena_size)
             self._arenas[tid] = start
             self._arena_starts[tid] = start
-        start = _align(self._arenas[tid], 16)
-        pad = start - self._arenas[tid]
+        return self._arenas[tid]
+
+    def _commit(self, tid: int, start: int, size: int, pad: int) -> int:
+        arena_start = self._arena_starts[tid]
+        arena_end = arena_start + self.arena_size
+        if start + size > arena_end:
+            raise AllocationError(
+                f"thread {tid} arena overflow: block "
+                f"[{start:#x}, {start + size:#x}) exceeds arena "
+                f"[{arena_start:#x}, {arena_end:#x})")
+        if self._san:
+            check(arena_start <= start,
+                  "alloc: block %#x below thread %d arena %#x",
+                  start, tid, arena_start)
         self._arenas[tid] = start + size
         self.stats.allocations += 1
         self.stats.requested_bytes += size
@@ -117,7 +132,23 @@ class DefaultAllocator(BaseAllocator):
             self._arenas[tid] = self._arena_starts[tid]
 
 
-class SimrAwareAllocator(BaseAllocator):
+class DefaultAllocator(ArenaAllocator):
+    """SIMR-agnostic allocator modelling per-thread glibc-style arenas.
+
+    Each thread owns an arena carved from the heap; within an arena,
+    allocations bump with 16-byte alignment.  Because arena sizes are a
+    multiple of the bank period, threads performing the same allocation
+    sequence receive blocks whose starts fall in the *same* bank - the
+    pathological case of paper Fig. 16b (top).
+    """
+
+    def alloc(self, size: int, tid: int = 0) -> int:
+        cursor = self._arena_cursor(tid)
+        start = _align(cursor, 16)
+        return self._commit(tid, start, size, pad=start - cursor)
+
+
+class SimrAwareAllocator(ArenaAllocator):
     """The paper's SIMR-aware allocator (Fig. 16b bottom).
 
     Guarantees that thread ``tid``'s allocation starts ``tid`` cache
@@ -126,39 +157,18 @@ class SimrAwareAllocator(BaseAllocator):
     ``n_banks`` distinct banks.
     """
 
-    def __init__(self, arena_size: int = 1 << 20, **kwargs):
-        super().__init__(**kwargs)
-        self.arena_size = arena_size
-        self._arenas: Dict[int, int] = {}
-        self._arena_starts: Dict[int, int] = {}
-
-    def reset(self) -> None:
-        super().reset()
-        self._arenas = {}
-        self._arena_starts = {}
-
     def alloc(self, size: int, tid: int = 0) -> int:
-        if tid not in self._arenas:
-            start = _align(self._next, self.arena_size)
-            self._bump(start, self.arena_size)
-            self._arenas[tid] = start
-            self._arena_starts[tid] = start
+        cursor = self._arena_cursor(tid)
         period = self.line_size * self.n_banks
-        cursor = self._arenas[tid]
         target_off = (tid % self.n_banks) * self.line_size
         start = _align(cursor, period) + target_off
         if start < cursor:
             start += period
-        pad = start - cursor
-        self._arenas[tid] = start + size
-        self.stats.allocations += 1
-        self.stats.requested_bytes += size
-        self.stats.padding_bytes += pad
-        return start
-
-    def free_all(self, tid: int) -> None:
-        if tid in self._arena_starts:
-            self._arenas[tid] = self._arena_starts[tid]
+        if self._san:
+            check(self.bank_of(start) == tid % self.n_banks,
+                  "alloc: thread %d block %#x lands on bank %d, want %d",
+                  tid, start, self.bank_of(start), tid % self.n_banks)
+        return self._commit(tid, start, size, pad=start - cursor)
 
 
 def _align(addr: int, alignment: int) -> int:

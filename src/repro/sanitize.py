@@ -1,0 +1,46 @@
+"""Lightweight runtime invariant checks ("simulation sanitizer").
+
+Enabled by setting ``REPRO_SANITIZE=1`` in the environment.  The hooks
+live directly in the hot models - :mod:`repro.engine.lockstep`,
+:mod:`repro.batching.driver`, :mod:`repro.memsys.alloc` and
+:mod:`repro.system.queueing` - and verify structural invariants that no
+ordinary unit assertion sees:
+
+* lockstep: every executed group is an active-mask subset of the alive
+  threads of the batch (no halted thread retires, no duplicate lanes),
+  all members sit at the scheduled (depth, pc) key, and the final
+  ``scalar_instructions`` counter equals the sum of per-thread retire
+  deltas;
+* RPU driver: ready-queue pops are time-monotonic, ``busy <= makespan``
+  and every batch finishes within the makespan;
+* allocators: every block stays inside its thread's arena and the
+  SIMR-aware allocator really lands on the ``tid % n_banks`` bank;
+* queueing simulator: no event is scheduled into the past, stations
+  drain completely and every injected job completes exactly once
+  (conservation of jobs).
+
+The checks are deliberately cheap (a captured local bool per run loop)
+so the differential fuzzer (:mod:`repro.fuzz`) and the tier-1 test
+suite can both run with the sanitizer on.  Violations raise
+:class:`SanitizerError` - a bug in the simulator, never a user error.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+class SanitizerError(AssertionError):
+    """An internal simulation invariant was violated (a simulator bug)."""
+
+
+def sanitizer_enabled() -> bool:
+    """True when ``REPRO_SANITIZE=1`` (re-read per call, so tests and
+    the fuzz CLI can toggle it without re-importing modules)."""
+    return os.environ.get("REPRO_SANITIZE", "") == "1"
+
+
+def check(cond: bool, msg: str, *args) -> None:
+    """Raise :class:`SanitizerError` with ``msg % args`` unless ``cond``."""
+    if not cond:
+        raise SanitizerError(msg % args if args else msg)

@@ -23,9 +23,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 import random
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..sanitize import check, sanitizer_enabled
 
 
 class Simulator:
@@ -35,13 +38,22 @@ class Simulator:
         self._events: List[Tuple[float, int, Callable]] = []
         self._tie = itertools.count()
         self.now = 0.0
+        self._san = sanitizer_enabled()
 
     def schedule(self, when: float, fn: Callable[[float], None]) -> None:
+        if self._san:
+            check(when >= self.now,
+                  "simulator: event scheduled into the past "
+                  "(%f before now=%f)", when, self.now)
         heapq.heappush(self._events, (when, next(self._tie), fn))
 
     def run(self) -> None:
         while self._events:
             when, _t, fn = heapq.heappop(self._events)
+            if self._san:
+                check(when >= self.now,
+                      "simulator: time ran backwards (%f after %f)",
+                      when, self.now)
             self.now = when
             fn(when)
 
@@ -81,10 +93,12 @@ class Station:
         self._timeout_at: Optional[float] = None
         self.dispatched_batches = 0
         self.dispatched_jobs = 0
+        self.arrived_jobs = 0
 
     def arrive(self, now: float, job: Job,
                done: Callable[[float, List[Job]], None]) -> None:
         """``done(t, jobs)`` fires once for the whole dispatched batch."""
+        self.arrived_jobs += 1
         self._pending.append((job, done))
         if len(self._pending) >= self.batch_size:
             self._dispatch(now)
@@ -171,10 +185,18 @@ class EndToEndResult:
 
 
 def _percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile: the smallest sample value such that at
+    least ``q`` of the distribution lies at or below it - the
+    ``ceil(q * n)``-th order statistic (1-indexed), clamped to the
+    sample.  (``int(q * n)`` would index one *past* the nearest rank:
+    the p99 of 100 samples must be the 99th value, not the maximum, and
+    the median of an even-length sample is the lower of the two middle
+    values under nearest-rank.)"""
     if not values:
         return 0.0
     s = sorted(values)
-    return s[min(len(s) - 1, int(q * len(s)))]
+    rank = math.ceil(q * len(s))  # 1-indexed nearest rank
+    return s[min(len(s) - 1, max(0, rank - 1))]
 
 
 def run_end_to_end(cfg: EndToEndConfig, qps: float, n_requests: int = 4000,
@@ -254,6 +276,26 @@ def run_end_to_end(cfg: EndToEndConfig, qps: float, n_requests: int = 4000,
         sim.schedule(t, lambda now, j=job: inject(now, j))
 
     sim.run()
+
+    if sanitizer_enabled():
+        # conservation of jobs: every injected request finishes exactly
+        # once and no station strands work in a partial batch
+        check(len(finished) == n_requests,
+              "queueing: injected %d jobs but %d finished",
+              n_requests, len(finished))
+        check(len({j.jid for j in finished}) == len(finished),
+              "queueing: a job finished more than once")
+        for st in (user_st, mcrouter_st, memcached_st, storage_st):
+            check(not st._pending,
+                  "queueing: station %s stranded %d jobs",
+                  st.name, len(st._pending))
+            check(st.dispatched_jobs == st.arrived_jobs,
+                  "queueing: station %s dispatched %d of %d arrivals",
+                  st.name, st.dispatched_jobs, st.arrived_jobs)
+        for j in finished:
+            check(j.done_us >= j.arrival_us,
+                  "queueing: job %d finished at %f before arriving at %f",
+                  j.jid, j.done_us, j.arrival_us)
 
     lats = [j.latency_us for j in finished]
     return EndToEndResult(

@@ -35,7 +35,25 @@ def test_eager_wakeup_pays_per_interrupt():
     g = grouped.run([make_io_batch(0, 50.0, io, post_compute_us=20.0)])
     e = eager.run([make_io_batch(0, 50.0, io, post_compute_us=20.0)])
     assert e.context_switches > g.context_switches + 20
-    assert e.makespan_us > g.makespan_us
+    # 31 extra wakes, each a context switch (2.0) + handling slot (0.5);
+    # grouped pays one handling slot for the whole phase
+    assert e.makespan_us == pytest.approx(g.makespan_us + 31 * 2.5 - 0.5)
+
+
+def test_eager_wakeup_charges_switch_per_extra_wake():
+    """Regression: each extra eager wake costs a context switch *and* an
+    interrupt handling slot (the code used to charge only the handling
+    time while the docstring promised both)."""
+    driver = RpuDriver(context_switch_us=2.0, interrupt_handling_us=0.5,
+                       wake_policy="eager")
+    stats = driver.run([make_io_batch(0, 10.0, [1.0, 2.0, 3.0],
+                                      post_compute_us=4.0)])
+    # switch in (2) + compute (10) + last completion (3)
+    # + 2 extra wakes * (switch 2 + handling 0.5)
+    # + switch back in (2) + post compute (4)
+    assert stats.makespan_us == pytest.approx(2 + 10 + 3 + 2 * 2.5 + 2 + 4)
+    assert stats.context_switches == 4  # in, 2 extra wakes, back in
+    assert stats.interrupts == 3
 
 
 def test_io_overlaps_with_other_batches():

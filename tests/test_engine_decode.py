@@ -156,6 +156,19 @@ def test_program_pickles_without_closures():
     assert t1.snapshot() == t2.snapshot()
 
 
+def test_pickled_program_rebuilds_decode_tables():
+    """Lazy rebuild after unpickling regenerates tables of the same
+    shape: one handler per pc, superblocks rooted at the same pcs."""
+    program = sample_program()
+    orig = program.decoded
+    clone = pickle.loads(pickle.dumps(program))
+    rebuilt = clone.decoded
+    assert rebuilt is not orig
+    assert len(rebuilt.handlers) == len(orig.handlers)
+    assert ([s is not None for s in rebuilt.superblocks]
+            == [s is not None for s in orig.superblocks])
+
+
 def test_multisink_collapses_single_fanout():
     a, b = InstructionMixSink(), InstructionMixSink()
     assert MultiSink(a) is a

@@ -1,0 +1,159 @@
+"""Differential fuzzer tests: generator, oracle, shrinker, CLI."""
+
+import dataclasses
+import pickle
+import random
+
+import pytest
+
+import repro.engine.decode as decode
+import repro.engine.interpreter as interpreter
+from repro.engine.lockstep import make_executor
+from repro.engine.memory import MemoryImage
+from repro.fuzz.gen import build_program, gen_spec, spec_is_racy
+from repro.fuzz.oracle import (
+    _run_one,
+    _setup_threads,
+    check_spec,
+    shrink_spec,
+    write_repro,
+)
+from repro.fuzz.__main__ import main as fuzz_main
+from repro.isa.validator import validate
+
+
+def _spec(seed):
+    return gen_spec(random.Random(seed))
+
+
+class TestGenerator:
+    def test_spec_generation_deterministic(self):
+        assert _spec(11) == _spec(11)
+
+    def test_build_deterministic(self):
+        spec = _spec(12)
+        assert build_program(spec).listing() == build_program(spec).listing()
+
+    def test_specs_are_json_like(self):
+        import json
+        spec = _spec(13)
+        assert json.loads(json.dumps(spec)) == spec
+
+    @pytest.mark.parametrize("seed", range(0, 40, 4))
+    def test_generated_programs_validate(self, seed):
+        report = validate(build_program(_spec(seed)))
+        assert report.ok, [str(i) for i in report.errors]
+
+    def test_racy_classification(self):
+        spec = _spec(1)
+        spec["constructs"] = [{"kind": "spin_lock", "retries": 2,
+                               "crit_ops": 1}]
+        assert spec_is_racy(spec)
+        spec["constructs"] = [{"kind": "syscall", "syscall": "log"}]
+        assert not spec_is_racy(spec)
+
+    def test_programs_terminate_quickly(self):
+        """The termination-by-construction claim: tiny step budget."""
+        spec = _spec(14)
+        state = _run_one(spec, "ipdom", fastpath=True, max_steps=50_000)
+        assert not state["result"]["truncated"]
+
+
+class TestOracle:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_clean_specs_pass(self, seed):
+        assert check_spec(_spec(seed)) == []
+
+    def test_detects_fastpath_corruption(self, monkeypatch):
+        monkeypatch.setitem(decode._BIN_OPS, "sub", "+")
+        assert check_spec(_spec(21)) != []
+
+    def test_detects_reference_corruption(self, monkeypatch):
+        monkeypatch.setitem(interpreter._COND, "ble",
+                            lambda a, b: a < b)
+        assert check_spec(_spec(22)) != []
+
+    def test_mask_history_recorded(self):
+        state = _run_one(_spec(23), "ipdom", fastpath=False,
+                         with_mask=True)
+        assert len(state["mask"]) == state["result"]["steps"]
+        assert sum(state["mask"]) == state["result"]["scalar_instructions"]
+
+
+class TestShrinker:
+    def test_shrinks_and_still_fails(self, monkeypatch, tmp_path):
+        monkeypatch.setitem(interpreter._COND, "ble",
+                            lambda a, b: a < b)
+        spec = _spec(31)
+        assert check_spec(spec), "mutation should fail this spec"
+        shrunk = shrink_spec(spec, budget=60)
+        mismatches = check_spec(shrunk)
+        assert mismatches
+        assert len(shrunk["constructs"]) <= len(spec["constructs"])
+        assert shrunk["n_threads"] <= spec["n_threads"]
+        # repro file round trip
+        path = tmp_path / "repro.py"
+        write_repro(shrunk, mismatches, str(path))
+        scope = {}
+        exec(compile(path.read_text(), str(path), "exec"),
+             {"__name__": "__repro__"}, scope)
+        assert scope["SPEC"] == shrunk
+
+    def test_shrink_is_noop_on_passing_spec(self):
+        spec = _spec(32)
+        assert shrink_spec(spec, budget=5) == spec
+
+
+class TestPickleRoundTrip:
+    def test_pickled_program_rebuilds_and_runs_bit_identically(self):
+        """A Program that crossed a process boundary (pickle drops the
+        compiled handler/superblock closures) must lazily rebuild its
+        decode tables and execute bit-identically to the original."""
+        spec = _spec(41)
+        prog = build_program(spec)
+        prog.decoded  # populate the cache before pickling
+        clone = pickle.loads(pickle.dumps(prog))
+        assert clone._decoded is None  # cache dropped in transit
+        for policy in ("ipdom", "minsp_pc", "predicated"):
+            runs = []
+            for p in (prog, clone):
+                mem = MemoryImage(salt=spec["salt"])
+                threads = _setup_threads(spec, mem)
+                res = make_executor(p, policy, fastpath=True).run(
+                    threads, mem)
+                runs.append({
+                    "result": dataclasses.asdict(res),
+                    "snapshots": [t.snapshot() for t in threads],
+                    "memory": {a: mem.read(a)
+                               for a in sorted(mem.written_addresses())},
+                })
+            assert runs[0] == runs[1], policy
+
+
+class TestCli:
+    def test_small_campaign_exits_zero(self, capsys):
+        assert fuzz_main(["--iters", "4", "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "0 mismatching" in out
+
+    def test_failing_campaign_writes_repros(self, monkeypatch, tmp_path,
+                                            capsys):
+        monkeypatch.setitem(decode._BIN_OPS, "sub", "+")
+        rc = fuzz_main(["--iters", "2", "--seed", "9",
+                        "--out", str(tmp_path), "--no-shrink"])
+        assert rc == 1
+        repros = list(tmp_path.glob("repro_*.py"))
+        assert len(repros) == 2
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_replay_of_written_repro(self, monkeypatch, tmp_path,
+                                     capsys):
+        with monkeypatch.context() as m:
+            m.setitem(decode._BIN_OPS, "sub", "+")
+            assert fuzz_main(["--iters", "1", "--seed", "9",
+                              "--out", str(tmp_path),
+                              "--no-shrink"]) == 1
+        repro = next(tmp_path.glob("repro_*.py"))
+        # engine restored: the repro must no longer mismatch
+        assert fuzz_main(["--replay", str(repro)]) == 0
+        assert "replay: ok" in capsys.readouterr().out

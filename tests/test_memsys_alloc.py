@@ -86,6 +86,40 @@ def test_heap_exhaustion_raises():
         a.alloc(64, 2)
 
 
+def test_arena_overflow_raises_default():
+    """Regression: exceeding a thread's arena used to silently bleed
+    into the neighbouring thread's arena."""
+    a = DefaultAllocator(arena_size=1024)
+    a.alloc(600, 0)
+    with pytest.raises(AllocationError):
+        a.alloc(600, 0)
+
+
+def test_arena_overflow_raises_simr_aware():
+    a = SimrAwareAllocator(arena_size=1024)
+    a.alloc(600, 3)
+    with pytest.raises(AllocationError):
+        a.alloc(600, 3)
+
+
+def test_arena_overflow_does_not_bleed_into_neighbour():
+    a = DefaultAllocator(arena_size=1024)
+    n0 = a.alloc(1000, 0)
+    n1 = a.alloc(16, 1)  # neighbouring arena
+    with pytest.raises(AllocationError):
+        a.alloc(100, 0)
+    # the failed allocation must not move the cursor; a block that
+    # still fits stays inside tid 0's arena
+    small = a.alloc(16, 0)
+    assert n0 + 1000 <= small < n1
+
+
+def test_oversized_first_allocation_rejected():
+    a = SimrAwareAllocator(arena_size=1024)
+    with pytest.raises(AllocationError):
+        a.alloc(4096, 0)
+
+
 def test_reset_restores_everything():
     a = SimrAwareAllocator()
     first = a.alloc(64, 0)

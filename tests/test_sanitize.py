@@ -1,0 +1,81 @@
+"""Simulation sanitizer tests (REPRO_SANITIZE=1 invariant checks)."""
+
+import pytest
+
+from repro.batching import BatchTask, ComputePhase, RpuDriver, make_io_batch
+from repro.core.run import run_batch
+from repro.sanitize import SanitizerError, check, sanitizer_enabled
+from repro.system import EndToEndConfig, Simulator, run_end_to_end
+from repro.workloads.registry import get_service
+
+import random
+
+
+class TestCore:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not sanitizer_enabled()
+
+    def test_enabled_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitizer_enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not sanitizer_enabled()
+
+    def test_check_passes_and_fails(self):
+        check(True, "never raised")
+        with pytest.raises(SanitizerError, match="bad value 7"):
+            check(False, "bad value %d", 7)
+
+    def test_sanitizer_error_is_assertion(self):
+        assert issubclass(SanitizerError, AssertionError)
+
+
+class TestSimulatorSanitizer:
+    def test_scheduling_into_past_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        sim = Simulator()
+        sim.schedule(5.0, lambda t: sim.schedule(1.0, lambda t2: None))
+        with pytest.raises(SanitizerError, match="past"):
+            sim.run()
+
+    def test_without_sanitizer_no_check(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda t: sim.schedule(1.0, seen.append))
+        sim.run()  # silently accepts the stale event
+        assert seen
+
+
+class TestNoFalsePositives:
+    """Real simulations must run clean with every sanitizer armed."""
+
+    def test_end_to_end_queueing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        for cfg in (EndToEndConfig(),
+                    EndToEndConfig(rpu=True, batch_split=True),
+                    EndToEndConfig(rpu=True, batch_split=False)):
+            res = run_end_to_end(cfg, qps=20000, n_requests=300)
+            assert res.completed == 300
+
+    def test_rpu_driver_policies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        tasks = [make_io_batch(0, 10.0, [1.0, 5.0, 3.0], 4.0),
+                 BatchTask(1, [ComputePhase(25.0)])]
+        for policy in ("grouped", "eager"):
+            stats = RpuDriver(wake_policy=policy).run(
+                [make_io_batch(t.bid, 10.0, [1.0, 5.0], 4.0)
+                 for t in tasks])
+            assert stats.makespan_us > 0
+
+    @pytest.mark.parametrize("policy",
+                             ["ipdom", "minsp_pc", "predicated"])
+    def test_lockstep_batches(self, monkeypatch, policy):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        service = get_service("memcached")
+        requests = service.generate_requests(8, random.Random(5))
+        for fastpath in (True, False):
+            res = run_batch(service, requests, policy=policy,
+                            fastpath=fastpath)
+            assert res.scalar_instructions == sum(res.retired_per_thread)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.system.queueing import _percentile
 from repro.system import (
     EndToEndConfig,
     Job,
@@ -74,6 +75,29 @@ class TestStation:
                 t, Job(i, 0.0), lambda tt, js: done.append(tt)))
         sim.run()
         assert done == [100.0, 101.0, 102.0, 103.0]
+
+
+class TestPercentile:
+    """Regression for the nearest-rank off-by-one: ``int(q * n)`` indexed
+    one past the nearest rank, so the p99 of 100 samples returned the
+    maximum and even-length medians returned the upper middle value."""
+
+    @pytest.mark.parametrize("values,q,expected", [
+        ([1.0], 0.5, 1.0),
+        ([1.0], 0.99, 1.0),
+        ([1.0, 2.0], 0.5, 1.0),              # even-length median: lower mid
+        ([1.0, 2.0, 3.0], 0.5, 2.0),
+        ([1.0, 2.0, 3.0, 4.0], 0.5, 2.0),    # was 3.0 pre-fix
+        ([5.0, 1.0, 3.0], 1.0, 5.0),         # unsorted input
+        ([7.0] * 5, 0.2, 7.0),
+        (list(map(float, range(1, 11))), 0.95, 10.0),   # ceil(9.5) -> 10th
+        (list(map(float, range(1, 101))), 0.50, 50.0),
+        (list(map(float, range(1, 101))), 0.99, 99.0),  # was 100.0 pre-fix
+        (list(map(float, range(1, 101))), 1.0, 100.0),
+        ([], 0.99, 0.0),
+    ])
+    def test_nearest_rank(self, values, q, expected):
+        assert _percentile(values, q) == expected
 
 
 class TestEndToEnd:
