@@ -29,12 +29,16 @@ def test_solo_interpreter_rate(benchmark):
     benchmark.extra_info["instructions"] = sum(steps)
 
 
-def test_chip_model_rate(benchmark):
+def test_chip_model_rate(benchmark, monkeypatch):
+    # a larger population and >=20 rounds keep the mean stable enough
+    # for the 30% regression gate; the trace cache is disabled so the
+    # measurement covers execution + streaming timing, not replay
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
     service = get_service("mcrouter")
-    requests = service.generate_requests(64, random.Random(0))
+    requests = service.generate_requests(256, random.Random(0))
     result = benchmark.pedantic(
         lambda: run_chip(service, requests, RPU_CONFIG),
-        rounds=3, iterations=1)
+        rounds=20, iterations=1, warmup_rounds=1)
     benchmark.extra_info["core_cycles"] = int(result.core_cycles)
 
 

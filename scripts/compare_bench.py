@@ -15,7 +15,8 @@ Typical CI usage::
     python scripts/compare_bench.py BENCH_simulator_speed.json bench.json
 
 Exits non-zero when any benchmark's mean time grew by more than
-``--threshold`` (default 10%) over the baseline.
+``--threshold`` (default 30% - wide enough to absorb shared-runner
+noise while still catching real regressions) over the baseline.
 """
 
 from __future__ import annotations
@@ -42,8 +43,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="baseline benchmark JSON")
     parser.add_argument("current", help="current benchmark JSON")
-    parser.add_argument("--threshold", type=float, default=0.10,
-                        help="allowed fractional slowdown (default 0.10)")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional slowdown (default 0.30)")
     args = parser.parse_args(argv)
 
     base = load_means(args.baseline)

@@ -31,8 +31,17 @@ workloads and all execution policies.
 
 Handler calling convention::
 
-    handler(thread, mem) -> Optional[bool]   # True/False for branches
-    fused(thread)                            # register-only superblock
+    handler(thread, mem) -> Optional[bool]        # True/False for branches
+    trace_handler(thread, mem, addrs) -> ...      # also records (tid, addr, size)
+    fused(thread)                                 # register-only superblock
+
+``trace_handlers`` mirror the plain handlers but additionally append
+``(tid, vaddr, size)`` tuples to a caller-supplied list with exactly the
+semantics of :func:`repro.engine.interpreter.execute`'s ``addrs_out``
+(loads/stores/atomics record their effective address, calls the pushed
+return-address slot, rets the popped one).  They are what lets the
+executors keep the pre-decoded fast path when a :class:`~repro.engine.
+events.StepSink` is attached.
 """
 
 from __future__ import annotations
@@ -104,6 +113,7 @@ class DecodedProgram:
     """
 
     handlers: Tuple
+    trace_handlers: Tuple
     superblocks: Tuple
     solo_blocks: Tuple
     rekey: Tuple
@@ -145,11 +155,19 @@ def _alu_expr(inst: Instruction) -> str:
     raise ValueError(f"unknown ALU/MUL mnemonic: {op!r}")
 
 
-def _handler_source(pc: int, inst: Instruction,
-                    target: Optional[int]) -> List[str]:
-    """Source lines of the specialized handler for the op at ``pc``."""
+def _handler_source(pc: int, inst: Instruction, target: Optional[int],
+                    trace: bool = False) -> List[str]:
+    """Source lines of the specialized handler for the op at ``pc``.
+
+    With ``trace=True`` the handler takes a third ``addrs`` argument and
+    appends ``(tid, addr, size)`` tuples exactly where the reference
+    :func:`repro.engine.interpreter.execute` appends to ``addrs_out``.
+    """
     cls = inst.cls
-    out = [f"def _h{pc}(t, mem):"]
+    if trace:
+        out = [f"def _t{pc}(t, mem, addrs):"]
+    else:
+        out = [f"def _h{pc}(t, mem):"]
 
     if cls is OpClass.ALU or cls is OpClass.MUL:
         if inst.dst:  # r0 writes are dropped (and the ALU not evaluated)
@@ -159,7 +177,15 @@ def _handler_source(pc: int, inst: Instruction,
         return out
 
     if cls is OpClass.LOAD:
-        if inst.dst:
+        if trace:
+            out += [
+                "    regs = t.regs",
+                f"    addr = regs[{inst.srcs[0]}] + ({inst.imm})",
+                f"    addrs.append((t.tid, addr, {inst.size}))",
+            ]
+            if inst.dst:
+                out.append(f"    regs[{inst.dst}] = mem.read(addr)")
+        elif inst.dst:
             out.append("    regs = t.regs")
             out.append(
                 f"    regs[{inst.dst}] = "
@@ -169,13 +195,19 @@ def _handler_source(pc: int, inst: Instruction,
         return out
 
     if cls is OpClass.STORE:
-        out += [
-            "    regs = t.regs",
-            f"    mem.write(regs[{inst.srcs[0]}] + ({inst.imm}), "
-            f"regs[{inst.srcs[1]}])",
-            "    t.retired += 1",
-            "    t.pc += 1",
-        ]
+        out.append("    regs = t.regs")
+        if trace:
+            out += [
+                f"    addr = regs[{inst.srcs[0]}] + ({inst.imm})",
+                f"    addrs.append((t.tid, addr, {inst.size}))",
+                f"    mem.write(addr, regs[{inst.srcs[1]}])",
+            ]
+        else:
+            out.append(
+                f"    mem.write(regs[{inst.srcs[0]}] + ({inst.imm}), "
+                f"regs[{inst.srcs[1]}])"
+            )
+        out += ["    t.retired += 1", "    t.pc += 1"]
         return out
 
     if cls is OpClass.BRANCH:
@@ -205,14 +237,20 @@ def _handler_source(pc: int, inst: Instruction,
             f"    sp = regs[{SP}] - ({frame})",
             f"    regs[{SP}] = sp",
             "    mem.write(sp, ra)",
-            f"    t.pc = {target}",
         ]
+        if trace:  # execute() records the slot the return address hit
+            out.append("    addrs.append((t.tid, sp, 8))")
+        out.append(f"    t.pc = {target}")
         return out
 
     if cls is OpClass.RET:
         out += [
             "    t.retired += 1",
             "    ret_pc, frame = t.call_stack.pop()",
+        ]
+        if trace:  # pre-increment SP: where the return address sits
+            out.append(f"    addrs.append((t.tid, t.regs[{SP}], 8))")
+        out += [
             f"    t.regs[{SP}] += frame",
             "    t.pc = ret_pc",
         ]
@@ -225,6 +263,10 @@ def _handler_source(pc: int, inst: Instruction,
             "    t.retired += 1",
             "    regs = t.regs",
             f"    addr = regs[{s0}] + ({inst.imm})",
+        ]
+        if trace:
+            out.append(f"    addrs.append((t.tid, addr, {inst.size}))")
+        out += [
             "    old = mem.read(addr)",
             f"    mem.write(addr, {new})",
         ]
@@ -449,6 +491,7 @@ def compile_program(program) -> DecodedProgram:
     lines: List[str] = []
     for pc in range(n):
         lines += _handler_source(pc, insts[pc], targets[pc])
+        lines += _handler_source(pc, insts[pc], targets[pc], trace=True)
 
     fused_meta: List[Tuple[int, int]] = []
     for first, last in _alu_runs(program, cfg):
@@ -476,6 +519,7 @@ def compile_program(program) -> DecodedProgram:
     exec(code, namespace)
 
     handlers = tuple(namespace[f"_h{pc}"] for pc in range(n))
+    trace_handlers = tuple(namespace[f"_t{pc}"] for pc in range(n))
     superblocks: List[Optional[Tuple[int, object]]] = [None] * n
     for p, k in fused_meta:
         superblocks[p] = (k, namespace[f"_f{p}"])
@@ -484,6 +528,7 @@ def compile_program(program) -> DecodedProgram:
         solo_blocks[p] = (k, namespace[f"_b{p}"])
     return DecodedProgram(
         handlers=handlers,
+        trace_handlers=trace_handlers,
         superblocks=tuple(superblocks),
         solo_blocks=tuple(solo_blocks),
         rekey=tuple(

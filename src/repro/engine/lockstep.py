@@ -19,16 +19,20 @@ Two reconvergence policies from the paper are implemented:
 Every executor has two execution engines:
 
 * the **reference engine** — the original, obviously-correct loops
-  built on :func:`repro.engine.interpreter.execute`.  It is always used
-  when a sink is attached (sinks need per-step events) or when
-  ``fastpath=False`` is requested.
+  built on :func:`repro.engine.interpreter.execute`.  Used when
+  ``fastpath=False`` is requested; it is the oracle the fast paths are
+  differentially tested against.
 
 * the **fast-path engine** — pre-decoded handler dispatch plus
-  superblock fusion (:mod:`repro.engine.decode`), used when no sink is
-  attached.  It is required to leave architectural state *and* every
-  :class:`LockstepResult` counter bit-identical to the reference
-  engine; ``tests/test_differential_fastpath.py`` enforces this over
-  all 15 workloads and all policies.
+  superblock fusion (:mod:`repro.engine.decode`).  When a sink is
+  attached the executors switch to the pre-decoded *tracing* handlers,
+  which record ``(tid, addr, size)`` tuples inline, so per-step events
+  are produced without falling back to slow dispatch.  Both variants
+  are required to leave architectural state, every
+  :class:`LockstepResult` counter *and* the emitted event stream
+  bit-identical to the reference engine;
+  ``tests/test_differential_fastpath.py`` and the fuzz oracle enforce
+  this over all 15 workloads and all policies, sink present or not.
 """
 
 from __future__ import annotations
@@ -121,10 +125,12 @@ class SoloExecutor:
     def run(self, thread: ThreadState, mem: MemoryImage) -> int:
         san = self._san
         retired0 = thread.retired if san else 0
-        if self.fastpath and self.sink is None:
+        if not self.fastpath:
+            steps = self._run_reference(thread, mem)
+        elif self.sink is None:
             steps = self._run_fast(thread, mem)
         else:
-            steps = self._run_reference(thread, mem)
+            steps = self._run_fast_sink(thread, mem)
         if san:
             _san_result(self.program.name, (thread,), retired0, steps)
         return steps
@@ -152,6 +158,53 @@ class SoloExecutor:
                 )
             handlers[thread.pc](thread, mem)
             steps += 1
+        return steps
+
+    def _run_fast_sink(self, thread: ThreadState, mem: MemoryImage) -> int:
+        """Pre-decoded dispatch with per-step event emission.
+
+        Uses the tracing handler table for address recording and the
+        register-only superblocks (which produce one empty-addrs event
+        per fused pc).  Whole-block solo fusion is not usable here: it
+        collapses memory ops whose per-step events a sink must see.
+        The ``addrs`` list is reused across steps - sinks must copy it
+        (``ListSink`` already tuples it) before returning.
+        """
+        prog = self.program
+        decoded = prog.decoded
+        trace_handlers = decoded.trace_handlers
+        fused = decoded.superblocks
+        insts = prog.instructions
+        sink = self.sink
+        on_step = sink.on_step
+        tid = thread.tid
+        max_steps = self.max_steps
+        steps = 0
+        addrs: List[Tuple[int, int, int]] = []
+        while not thread.halted:
+            pc = thread.pc
+            f = fused[pc]
+            if f is not None and steps + f[0] <= max_steps:
+                k = f[0]
+                f[1](thread)
+                del addrs[:]
+                for p in range(pc, pc + k):
+                    on_step(p, insts[p], 1, addrs, None)
+                steps += k
+                continue
+            if steps >= max_steps:
+                raise ExecutionError(
+                    f"{prog.name}: thread {thread.tid} exceeded "
+                    f"{max_steps} steps"
+                )
+            del addrs[:]
+            taken = trace_handlers[pc](thread, mem, addrs)
+            if taken is None:
+                on_step(pc, insts[pc], 1, addrs, None)
+            else:
+                on_step(pc, insts[pc], 1, addrs, ((tid, taken),))
+            steps += 1
+        sink.on_done()
         return steps
 
     def _run_reference(self, thread: ThreadState, mem: MemoryImage) -> int:
@@ -234,9 +287,16 @@ class IpdomExecutor(_BaseLockstep):
         self.reconv_override = reconv_override or {}
 
     def run(self, threads: Sequence[ThreadState], mem: MemoryImage) -> LockstepResult:
-        if self.fastpath and self.sink is None:
+        if not self.fastpath:
+            return self._run_reference(threads, mem)
+        if self.sink is None:
             return self._run_fast(threads, mem)
-        return self._run_reference(threads, mem)
+        return self._run_fast_sink(threads, mem)
+
+    def _sink_widths(self, n_threads: int) -> Optional[List[int]]:
+        """Per-pc event ``active`` width override, or ``None`` to report
+        the true group size (:class:`PredicatedExecutor` overrides)."""
+        return None
 
     def _run_fast(self, threads: Sequence[ThreadState],
                   mem: MemoryImage) -> LockstepResult:
@@ -338,6 +398,129 @@ class IpdomExecutor(_BaseLockstep):
             truncated=truncated,
         )
 
+    def _run_fast_sink(self, threads: Sequence[ThreadState],
+                       mem: MemoryImage) -> LockstepResult:
+        """`_run_fast` with per-step event emission via the tracing
+        handler table.  Must produce the exact event stream of
+        `_run_reference` (group order gives address order; superblocks
+        expand to one empty-addrs event per fused pc).  The ``addrs``
+        list is reused across steps - sinks must copy what they keep.
+        """
+        prog = self.program
+        decoded = prog.decoded
+        trace_handlers = decoded.trace_handlers
+        fused = decoded.superblocks
+        is_branch = decoded.is_branch
+        insts = prog.instructions
+        reconv_override = self.reconv_override
+        cfg = self.cfg
+        max_steps = self.max_steps
+        end = len(prog)
+        sink = self.sink
+        on_step = sink.on_step
+        widths = self._sink_widths(len(threads))
+        san = sanitizer_enabled()
+        alive = {t.tid for t in threads} if san else None
+        retired0 = sum(t.retired for t in threads) if san else 0
+        stack: List[Tuple[List[ThreadState], int]] = [(list(threads), end)]
+        steps = 0
+        scalar = 0
+        branches = 0
+        divergent = 0
+        truncated = False
+        addrs: List[Tuple[int, int, int]] = []
+
+        while stack:
+            region, reconv = stack[-1]
+            running = [t for t in region if not t.halted and t.pc != reconv]
+            if not running:
+                stack.pop()
+                continue
+            if steps >= max_steps:
+                truncated = True
+                break
+            pc = running[0].pc
+            for t in running:
+                if t.pc != pc:
+                    raise ExecutionError(
+                        f"{prog.name}: IPDOM invariant broken at pc {pc} "
+                        f"vs {t.pc} (irreducible control flow?)"
+                    )
+            if san:
+                _san_group(prog.name, running, alive, pc)
+            n = len(running)
+            f = fused[pc]
+            if f is not None:
+                k = f[0]
+                if steps + k <= max_steps and not (pc < reconv < pc + k):
+                    fn = f[1]
+                    for t in running:
+                        fn(t)
+                    del addrs[:]
+                    if widths is None:
+                        for p in range(pc, pc + k):
+                            on_step(p, insts[p], n, addrs, None)
+                    else:
+                        for p in range(pc, pc + k):
+                            on_step(p, insts[p], widths[p], addrs, None)
+                    steps += k
+                    scalar += k * n
+                    continue
+            h = trace_handlers[pc]
+            del addrs[:]
+            if is_branch[pc]:
+                outs = [h(t, mem, addrs) for t in running]
+                if widths is None:
+                    outcomes = [
+                        (t.tid, o) for t, o in zip(running, outs)
+                    ]
+                    on_step(pc, insts[pc], n, addrs, outcomes)
+                else:  # predication: full-width issue, no outcomes
+                    on_step(pc, insts[pc], widths[pc], addrs, None)
+                steps += 1
+                scalar += n
+                branches += 1
+                first = outs[0]
+                diverged = False
+                for o in outs:
+                    if o != first:
+                        diverged = True
+                        break
+                if diverged:
+                    divergent += 1
+                    rpc = reconv_override.get(pc)
+                    if rpc is None:
+                        rpc = cfg.reconvergence_pc(pc)
+                    taken_pc = prog.target_of(pc)
+                    taken = [t for t in running if t.pc == taken_pc]
+                    not_taken = [t for t in running if t.pc != taken_pc]
+                    # execute the lower-pc side first (MinPC-style order)
+                    first_side, second = (taken, not_taken)
+                    if not_taken and taken and not_taken[0].pc < taken_pc:
+                        first_side, second = not_taken, taken
+                    stack.append((second, rpc))
+                    stack.append((first_side, rpc))
+            else:
+                for t in running:
+                    h(t, mem, addrs)
+                on_step(pc, insts[pc],
+                        n if widths is None else widths[pc], addrs, None)
+                steps += 1
+                scalar += n
+
+        if san:
+            _san_result(prog.name, threads, retired0, scalar)
+        sink.on_done()
+        return LockstepResult(
+            batch_size=len(threads),
+            steps=steps,
+            scalar_instructions=scalar,
+            divergent_branches=divergent,
+            branches=branches,
+            retired_per_thread=[t.retired for t in threads],
+            truncated=truncated,
+        )
+
     def _run_reference(self, threads: Sequence[ThreadState],
                        mem: MemoryImage) -> LockstepResult:
         prog = self.program
@@ -429,9 +612,11 @@ class MinSpPcExecutor(_BaseLockstep):
         self.spin_t = spin_t
 
     def run(self, threads: Sequence[ThreadState], mem: MemoryImage) -> LockstepResult:
-        if self.fastpath and self.sink is None:
+        if not self.fastpath:
+            return self._run_reference(threads, mem)
+        if self.sink is None:
             return self._run_fast(threads, mem)
-        return self._run_reference(threads, mem)
+        return self._run_fast_sink(threads, mem)
 
     def _run_fast(self, threads: Sequence[ThreadState],
                   mem: MemoryImage) -> LockstepResult:
@@ -607,6 +792,196 @@ class MinSpPcExecutor(_BaseLockstep):
             truncated=truncated,
         )
 
+    def _run_fast_sink(self, threads: Sequence[ThreadState],
+                       mem: MemoryImage) -> LockstepResult:
+        """`_run_fast` (incremental grouping) with per-step events via
+        the tracing handler table.  Group lists stay tid-sorted, so the
+        per-step execution order - and therefore the address order in
+        every emitted event - matches the reference engine exactly.
+        The ``addrs`` list is reused across steps.
+
+        Sinks that *mutate* the batch (append threads mid-run) are
+        supported: growth is detected at the top of every scheduling
+        iteration.  A thread injected while a fused superblock run is
+        being emitted joins after the run completes instead of
+        preempting it mid-run; recording sinks (the fuzz oracle's
+        bit-identity contract) never mutate, so their event streams are
+        unaffected."""
+        prog = self.program
+        decoded = prog.decoded
+        trace_handlers = decoded.trace_handlers
+        fused = decoded.superblocks
+        rekey = decoded.rekey
+        is_atomic = decoded.is_atomic
+        insts = prog.instructions
+        max_steps = self.max_steps
+        spin_k = self.spin_k
+        spin_b = self.spin_b
+        spin_t = self.spin_t
+        sink = self.sink
+        on_step = sink.on_step
+        san = sanitizer_enabled()
+        alive = {t.tid for t in threads} if san else None
+        retired0 = sum(t.retired for t in threads) if san else 0
+
+        steps = 0
+        scalar = 0
+        branches = 0
+        divergent = 0
+        truncated = False
+        addrs: List[Tuple[int, int, int]] = []
+
+        last_atomic_step = -(10**9)
+        boost_remaining = 0
+        last_executed: Dict[int, int] = {t.tid: 0 for t in threads}
+
+        groups: Dict[Tuple[int, int], List[ThreadState]] = {}
+        n_seen = len(threads)
+        for t in threads:  # tid order -> tid-sorted group lists
+            if not t.halted:
+                groups.setdefault((-len(t.call_stack), t.pc), []).append(t)
+
+        while True:
+            # a sink may append new threads to the batch mid-run (the
+            # reference loop picks them up by rebuilding its group map
+            # from ``threads`` every step)
+            if len(threads) != n_seen:
+                for t in threads[n_seen:]:
+                    last_executed.setdefault(t.tid, 0)
+                    if san:
+                        alive.add(t.tid)
+                    if not t.halted:
+                        _regroup_insert(
+                            groups, (-len(t.call_stack), t.pc), [t])
+                n_seen = len(threads)
+            if not groups:
+                break
+            if steps >= max_steps:
+                truncated = True
+                break
+
+            if boost_remaining > 0 and len(groups) > 1:
+                boost_remaining -= 1
+                # oldest-waiter first; ties resolve to the lowest-tid
+                # group, matching the reference engine's insertion order
+                key = min(
+                    groups,
+                    key=lambda k: (
+                        min(last_executed[t.tid] for t in groups[k]),
+                        groups[k][0].tid,
+                    ),
+                )
+            else:
+                key = min(groups)  # deepest call, then lowest pc
+
+            group = groups.pop(key)
+            pc = key[1]
+            if san:
+                _san_group(prog.name, group, alive, pc, depth=-key[0])
+
+            n = len(group)
+            f = fused[pc]
+            if (f is not None
+                    and steps + f[0] <= max_steps
+                    and steps + 1 - last_atomic_step > spin_b
+                    and (boost_remaining == 0 or not groups)):
+                k = f[0]
+                fusable = True
+                if groups:
+                    depth = key[0]
+                    hi = pc + k
+                    for d2, p2 in groups:
+                        if d2 == depth and pc < p2 < hi:
+                            fusable = False
+                            break
+                if fusable:
+                    fn = f[1]
+                    for t in group:
+                        fn(t)
+                    del addrs[:]
+                    for p in range(pc, pc + k):
+                        on_step(p, insts[p], n, addrs, None)
+                    steps += k
+                    scalar += k * n
+                    for t in group:
+                        last_executed[t.tid] = steps
+                    _regroup_insert(groups, (key[0], pc + k), group)
+                    continue
+
+            h = trace_handlers[pc]
+            rk = rekey[pc]
+            kind = rk[0]
+            outs = None
+            uniform = True
+            del addrs[:]
+            if kind == RK_BRANCH:
+                outs = [h(t, mem, addrs) for t in group]
+                on_step(pc, insts[pc], n, addrs,
+                        [(t.tid, o) for t, o in zip(group, outs)])
+                branches += 1
+                first = outs[0]
+                for o in outs:
+                    if o != first:
+                        uniform = False
+                        divergent += 1
+                        break
+            else:
+                for t in group:
+                    h(t, mem, addrs)
+                on_step(pc, insts[pc], n, addrs, None)
+            steps += 1
+            scalar += n
+            for t in group:
+                last_executed[t.tid] = steps
+            if is_atomic[pc]:
+                last_atomic_step = steps
+
+            # Spin-lock escape (see _run_fast)
+            if (boost_remaining == 0 and groups
+                    and steps - last_atomic_step <= spin_b):
+                oldest = min(
+                    last_executed[t.tid] for t in threads if not t.halted
+                )
+                if steps - oldest >= spin_k:
+                    boost_remaining = spin_t
+
+            if kind == RK_FALL:
+                _regroup_insert(groups, (key[0], pc + 1), group)
+            elif kind == RK_BRANCH:
+                if uniform:
+                    npc = rk[1] if outs[0] else pc + 1
+                    _regroup_insert(groups, (key[0], npc), group)
+                else:
+                    taken = [t for t, o in zip(group, outs) if o]
+                    fell = [t for t, o in zip(group, outs) if not o]
+                    _regroup_insert(groups, (key[0], rk[1]), taken)
+                    _regroup_insert(groups, (key[0], pc + 1), fell)
+            elif kind == RK_JUMP:
+                _regroup_insert(groups, (key[0], rk[1]), group)
+            elif kind == RK_CALL:
+                _regroup_insert(groups, (key[0] - 1, rk[1]), group)
+            elif kind == RK_RET:
+                d2 = key[0] + 1
+                buckets: Dict[int, List[ThreadState]] = {}
+                for t in group:
+                    buckets.setdefault(t.pc, []).append(t)
+                for p2, moved in buckets.items():
+                    _regroup_insert(groups, (d2, p2), moved)
+            # RK_HALT: the whole group halted and leaves the schedule
+
+        if san:
+            _san_result(prog.name, threads, retired0, scalar)
+        sink.on_done()
+        return LockstepResult(
+            batch_size=len(threads),
+            steps=steps,
+            scalar_instructions=scalar,
+            divergent_branches=divergent,
+            branches=branches,
+            retired_per_thread=[t.retired for t in threads],
+            truncated=truncated,
+        )
+
     def _run_reference(self, threads: Sequence[ThreadState],
                        mem: MemoryImage) -> LockstepResult:
         prog = self.program
@@ -727,6 +1102,19 @@ class PredicatedExecutor(IpdomExecutor):
     def run(self, threads, mem):
         self._full = len(threads)
         return super().run(threads, mem)
+
+    def _sink_widths(self, n_threads):
+        # per-pc event width: full-batch issue, inflated for emulated
+        # ops (matches _emit; div/rem may sit inside fused superblocks,
+        # so the fast path needs the width per pc, not per step)
+        factor = self.emulation_factor
+        emc = self.EMULATED_CLASSES
+        emo = self.EMULATED_OPS
+        return [
+            n_threads * factor
+            if (i.cls in emc or i.op in emo) else n_threads
+            for i in self.program.instructions
+        ]
 
     def _emit(self, pc, inst, group, mem):
         target = self.program.targets[pc]

@@ -6,9 +6,12 @@ For one spec the oracle runs the program
   with the pre-decoded fast path and with the ``execute()``-based
   reference loop, asserting bit-identical registers, memory, syscall
   traces, call stacks and ``LockstepResult`` counters;
-* once more per lockstep policy with an active-mask-recording sink
-  (which forces the reference loop), asserting the sink run matches and
-  that the mask history is consistent with the counters;
+* once more per policy with an event-recording sink under *both*
+  engines (the fast path keeps pre-decoded dispatch when a sink is
+  attached), asserting the two sink runs match each other and the
+  sink-free reference bit-for-bit - including the full
+  ``(pc, inst, active, addrs, outcomes)`` event stream - and that the
+  mask history is consistent with the counters;
 * across policies: ``ipdom`` and ``predicated`` are architecturally
   identical by construction and must agree on *everything*; for
   race-free specs (no atomics / spin locks) every policy must reach the
@@ -47,13 +50,21 @@ DEFAULT_MAX_STEPS = 200_000
 
 
 class ActiveMaskSink(StepSink):
-    """Records the active-lane count of every lockstep step."""
+    """Records the active-lane count and full event of every step.
+
+    ``addrs``/``outcomes`` are copied: the fast path reuses its scratch
+    list across steps (documented sink contract)."""
 
     def __init__(self):
         self.history: List[int] = []
+        self.events: List[tuple] = []
 
     def on_step(self, pc, inst, active, addrs, outcomes) -> None:
         self.history.append(active)
+        self.events.append(
+            (pc, inst.op, active, tuple(addrs),
+             tuple(outcomes) if outcomes else None)
+        )
 
     def on_done(self) -> None:
         pass
@@ -114,6 +125,7 @@ def _run_one(spec: Dict, policy: str, fastpath: bool,
         "call_stacks": [list(t.call_stack) for t in threads],
         "memory": {a: mem.read(a) for a in sorted(mem.written_addresses())},
         "mask": sink.history if sink is not None else None,
+        "events": sink.events if sink is not None else None,
     }
 
 
@@ -135,8 +147,6 @@ def check_spec(spec: Dict,
                         f"{policy}: fast-path {fld} diverges from "
                         f"reference")
             ref_states[policy] = ref
-            if policy == "solo":
-                continue
             masked = _run_one(spec, policy, fastpath=False,
                               with_mask=True, max_steps=max_steps)
             for fld in _FIELDS:
@@ -144,6 +154,21 @@ def check_spec(spec: Dict,
                     mismatches.append(
                         f"{policy}: sink-observed run {fld} diverges "
                         f"from reference")
+            # sink-present fast path: pre-decoded dispatch must emit
+            # the bit-identical event stream the reference loop does
+            masked_fast = _run_one(spec, policy, fastpath=True,
+                                   with_mask=True, max_steps=max_steps)
+            for fld in _FIELDS:
+                if masked_fast[fld] != masked[fld]:
+                    mismatches.append(
+                        f"{policy}: sink-present fast path {fld} "
+                        f"diverges from sink-present reference")
+            if masked_fast["events"] != masked["events"]:
+                mismatches.append(
+                    f"{policy}: sink-present fast path event stream "
+                    f"diverges from reference")
+            if policy == "solo":
+                continue
             hist = masked["mask"]
             steps = ref["result"]["steps"]
             if len(hist) != steps:

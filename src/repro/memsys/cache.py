@@ -42,7 +42,10 @@ class SetAssociativeCache:
         self.line_size = line_size
         self.n_banks = n_banks
         self.n_sets = size_bytes // (assoc * line_size)
-        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
+        # sets are materialized lazily: a large L3 slice has thousands
+        # of sets, most never touched in a short run, and every
+        # run_chip builds a fresh hierarchy
+        self._sets: Dict[int, OrderedDict] = {}
         self.stats = CacheStats()
 
     def _set_index(self, line: int) -> int:
@@ -54,7 +57,10 @@ class SetAssociativeCache:
     def access(self, addr: int, write: bool = False) -> bool:
         """Access one address; returns True on hit."""
         line = addr // self.line_size
-        s = self._sets[self._set_index(line)]
+        idx = line % self.n_sets
+        s = self._sets.get(idx)
+        if s is None:
+            s = self._sets[idx] = OrderedDict()
         self.stats.accesses += 1
         if line in s:
             self.stats.hits += 1
@@ -74,7 +80,8 @@ class SetAssociativeCache:
     def probe(self, addr: int) -> bool:
         """Check residency without updating LRU or stats."""
         line = addr // self.line_size
-        return line in self._sets[self._set_index(line)]
+        s = self._sets.get(line % self.n_sets)
+        return s is not None and line in s
 
     def bank_conflicts(self, addrs: Iterable[int]) -> int:
         """Serialization depth for simultaneous accesses: the maximum
@@ -89,4 +96,4 @@ class SetAssociativeCache:
         self.stats = CacheStats()
 
     def flush(self) -> None:
-        self._sets = [OrderedDict() for _ in range(self.n_sets)]
+        self._sets = {}

@@ -19,8 +19,11 @@ from ..isa.instructions import Segment
 from .stackmap import StackInterleaver
 
 
+_STACK_MIN = HEAP_BASE + HEAP_SIZE
+
+
 def _is_stack_addr(addr: int) -> bool:
-    return addr >= HEAP_BASE + HEAP_SIZE
+    return addr >= _STACK_MIN
 
 
 @dataclass
@@ -38,10 +41,19 @@ class CoalescingResult:
 class MemoryCoalescingUnit:
     """The RPU's low-latency coalescer for one batch memory op."""
 
+    #: memo bound: patterns per service are few, but cap defensively
+    _MEMO_MAX = 32768
+
     def __init__(self, line_size: int = 32,
                  interleaver: Optional[StackInterleaver] = None):
         self.line_size = line_size
         self.interleaver = interleaver
+        # coalescing is a pure function of (segment, accesses) for a
+        # fixed configuration, and batch access patterns repeat heavily
+        # (every thread pushing the same stack offset, broadcast loads
+        # of the same global, ...), so memoize whole results.  Entries
+        # are shared: CoalescingResult is treated as immutable.
+        self._memo: dict = {}
 
     def coalesce(
         self,
@@ -52,14 +64,30 @@ class MemoryCoalescingUnit:
         ls = self.line_size
         if not accesses:
             return CoalescingResult([], "same_word")
+        key = (segment, tuple(accesses))
+        memo = self._memo
+        res = memo.get(key)
+        if res is not None:
+            return res
+        res = self._coalesce(segment, accesses, ls)
+        if len(memo) >= self._MEMO_MAX:
+            memo.clear()
+        memo[key] = res
+        return res
 
+    def _coalesce(
+        self,
+        segment: Optional[Segment],
+        accesses: Sequence[Tuple[int, int, int]],
+        ls: int,
+    ) -> CoalescingResult:
         if (
             segment is Segment.STACK
             and self.interleaver is not None
             # the hardware detects stack addresses dynamically; a
             # stack-tagged op whose pointer actually targets the heap
             # (e.g. through a spilled pointer) must not be remapped
-            and all(_is_stack_addr(a) for _t, a, _s in accesses)
+            and all(a >= _STACK_MIN for _t, a, _s in accesses)
         ):
             lines = self.interleaver.lines_touched(accesses, ls)
             return CoalescingResult(lines, "stack")

@@ -59,9 +59,23 @@ class StackInterleaver:
     def lines_touched(self, accesses: Iterable[Tuple[int, int, int]],
                       line_size: int = 32) -> List[int]:
         """Unique physical line addresses for a batch of stack accesses
-        given as ``(tid, vaddr, size)`` tuples."""
+        given as ``(tid, vaddr, size)`` tuples.
+
+        Inlines :meth:`physical` (same arithmetic, no per-word calls):
+        this runs once per batched stack access in the timing model's
+        hot loop.
+        """
+        bs = self.batch_size
+        ss = self.stack_size
+        top = STACK_TOP
+        base = STACK_PHYS_BASE
         lines = set()
+        add = lines.add
         for _tid, vaddr, size in accesses:
-            for pa in self.physical_words(vaddr, size):
-                lines.add(pa // line_size * line_size)
+            for i in range(size >> 2 or 1):
+                va = vaddr + i * 4
+                tid = (top - 1 - va) // ss
+                word = (top - tid * ss - 1 - va) >> 2
+                add((base + (word * bs + tid) * 4)
+                    // line_size * line_size)
         return sorted(lines)

@@ -102,20 +102,24 @@ class GraphSimulation:
         #: callback per dispatched *batch*, so each job's onward path
         #: is looked up here rather than captured per-arrival
         self._conts: Dict[Tuple[str, int], Callable[[float], None]] = {}
+        #: one completion callback per station, shared by every arrival
+        #: (a batch dispatches through a single callback; per-arrival
+        #: closures would be both slower and wrong for batches)
+        self._afters = {name: self._make_after(node)
+                        for name, node in cfg.nodes.items()}
 
-    # ------------------------------------------------------------------
-    def _visit(self, now: float, node_name: str, job: Job,
-               done: Callable[[float], None]) -> None:
-        node = self.cfg.nodes[node_name]
-        station = self.stations[node_name]
-        self._conts[(node_name, job.jid)] = done
-
+    def _make_after(self, node: GraphNode):
         def after(t: float, jobs: List[Job]) -> None:
             for j in jobs:
                 cont = self._conts.pop((node.name, j.jid))
                 self._after_service(t, node, j, cont)
+        return after
 
-        station.arrive(now, job, after)
+    # ------------------------------------------------------------------
+    def _visit(self, now: float, node_name: str, job: Job,
+               done: Callable[[float], None]) -> None:
+        self._conts[(node_name, job.jid)] = done
+        self.stations[node_name].arrive(now, job, self._afters[node_name])
 
     def _after_service(self, now: float, node: GraphNode, job: Job,
                        done: Callable[[float], None]) -> None:
@@ -162,9 +166,7 @@ class GraphSimulation:
                 j.done_us = tt + self.cfg.network_us
                 self.finished.append(j)
 
-            self.sim.schedule(
-                t, lambda now, j=job, f=finish:
-                self._visit(now, self.cfg.entry, j, f))
+            self.sim.schedule(t, self._visit, self.cfg.entry, job, finish)
         self.sim.run()
         lats = [j.latency_us for j in self.finished]
         return EndToEndResult(

@@ -32,33 +32,43 @@ from ..sanitize import check, sanitizer_enabled
 
 
 class Simulator:
-    """Minimal deterministic event loop."""
+    """Minimal deterministic event loop.
+
+    ``schedule`` takes the callback's trailing arguments directly
+    (``schedule(when, fn, *args)`` fires ``fn(when, *args)``), so hot
+    callers pass bound methods plus data instead of allocating a
+    closure per event.  Ties break by insertion order; the argument
+    tuple is never compared.
+    """
 
     def __init__(self):
-        self._events: List[Tuple[float, int, Callable]] = []
+        self._events: List[Tuple[float, int, Callable, tuple]] = []
         self._tie = itertools.count()
         self.now = 0.0
         self._san = sanitizer_enabled()
 
-    def schedule(self, when: float, fn: Callable[[float], None]) -> None:
+    def schedule(self, when: float, fn: Callable, *args) -> None:
         if self._san:
             check(when >= self.now,
                   "simulator: event scheduled into the past "
                   "(%f before now=%f)", when, self.now)
-        heapq.heappush(self._events, (when, next(self._tie), fn))
+        heapq.heappush(self._events, (when, next(self._tie), fn, args))
 
     def run(self) -> None:
-        while self._events:
-            when, _t, fn = heapq.heappop(self._events)
-            if self._san:
+        events = self._events
+        pop = heapq.heappop
+        san = self._san
+        while events:
+            when, _t, fn, args = pop(events)
+            if san:
                 check(when >= self.now,
                       "simulator: time ran backwards (%f after %f)",
                       when, self.now)
             self.now = when
-            fn(when)
+            fn(when, *args)
 
 
-@dataclass
+@dataclass(slots=True)
 class Job:
     jid: int
     arrival_us: float
@@ -89,20 +99,84 @@ class Station:
         self.batch_timeout_us = batch_timeout_us
         self.infinite = infinite
         self._free_at = [0.0] * (0 if infinite else servers)
-        self._pending: List[Tuple[Job, Callable]] = []
+        #: queued jobs and their completion callbacks, parallel lists
+        #: (cheaper to slice at dispatch than a list of pairs)
+        self._pending: List[Job] = []
+        self._pending_dones: List[Callable] = []
         self._timeout_at: Optional[float] = None
         self.dispatched_batches = 0
         self.dispatched_jobs = 0
         self.arrived_jobs = 0
+        self._san = sanitizer_enabled()
+        self._schedule = sim.schedule
 
     def arrive(self, now: float, job: Job,
                done: Callable[[float, List[Job]], None]) -> None:
         """``done(t, jobs)`` fires once for the whole dispatched batch."""
         self.arrived_jobs += 1
-        self._pending.append((job, done))
-        if len(self._pending) >= self.batch_size:
+        if self.batch_size == 1:
+            # unbatched stations never queue: dispatch straight through
+            # without touching the pending list or the timeout machinery
+            self._dispatch_one(now, job, done)
+            return
+        pending = self._pending
+        pending.append(job)
+        self._pending_dones.append(done)
+        if len(pending) >= self.batch_size:
             self._dispatch(now)
-        self._arm_timeout(now)
+        if pending and self._timeout_at is None:
+            deadline = now + self.batch_timeout_us
+            self._timeout_at = deadline
+            self._schedule(deadline, self._flush)
+
+    def arrive_many(self, now: float, jobs: Sequence[Job],
+                    done: Callable[[float, List[Job]], None]) -> None:
+        """Arrive several jobs sharing one completion callback.
+
+        Exactly equivalent to calling :meth:`arrive` once per job (same
+        dispatch grouping, same timeout arming order), minus the
+        per-job call overhead - routing callbacks fan whole batches
+        into the next tier, so this is the hot entry point.
+        """
+        self.arrived_jobs += len(jobs)
+        if self.batch_size == 1:
+            for job in jobs:
+                self._dispatch_one(now, job, done)
+            return
+        pending = self._pending
+        dones = self._pending_dones
+        bs = self.batch_size
+        timeout = self.batch_timeout_us
+        schedule = self._schedule
+        for job in jobs:
+            pending.append(job)
+            dones.append(done)
+            if len(pending) >= bs:
+                self._dispatch(now)
+            if pending and self._timeout_at is None:
+                deadline = now + timeout
+                self._timeout_at = deadline
+                schedule(deadline, self._flush)
+
+    def _pick_server(self, now: float) -> float:
+        """Reserve the earliest-free server; returns the start time."""
+        free = self._free_at
+        server = 0
+        best = free[0]
+        for s in range(1, len(free)):
+            if free[s] < best:
+                best = free[s]
+                server = s
+        start = best if best > now else now
+        free[server] = start + self.occupancy_us
+        return start
+
+    def _dispatch_one(self, now: float, job: Job, done: Callable) -> None:
+        start = now if self.infinite else self._pick_server(now)
+        finish = start + self.latency_us
+        self.dispatched_batches += 1
+        self.dispatched_jobs += 1
+        self._schedule(finish, done, [job])
 
     def _arm_timeout(self, now: float) -> None:
         """A partial batch must always have a pending flush, or its
@@ -111,7 +185,7 @@ class Station:
                 and self._timeout_at is None):
             deadline = now + self.batch_timeout_us
             self._timeout_at = deadline
-            self.sim.schedule(deadline, self._flush)
+            self._schedule(deadline, self._flush)
 
     def _flush(self, now: float) -> None:
         self._timeout_at = None
@@ -120,25 +194,41 @@ class Station:
         self._arm_timeout(now)
 
     def _dispatch(self, now: float) -> None:
-        while self._pending:
-            group = self._pending[:self.batch_size]
-            if len(group) < self.batch_size and self._timeout_at is not None:
+        pending = self._pending
+        dones = self._pending_dones
+        bs = self.batch_size
+        while pending:
+            if len(pending) < bs and self._timeout_at is not None:
                 break  # wait for more arrivals or the timeout
-            del self._pending[:len(group)]
+            group = pending[:bs]
+            n = len(group)
+            del pending[:n]
+            done = dones[0]
+            if self._san:
+                # a batch completes through exactly one callback; mixed
+                # callbacks would silently drop the other jobs' routing
+                for d in dones[:n]:
+                    check(d is done,
+                          "station %s: mixed completion callbacks in "
+                          "one dispatched batch", self.name)
+            del dones[:n]
             if self.infinite:
                 start = now
             else:
-                server = min(range(self.servers),
-                             key=self._free_at.__getitem__)
-                start = max(now, self._free_at[server])
-                self._free_at[server] = start + self.occupancy_us * len(group)
+                free = self._free_at
+                server = 0
+                best = free[0]
+                for s in range(1, len(free)):
+                    if free[s] < best:
+                        best = free[s]
+                        server = s
+                start = best if best > now else now
+                free[server] = start + self.occupancy_us * n
             finish = start + self.latency_us
             self.dispatched_batches += 1
-            self.dispatched_jobs += len(group)
-            jobs = [j for j, _d in group]
-            done = group[0][1]
-            self.sim.schedule(finish, lambda t, d=done, js=jobs: d(t, js))
-            if len(group) < self.batch_size:
+            self.dispatched_jobs += n
+            self._schedule(finish, done, group)
+            if n < bs:
                 break
 
     @property
@@ -226,11 +316,15 @@ def run_end_to_end(cfg: EndToEndConfig, qps: float, n_requests: int = 4000,
                          infinite=True)
 
     finished: List[Job] = []
+    network_us = cfg.network_us
+    split = cfg.batch_split or not cfg.rpu
 
-    def finish(now: float, jobs: List[Job]) -> None:
+    def finish(now: float, jobs: List[Job],
+               _append=finished.append) -> None:
+        done_at = now + network_us
         for j in jobs:
-            j.done_us = now + cfg.network_us
-            finished.append(j)
+            j.done_us = done_at
+            _append(j)
 
     def after_memcached(now: float, jobs: List[Job]) -> None:
         hits = [j for j in jobs if not j.blocks]
@@ -238,11 +332,10 @@ def run_end_to_end(cfg: EndToEndConfig, qps: float, n_requests: int = 4000,
         if not misses:
             finish(now, hits)
             return
-        if cfg.batch_split or not cfg.rpu:
+        if split:
             # fast sub-batch continues past the reconvergence point
             finish(now, hits)
-            for j in misses:
-                storage_st.arrive(now, j, finish)
+            storage_st.arrive_many(now, misses, finish)
             return
         # lockstep without splitting: hits wait for the batch's misses
         remaining = {"n": len(misses)}
@@ -253,27 +346,35 @@ def run_end_to_end(cfg: EndToEndConfig, qps: float, n_requests: int = 4000,
             if remaining["n"] == 0:
                 finish(t, hits)
 
-        for j in misses:
-            storage_st.arrive(now, j, on_storage)
+        storage_st.arrive_many(now, misses, on_storage)
 
     def after_mcrouter(now: float, jobs: List[Job]) -> None:
-        for j in jobs:
-            memcached_st.arrive(now, j, after_memcached)
+        memcached_st.arrive_many(now, jobs, after_memcached)
 
     def after_user(now: float, jobs: List[Job]) -> None:
-        for j in jobs:
-            mcrouter_st.arrive(now, j, after_mcrouter)
+        mcrouter_st.arrive_many(now, jobs, after_mcrouter)
 
-    def inject(now: float, job: Job) -> None:
-        user_st.arrive(now + cfg.web_us + cfg.network_us, job, after_user)
-
-    t = 0.0
+    web_us = cfg.web_us
     inter_us = 1e6 / qps
-    for i in range(n_requests):
-        t += rng.expovariate(1.0) * inter_us
-        job = Job(jid=i, arrival_us=t,
-                  blocks=rng.random() >= cfg.memcached_hit_rate)
-        sim.schedule(t, lambda now, j=job: inject(now, j))
+    hit_rate = cfg.memcached_hit_rate
+    expovariate = rng.expovariate
+    rnd = rng.random
+    schedule = sim.schedule
+
+    # self-rescheduling injector: each arrival event creates the next
+    # one, so the heap only ever holds in-flight work (tens of events)
+    # instead of the entire open-loop arrival schedule - the RNG draw
+    # order (expovariate, random, expovariate, ...) is exactly the
+    # all-upfront loop's
+    def inject(now: float, i: int, _arrive=user_st.arrive) -> None:
+        job = Job(jid=i, arrival_us=now, blocks=rnd() >= hit_rate)
+        nxt = i + 1
+        if nxt < n_requests:
+            schedule(now + expovariate(1.0) * inter_us, inject, nxt)
+        _arrive(now + web_us + network_us, job, after_user)
+
+    if n_requests > 0:
+        schedule(expovariate(1.0) * inter_us, inject, 0)
 
     sim.run()
 

@@ -9,6 +9,22 @@ single-node Accel-Sim runs.
 * CPU-SMT8 - groups of 8 requests share the core's frontend and L1.
 * RPU      - batches (from the SIMR-aware server) run in lockstep.
 * GPU      - 16 warps (batches) are resident and interleave in-order.
+
+Two execution strategies produce bit-identical results:
+
+* ``streaming=True`` (default): executor events flow through a
+  :class:`~repro.timing.streams.TimingSink` straight into an
+  incremental :class:`~repro.timing.core.CoreRun`, so traces are never
+  materialized (unless the trace cache records them);
+* ``streaming=False``: the original materialize-then-``CoreModel.run``
+  pipeline, kept as the reference for differential checking.
+
+When the cross-config trace cache (:mod:`repro.timing.trace_cache`) is
+enabled, the streaming path replays memoized event streams instead of
+re-executing: CPU and CPU-SMT8 share solo traces, RPU and GPU share
+batch traces.  Callers supplying a bespoke ``allocator_factory``
+bypass the cache (allocator behaviour is part of the trace identity
+and arbitrary factories cannot be fingerprinted).
 """
 
 from __future__ import annotations
@@ -17,12 +33,19 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..batching.policies import form_batches
+from ..engine.events import MultiSink
 from ..memsys.alloc import DefaultAllocator, SimrAwareAllocator
 from ..workloads.base import Microservice, Request
+from . import trace_cache
 from .config import CoreConfig
 from .core import CoreModel, CoreRunResult
 from .memhier import Counters
-from .streams import batch_trace, solo_traces
+from .streams import (ListSink, SoloRunner, TimingSink, batch_trace,
+                      replay_events, run_batch, solo_traces)
+
+#: executor step budgets (also part of the trace-cache key)
+SOLO_MAX_STEPS = 2_000_000
+BATCH_MAX_STEPS = 4_000_000
 
 
 @dataclass
@@ -82,6 +105,7 @@ def run_chip(
     reconv_override: Optional[Dict[int, int]] = None,
     allocator_factory=None,
     warmup_frac: float = 0.2,
+    streaming: bool = True,
 ) -> ChipResult:
     """Simulate ``requests`` on one core of ``config``; scale to chip.
 
@@ -89,7 +113,9 @@ def run_chip(
     branch predictors (the steady state a data center node lives in)
     and are excluded from latency/energy statistics.
     """
+    requests = list(requests)
     make_alloc = allocator_factory or (lambda: _allocator_for(config))
+    cache = None if allocator_factory is not None else trace_cache.get_cache()
     core = CoreModel(config)
     out = ChipResult(
         config_name=config.name,
@@ -102,14 +128,14 @@ def run_chip(
 
     if config.batch_size <= 1 and config.hw_contexts == 1:
         _run_mimd_sequential(core, service, requests, make_alloc, out,
-                             warmup_frac)
+                             warmup_frac, streaming, cache)
     elif config.batch_size <= 1:
         _run_smt(core, config, service, requests, make_alloc, out,
-                 warmup_frac)
+                 warmup_frac, streaming, cache)
     else:
         _run_simt(core, config, service, requests, make_alloc, out,
                   policy, batching, batch_size, reconv_override,
-                  warmup_frac)
+                  warmup_frac, streaming, cache)
 
     out.counters = core.all_counters()
     out.scalar_instructions = int(out.counters["scalar_instructions"])
@@ -123,68 +149,203 @@ def _end_warmup(core, out, measured_requests):
     return core.now
 
 
+# ----------------------------------------------------------------------
+# solo-execution sources (CPU / SMT)
+# ----------------------------------------------------------------------
+
+def _solo_source(core, service, requests, make_alloc, cache):
+    """Build a ``play(i, request, sink)`` callable plus a ``done()`` hook.
+
+    On a cache hit ``play`` replays the memoized population trace; on a
+    miss it solo-executes live, teeing a recorder into the sink when a
+    cache is present so ``done()`` can store the population.
+    """
+    pool = core.cfg.worker_pool
+    alloc = make_alloc()
+    if cache is not None:
+        key = trace_cache.solo_key(service, requests, alloc, 0,
+                                   SOLO_MAX_STEPS, pool)
+        hit = cache.get(key)
+        if hit is not None:
+            def play(i, request, sink, _traces=hit):
+                replay_events(_traces[i], sink)
+            return play, lambda: None
+
+    runner = SoloRunner(service, allocator=alloc,
+                        max_steps=SOLO_MAX_STEPS, pool_size=pool)
+    if cache is None:
+        def play(i, request, sink):
+            runner.run_request(i, request, sink)
+        return play, lambda: None
+
+    recorders: List[ListSink] = []
+
+    def play(i, request, sink):
+        rec = ListSink()
+        recorders.append(rec)
+        runner.run_request(i, request, MultiSink(rec, sink))
+
+    def done():
+        traces = tuple(tuple(r.events) for r in recorders)
+        cache.put(key, traces, sum(len(t) for t in traces))
+
+    return play, done
+
+
 def _run_mimd_sequential(core, service, requests, make_alloc, out,
-                         warmup_frac):
-    traces = solo_traces(service, requests, allocator=make_alloc(),
-                         pool_size=core.cfg.worker_pool)
-    n_warm = int(len(traces) * warmup_frac)
-    t0 = core.now
-    for i, trace in enumerate(traces):
-        if i == n_warm:
-            t0 = _end_warmup(core, out, len(traces) - n_warm)
-        res = core.run([trace])
-        out.latencies_cycles.append(res.cycles)
-    out.core_cycles = core.now - t0
+                         warmup_frac, streaming, cache):
     out.batch_size = 1
+    if not streaming:
+        traces = solo_traces(service, requests, allocator=make_alloc(),
+                             pool_size=core.cfg.worker_pool)
+        n_warm = int(len(traces) * warmup_frac)
+        t0 = core.now
+        for i, trace in enumerate(traces):
+            if i == n_warm:
+                t0 = _end_warmup(core, out, len(traces) - n_warm)
+            res = core.run([trace])
+            out.latencies_cycles.append(res.cycles)
+        out.core_cycles = core.now - t0
+        return
+
+    play, done = _solo_source(core, service, requests, make_alloc, cache)
+    n_warm = int(len(requests) * warmup_frac)
+    t0 = core.now
+    for i, req in enumerate(requests):
+        if i == n_warm:
+            t0 = _end_warmup(core, out, len(requests) - n_warm)
+        run = core.begin(1)
+        play(i, req, TimingSink(run, 0))
+        res = run.finish()
+        out.latencies_cycles.append(res.cycles)
+    done()
+    out.core_cycles = core.now - t0
 
 
 def _run_smt(core, config, service, requests, make_alloc, out,
-             warmup_frac):
+             warmup_frac, streaming, cache):
+    out.batch_size = 1
     smt = config.hw_contexts
-    traces = solo_traces(service, requests, allocator=make_alloc(),
-                         pool_size=core.cfg.worker_pool)
-    groups = [traces[i:i + smt] for i in range(0, len(traces), smt)]
+    if not streaming:
+        traces = solo_traces(service, requests, allocator=make_alloc(),
+                             pool_size=core.cfg.worker_pool)
+        groups = [traces[i:i + smt] for i in range(0, len(traces), smt)]
+        n_warm = int(len(groups) * warmup_frac)
+        warm_traces = sum(len(g) for g in groups[:n_warm])
+        t0 = core.now
+        for i, group in enumerate(groups):
+            if i == n_warm:
+                t0 = _end_warmup(core, out, len(traces) - warm_traces)
+            res = core.run(group)
+            out.latencies_cycles.extend(s.cycles for s in res.streams)
+        out.core_cycles = core.now - t0
+        return
+
+    play, done = _solo_source(core, service, requests, make_alloc, cache)
+    groups = [requests[i:i + smt] for i in range(0, len(requests), smt)]
     n_warm = int(len(groups) * warmup_frac)
     warm_traces = sum(len(g) for g in groups[:n_warm])
     t0 = core.now
-    for i, group in enumerate(groups):
-        if i == n_warm:
-            t0 = _end_warmup(core, out, len(traces) - warm_traces)
-        res = core.run(group)
+    idx = 0
+    for gi, group in enumerate(groups):
+        if gi == n_warm:
+            t0 = _end_warmup(core, out, len(requests) - warm_traces)
+        run = core.begin(len(group))
+        for j, req in enumerate(group):
+            play(idx, req, TimingSink(run, j))
+            idx += 1
+        res = run.finish()
         out.latencies_cycles.extend(s.cycles for s in res.streams)
+    done()
     out.core_cycles = core.now - t0
-    out.batch_size = 1
+
+
+# ----------------------------------------------------------------------
+# lockstep-execution source (RPU / GPU)
+# ----------------------------------------------------------------------
+
+def _play_batch(service, batch, policy, make_alloc, reconv_override,
+                cache, sink):
+    """Drive ``sink`` with one batch's event stream; returns the batch's
+    SIMT efficiency (replayed from cache when possible)."""
+    alloc = make_alloc()
+    if cache is not None:
+        key = trace_cache.batch_key(service, batch, policy, alloc,
+                                    reconv_override, 0, BATCH_MAX_STEPS)
+        hit = cache.get(key)
+        if hit is not None:
+            events, result = hit
+            replay_events(events, sink)
+            return result.simt_efficiency
+        rec = ListSink()
+        result = run_batch(service, batch, MultiSink(rec, sink),
+                           policy=policy, allocator=alloc,
+                           reconv_override=reconv_override,
+                           max_steps=BATCH_MAX_STEPS)
+        cache.put(key, (tuple(rec.events), result), len(rec.events))
+        return result.simt_efficiency
+    result = run_batch(service, batch, sink, policy=policy,
+                       allocator=alloc, reconv_override=reconv_override,
+                       max_steps=BATCH_MAX_STEPS)
+    return result.simt_efficiency
 
 
 def _run_simt(core, config, service, requests, make_alloc, out,
               policy, batching, batch_size, reconv_override,
-              warmup_frac):
+              warmup_frac, streaming, cache):
     bs = batch_size or min(service.recommended_batch, config.batch_size)
     out.batch_size = bs
     batches = form_batches(requests, bs, batching)
-    traced = []
-    effs: List[float] = []
-    for batch in batches:
-        events, result = batch_trace(
-            service, batch, policy=policy, allocator=make_alloc(),
-            reconv_override=reconv_override,
-        )
-        traced.append((events, len(batch)))
-        effs.append(result.simt_efficiency)
-    out.simt_efficiency = sum(effs) / len(effs) if effs else 1.0
-
     warps = config.hw_contexts  # 1 for RPU, 16 for GPU
-    rounds = [traced[i:i + warps] for i in range(0, len(traced), warps)]
+
+    if not streaming:
+        traced = []
+        effs: List[float] = []
+        for batch in batches:
+            events, result = batch_trace(
+                service, batch, policy=policy, allocator=make_alloc(),
+                reconv_override=reconv_override,
+            )
+            traced.append((events, len(batch)))
+            effs.append(result.simt_efficiency)
+        out.simt_efficiency = sum(effs) / len(effs) if effs else 1.0
+
+        rounds = [traced[i:i + warps] for i in range(0, len(traced), warps)]
+        n_warm = int(len(rounds) * warmup_frac)
+        if n_warm == 0 and len(rounds) > 1 and warmup_frac > 0:
+            n_warm = 1
+        warm_requests = sum(n for grp in rounds[:n_warm] for _e, n in grp)
+        t0 = core.now
+        for i, group in enumerate(rounds):
+            if i == n_warm:
+                t0 = _end_warmup(core, out, len(requests) - warm_requests)
+            res = core.run([ev for ev, _n in group], batched=True)
+            for (_, n_req), stream in zip(group, res.streams):
+                # every request in a batch completes when its batch does
+                out.latencies_cycles.extend([stream.cycles] * n_req)
+        out.core_cycles = core.now - t0
+        return
+
+    rounds = [batches[i:i + warps] for i in range(0, len(batches), warps)]
     n_warm = int(len(rounds) * warmup_frac)
     if n_warm == 0 and len(rounds) > 1 and warmup_frac > 0:
         n_warm = 1
-    warm_requests = sum(n for grp in rounds[:n_warm] for _e, n in grp)
+    warm_requests = sum(len(b) for grp in rounds[:n_warm] for b in grp)
+    effs = []
     t0 = core.now
     for i, group in enumerate(rounds):
         if i == n_warm:
             t0 = _end_warmup(core, out, len(requests) - warm_requests)
-        res = core.run([ev for ev, _n in group], batched=True)
-        for (_, n_req), stream in zip(group, res.streams):
+        run = core.begin(len(group), batched=True)
+        sizes = []
+        for j, batch in enumerate(group):
+            effs.append(_play_batch(service, batch, policy, make_alloc,
+                                    reconv_override, cache,
+                                    TimingSink(run, j)))
+            sizes.append(len(batch))
+        res = run.finish()
+        for n_req, stream in zip(sizes, res.streams):
             # every request in a batch completes when its batch does
             out.latencies_cycles.extend([stream.cycles] * n_req)
+    out.simt_efficiency = sum(effs) / len(effs) if effs else 1.0
     out.core_cycles = core.now - t0

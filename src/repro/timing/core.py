@@ -14,14 +14,32 @@ an interval-style approximation of Accel-Sim's extended pipeline:
   ``ceil(a/m)`` issue slots (sub-batch interleaving, Fig. 8a);
 * branch mispredictions bubble that context's fetch; syscalls
   serialize it; loads go through the full memory hierarchy model.
+
+Two entry points share one event-processing engine:
+
+* :meth:`CoreModel.run` consumes fully materialized event streams
+  round-robin (tests, differential checks);
+* :meth:`CoreModel.begin` returns a :class:`CoreRun` that accepts
+  events *incrementally* (``feed``/``close``/``finish``), which is how
+  ``run_chip`` streams executor events straight into the timing model
+  without materializing them first.  Single-context runs process each
+  fed event immediately; multi-context runs buffer per context and
+  drain in strict round-robin sweep order, so the issue interleaving -
+  and therefore every cycle and counter - is identical to
+  materialize-then-``run`` by construction.
+
+Hot-loop counter discipline: integer counters (instruction/slot/RF
+event counts) are accumulated in plain Python ints and flushed to
+:class:`Counters` once per run; float counters (cycle-stack
+attributions) are still added per event, because reassociating float
+sums would break bit-identity with the pre-optimization model.
 """
 
 from __future__ import annotations
 
-import math
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..isa.instructions import NUM_REGS, Instruction, OpClass
 from .bpred import (
@@ -34,6 +52,10 @@ from .memhier import Counters, MemoryHierarchy
 
 #: trace event: (pc, inst, active, addrs, outcomes)
 Event = Tuple[int, Instruction, int, Sequence, Optional[Sequence]]
+
+#: per-class scalar-instruction counter keys, precomputed so the hot
+#: loop never builds an f-string per event
+_SCALAR_KEY = {cls: f"scalar_{cls.value}" for cls in OpClass}
 
 
 @dataclass
@@ -73,6 +95,309 @@ class _Context:
         self.icache_credit = 0.0
 
 
+class CoreRun:
+    """One in-progress core run fed events incrementally.
+
+    Produced by :meth:`CoreModel.begin`.  ``feed(ctx, ...)`` submits one
+    event for hardware context ``ctx``; ``close(ctx)`` marks that
+    context's stream exhausted; ``finish()`` drains everything, updates
+    the core clock and counters and returns the :class:`CoreRunResult`.
+
+    ``addrs``/``outcomes`` passed to :meth:`feed` are only borrowed for
+    the duration of the call on the single-context fast path; on the
+    multi-context path they are copied into the per-context buffer.
+    """
+
+    __slots__ = (
+        "core", "cfg", "mem", "batched", "start",
+        "contexts", "preds", "_inc", "_process", "_snapshot",
+        "_single", "_bufs", "_closed", "_dead", "_alive", "_rr",
+        "_finished",
+    )
+
+    def __init__(self, core: "CoreModel", n_contexts: int, batched: bool):
+        cfg = core.cfg
+        self.core = core
+        self.cfg = cfg
+        self.mem = core.mem
+        self.batched = batched
+        start = core.now
+        self.start = start
+        self.contexts = [_Context(start) for _ in range(n_contexts)]
+        self.preds = [core._predictor(i) for i in range(n_contexts)]
+        # bound once: core.counters is stable for the whole run (resets
+        # only ever happen between runs), and float counters must land
+        # in the same object the integer flush targets
+        self._inc = core.counters.inc
+        self._single = n_contexts == 1
+        self._bufs = (None if self._single
+                      else [deque() for _ in range(n_contexts)])
+        self._closed = [False] * n_contexts
+        self._dead = [False] * n_contexts
+        self._alive = n_contexts
+        self._rr = 0
+        self._finished = False
+        self._process, self._snapshot = self._build_engine()
+
+    # ------------------------------------------------------------------
+    def feed(self, ctx: int, pc, inst, active, addrs, outcomes) -> None:
+        """Submit one event for context ``ctx`` (in stream order)."""
+        if self._single:
+            self._process(0, pc, inst, active, addrs, outcomes)
+            return
+        self._bufs[ctx].append(
+            (pc, inst, active, tuple(addrs),
+             tuple(outcomes) if outcomes else None))
+        if ctx == self._rr:
+            self._pump()
+
+    def close(self, ctx: int) -> None:
+        """Mark context ``ctx``'s stream exhausted."""
+        self._closed[ctx] = True
+        if not self._single:
+            self._pump()
+
+    def _pump(self) -> None:
+        """Drain buffered events in round-robin sweep order.
+
+        Processes one event per live context per sweep (exactly the
+        consumption order of :meth:`CoreModel.run` over materialized
+        streams), suspending when the next context in the sweep has no
+        buffered event and is not yet closed.
+        """
+        bufs = self._bufs
+        closed = self._closed
+        dead = self._dead
+        alive = self._alive
+        i = self._rr
+        n = len(bufs)
+        while alive:
+            if dead[i]:
+                i += 1
+                if i == n:
+                    i = 0
+                continue
+            buf = bufs[i]
+            if buf:
+                ev = buf.popleft()
+                self._process(i, ev[0], ev[1], ev[2], ev[3], ev[4])
+                i += 1
+                if i == n:
+                    i = 0
+            elif closed[i]:
+                dead[i] = True
+                alive -= 1
+                i += 1
+                if i == n:
+                    i = 0
+            else:
+                break
+        self._alive = alive
+        self._rr = i
+
+    def finish(self) -> CoreRunResult:
+        """Drain remaining events, flush counters, advance the clock."""
+        if self._finished:
+            raise RuntimeError("CoreRun.finish() called twice")
+        self._finished = True
+        if not self._single:
+            for c in range(len(self._closed)):
+                self._closed[c] = True
+            self._pump()
+        (issue_time, n_events, n_scalar, n_slots, n_rf_reads, n_rf_writes,
+         n_icache_stalls, n_syscalls, scalar_by_cls) = self._snapshot()
+        start = self.start
+        contexts = self.contexts
+        finish_all = max((c.finish for c in contexts), default=start)
+        if issue_time > finish_all:
+            finish_all = issue_time
+        self.core.now = finish_all
+
+        inc = self._inc
+        if n_icache_stalls:
+            inc("icache_stalls", n_icache_stalls)
+        if n_syscalls:
+            inc("syscalls", n_syscalls)
+        if n_events:
+            inc("batch_instructions", n_events)
+            inc("scalar_instructions", n_scalar)
+            inc("issue_slots", n_slots)
+        for cls, v in scalar_by_cls.items():
+            inc(_SCALAR_KEY[cls], v)
+        if n_rf_reads:
+            inc("rf_reads", n_rf_reads)
+        if n_rf_writes:
+            inc("rf_writes", n_rf_writes)
+
+        return CoreRunResult(
+            start=start,
+            finish=finish_all,
+            streams=[
+                StreamResult(start=start, finish=c.finish, events=c.events)
+                for c in contexts
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    def _build_engine(self):
+        """Build the per-event processing closure (the hot loop).
+
+        Every piece of per-event state lives in cell variables, so one
+        event costs zero ``self`` attribute loads; :meth:`finish` reads
+        the accumulators back through the ``snapshot`` closure.  The
+        event math is an exact port of the original ``CoreModel.run``
+        loop - float operation order is preserved for bit-identity.
+        """
+        cfg = self.cfg
+        contexts = self.contexts
+        preds = self.preds
+        mem_access = self.mem.access
+        cnt = self.core.counters
+        batched = self.batched
+        lanes = cfg.lanes
+        issue_step = 1.0 / cfg.issue_width
+        icache_rate = cfg.icache_mpki / 1000.0
+        icache_penalty = float(cfg.icache_penalty)
+        in_order = cfg.in_order
+        rob_limit = cfg.rob_entries
+        alu_latency = cfg.alu_latency
+        mul_latency = cfg.mul_latency
+        simd_latency = cfg.simd_latency
+        branch_penalty = cfg.branch_penalty
+        syscall_overhead = cfg.syscall_overhead
+        ALU = OpClass.ALU
+        LOAD = OpClass.LOAD
+        STORE = OpClass.STORE
+        BRANCH = OpClass.BRANCH
+        MUL = OpClass.MUL
+        SIMD = OpClass.SIMD
+        ATOMIC = OpClass.ATOMIC
+        SYSCALL = OpClass.SYSCALL
+        FENCE = OpClass.FENCE
+        CALL = OpClass.CALL
+        RET = OpClass.RET
+
+        issue_time = self.start
+        n_events = n_scalar = n_slots = 0
+        n_rf_reads = n_rf_writes = 0
+        n_icache_stalls = n_syscalls = 0
+        scalar_by_cls: Dict[OpClass, int] = {}
+
+        def process(i, pc, inst, active, addrs, outcomes):
+            nonlocal issue_time, n_events, n_scalar, n_slots
+            nonlocal n_rf_reads, n_rf_writes, n_icache_stalls, n_syscalls
+            ctx = contexts[i]
+            cls = inst.cls
+
+            if batched:
+                slots = 1 if active <= lanes else -(-active // lanes)
+            else:
+                slots = 1
+            # instruction-supply stalls (amortized over the batch)
+            credit = ctx.icache_credit + icache_rate
+            if credit >= 1.0:
+                ctx.icache_credit = credit - 1.0
+                ctx.fetch_time += icache_penalty
+                n_icache_stalls += 1
+            else:
+                ctx.icache_credit = credit
+            fetch = issue_time
+            if ctx.fetch_time > fetch:
+                fetch = ctx.fetch_time
+            issue_time = fetch + issue_step * slots
+
+            rob = ctx.rob
+            if len(rob) >= rob_limit:
+                head = rob.popleft()
+                if head > fetch:
+                    fetch = head
+
+            srcs = inst.srcs
+            dep = ctx.reg_ready
+            ready = fetch
+            for s in srcs:
+                r = dep[s]
+                if r > ready:
+                    ready = r
+            start_t = ready
+            if in_order:
+                if ctx.last_start > start_t:
+                    start_t = ctx.last_start
+                ctx.last_start = start_t
+
+            # ---- execute --------------------------------------------
+            if cls is ALU:
+                finish = start_t + alu_latency + (slots - 1)
+            elif cls is LOAD or cls is STORE:
+                finish = mem_access(inst, addrs, start_t, batched)
+            elif cls is BRANCH:
+                finish = start_t + alu_latency + (slots - 1)
+                if outcomes:
+                    mispredicted = preds[i].observe(pc, outcomes)
+                    if in_order:
+                        # no speculation: fetch waits for resolution
+                        ctx.fetch_time = finish
+                    elif mispredicted:
+                        bubble = finish + branch_penalty
+                        if bubble > ctx.fetch_time:
+                            ctx.fetch_time = bubble
+            elif cls is MUL:
+                finish = start_t + mul_latency + (slots - 1)
+            elif cls is SIMD:
+                finish = start_t + simd_latency + (slots - 1)
+            elif cls is ATOMIC:
+                finish = mem_access(inst, addrs, start_t, batched)
+            elif cls is SYSCALL:
+                finish = start_t + syscall_overhead
+                ctx.fetch_time = finish  # serializing transition
+                n_syscalls += active
+            elif cls is FENCE:
+                drain = max(rob) if rob else start_t
+                finish = max(start_t, drain)
+                ctx.fetch_time = finish
+            elif cls is CALL or cls is RET:
+                # return-address push/pop is a stack memory access
+                if addrs:
+                    finish = mem_access(inst, addrs, start_t, batched)
+                else:
+                    finish = start_t + 1
+            else:  # JUMP / NOP / HALT
+                finish = start_t + 1
+
+            # cycle-stack attribution (paper: data center CPUs retire
+            # only ~20% of cycles; the rest are stalls).  Float counters
+            # stay per-event: flushing a locally reassociated sum would
+            # not be bit-identical.
+            cnt["stack_dep_wait"] += start_t - fetch
+            if cls is LOAD or cls is STORE or cls is ATOMIC:
+                cnt["stack_mem_service"] += finish - start_t
+            else:
+                cnt["stack_exec_service"] += finish - start_t
+
+            if inst.dst:
+                dep[inst.dst] = finish
+                n_rf_writes += active
+            rob.append(finish)
+            if finish > ctx.finish:
+                ctx.finish = finish
+            ctx.events += 1
+
+            # ---- energy/bookkeeping counters (flushed in finish()) --
+            n_events += 1
+            n_scalar += active
+            scalar_by_cls[cls] = scalar_by_cls.get(cls, 0) + active
+            n_slots += slots
+            if srcs:
+                n_rf_reads += len(srcs) * active
+
+        def snapshot():
+            return (issue_time, n_events, n_scalar, n_slots, n_rf_reads,
+                    n_rf_writes, n_icache_stalls, n_syscalls,
+                    scalar_by_cls)
+
+        return process, snapshot
+
+
 class CoreModel:
     """A reusable core: caches and predictors persist across runs."""
 
@@ -95,148 +420,35 @@ class CoreModel:
         return self._preds[ctx_id]
 
     # ------------------------------------------------------------------
+    def begin(self, n_contexts: int, batched: bool = False) -> CoreRun:
+        """Start an incremental run over ``n_contexts`` event streams."""
+        return CoreRun(self, n_contexts, batched)
+
     def run(self, streams: Sequence[Sequence[Event]],
             batched: bool = False) -> CoreRunResult:
-        """Process event streams round-robin; returns timing summary.
+        """Process materialized event streams round-robin.
 
         ``batched`` marks RPU/GPU-style streams whose events carry a
         whole batch per step (enables the MCU and lane accounting).
+        Implemented on the same engine as :meth:`begin`, feeding events
+        directly in sweep order, so both paths are identical by
+        construction.
         """
-        cfg = self.cfg
-        cnt = self.counters
-        mem = self.mem
-        start = self.now
-        issue_time = start
-        issue_step = 1.0 / cfg.issue_width
-        icache_rate = cfg.icache_mpki / 1000.0
-        icache_penalty = float(cfg.icache_penalty)
-        lanes = cfg.lanes
-        in_order = cfg.in_order
-        rob_limit = cfg.rob_entries
-
-        contexts = [_Context(start) for _ in streams]
+        run = CoreRun(self, len(streams), batched)
+        process = run._process
         cursors = [iter(s) for s in streams]
         pending: List[Optional[Event]] = [next(c, None) for c in cursors]
         alive = sum(1 for p in pending if p is not None)
-        preds = [self._predictor(i) for i in range(len(streams))]
-
         while alive:
             for i, ev in enumerate(pending):
                 if ev is None:
                     continue
-                pc, inst, active, addrs, outcomes = ev
-                ctx = contexts[i]
-                cls = inst.cls
-
-                slots = max(1, math.ceil(active / lanes)) if batched else 1
-                # instruction-supply stalls (amortized over the batch)
-                ctx.icache_credit += icache_rate
-                if ctx.icache_credit >= 1.0:
-                    ctx.icache_credit -= 1.0
-                    ctx.fetch_time += icache_penalty
-                    cnt.inc("icache_stalls")
-                fetch = max(issue_time, ctx.fetch_time)
-                issue_time = fetch + issue_step * slots
-
-                if len(ctx.rob) >= rob_limit:
-                    head = ctx.rob.popleft()
-                    if head > fetch:
-                        fetch = head
-
-                srcs = inst.srcs
-                dep = ctx.reg_ready
-                ready = fetch
-                for s in srcs:
-                    r = dep[s]
-                    if r > ready:
-                        ready = r
-                start_t = ready
-                if in_order:
-                    if ctx.last_start > start_t:
-                        start_t = ctx.last_start
-                    ctx.last_start = start_t
-
-                # ---- execute ------------------------------------------
-                if cls is OpClass.ALU:
-                    finish = start_t + cfg.alu_latency + (slots - 1)
-                elif cls is OpClass.LOAD:
-                    finish = mem.access(inst, addrs, start_t, batched)
-                elif cls is OpClass.STORE:
-                    finish = mem.access(inst, addrs, start_t, batched)
-                elif cls is OpClass.BRANCH:
-                    finish = start_t + cfg.alu_latency + (slots - 1)
-                    if outcomes:
-                        mispredicted = preds[i].observe(pc, outcomes)
-                        if in_order:
-                            # no speculation: fetch waits for resolution
-                            ctx.fetch_time = finish
-                        elif mispredicted:
-                            bubble = finish + cfg.branch_penalty
-                            if bubble > ctx.fetch_time:
-                                ctx.fetch_time = bubble
-                elif cls is OpClass.MUL:
-                    finish = start_t + cfg.mul_latency + (slots - 1)
-                elif cls is OpClass.SIMD:
-                    finish = start_t + cfg.simd_latency + (slots - 1)
-                elif cls is OpClass.ATOMIC:
-                    finish = mem.access(inst, addrs, start_t, batched)
-                elif cls is OpClass.SYSCALL:
-                    finish = start_t + cfg.syscall_overhead
-                    ctx.fetch_time = finish  # serializing transition
-                    cnt.inc("syscalls", active)
-                elif cls is OpClass.FENCE:
-                    drain = max(ctx.rob) if ctx.rob else start_t
-                    finish = max(start_t, drain)
-                    ctx.fetch_time = finish
-                elif cls is OpClass.CALL or cls is OpClass.RET:
-                    # return-address push/pop is a stack memory access
-                    if addrs:
-                        finish = mem.access(inst, addrs, start_t, batched)
-                    else:
-                        finish = start_t + 1
-                else:  # JUMP / NOP / HALT
-                    finish = start_t + 1
-
-                # cycle-stack attribution (paper: data center CPUs
-                # retire only ~20% of cycles; the rest are stalls)
-                cnt.inc("stack_dep_wait", start_t - fetch)
-                if cls in (OpClass.LOAD, OpClass.STORE, OpClass.ATOMIC):
-                    cnt.inc("stack_mem_service", finish - start_t)
-                else:
-                    cnt.inc("stack_exec_service", finish - start_t)
-
-                if inst.dst:
-                    dep[inst.dst] = finish
-                ctx.rob.append(finish)
-                if finish > ctx.finish:
-                    ctx.finish = finish
-                ctx.events += 1
-
-                # ---- energy/bookkeeping counters ----------------------
-                cnt.inc("batch_instructions")
-                cnt.inc("scalar_instructions", active)
-                cnt.inc(f"scalar_{cls.value}", active)
-                cnt.inc("issue_slots", slots)
-                if srcs:
-                    cnt.inc("rf_reads", len(srcs) * active)
-                if inst.dst:
-                    cnt.inc("rf_writes", active)
-
+                process(i, ev[0], ev[1], ev[2], ev[3], ev[4])
                 nxt = next(cursors[i], None)
                 pending[i] = nxt
                 if nxt is None:
                     alive -= 1
-
-        finish_all = max((c.finish for c in contexts), default=start)
-        finish_all = max(finish_all, issue_time)
-        self.now = finish_all
-        results = [
-            StreamResult(start=start, finish=c.finish, events=c.events)
-            for c in contexts
-        ]
-        # fold predictor stats into counters lazily (idempotent totals
-        # are recomputed by the caller via bpred_stats())
-        return CoreRunResult(start=start, finish=finish_all, streams=results)
+        return run.finish()
 
     # ------------------------------------------------------------------
     def reset_measurement(self) -> None:
@@ -245,7 +457,7 @@ class CoreModel:
         from .bpred import BpredStats
 
         self.counters = Counters()
-        self.mem.counters = Counters()
+        self.mem.reset_counters()
         for p in self._preds.values():
             p.stats = BpredStats()
 

@@ -6,6 +6,14 @@ latency (8 vs 3 cycles) and bank-conflict serialization, but the MCU
 collapses batch accesses into few line requests, and the lighter
 traffic plus single-hop crossbar reduce queueing downstream - the
 balance quantified in Fig. 21.
+
+Under ``REPRO_SANITIZE=1`` every access additionally verifies the
+memory-system bookkeeping: per-level cache accesses must decompose
+exactly into hits + misses (+ L3 atomic RMWs), and the MCU may never
+emit more line requests than its coalescing pattern permits (at most
+one per active lane, except stack interleaving, which is bounded by
+the per-lane word count - a single 8-byte stack access legitimately
+touches two interleaved physical words 128 bytes apart).
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from ..memsys.interconnect import CrossbarInterconnect, MeshInterconnect
 from ..memsys.mcu import MemoryCoalescingUnit, scalar_accesses
 from ..memsys.stackmap import StackInterleaver
 from ..memsys.tlb import PAGE_SIZE, BankedTlb, Tlb
+from ..sanitize import check, sanitizer_enabled
 from .config import CoreConfig
 
 
@@ -78,34 +87,46 @@ class MemoryHierarchy:
         #: the outstanding miss instead of issuing a duplicate request
         #: (the MSHR-merge filtering the paper credits SMT designs with)
         self._mshr: Dict[int, float] = {}
+        self._san = sanitizer_enabled()
+        # sanitizer shadow tallies: per-level hit counts plus L3 atomic
+        # RMWs, kept outside Counters so sanitized runs stay
+        # bit-identical to unsanitized ones
+        self._san_hits = [0, 0, 0]
+        self._san_atomic_l3 = 0
 
     # ------------------------------------------------------------------
     def _line_latency(self, line_addr: int, now: float, write: bool) -> float:
         """Latency of one line request entering the L1."""
         cnt = self.counters
         cfg = self.cfg
-        cnt.inc("l1_accesses")
+        cnt["l1_accesses"] += 1
         line_key = line_addr // cfg.line_size
         if self.l1.access(line_addr, write):
+            if self._san:
+                self._san_hits[0] += 1
             # a "hit" on a line whose fill is still in flight merges
             # into the outstanding miss (MSHR) and waits for the fill
             pending = self._mshr.get(line_key)
             if pending is not None and pending > now:
-                cnt.inc("mshr_merges")
+                cnt["mshr_merges"] += 1
                 return pending - now
             return cfg.l1_latency
-        cnt.inc("l1_misses")
-        cnt.inc("l2_accesses")
+        cnt["l1_misses"] += 1
+        cnt["l2_accesses"] += 1
         if self.l2.access(line_addr, write):
+            if self._san:
+                self._san_hits[1] += 1
             return cfg.l1_latency + cfg.l2_latency
-        cnt.inc("l2_misses")
-        cnt.inc("noc_traversals")
+        cnt["l2_misses"] += 1
+        cnt["noc_traversals"] += 1
         arrival = self.noc.traverse(now + cfg.l1_latency + cfg.l2_latency)
-        cnt.inc("l3_accesses")
+        cnt["l3_accesses"] += 1
         if self.l3.access(line_addr, write):
+            if self._san:
+                self._san_hits[2] += 1
             return arrival - now + cfg.l3_latency
-        cnt.inc("l3_misses")
-        cnt.inc("dram_accesses")
+        cnt["l3_misses"] += 1
+        cnt["dram_accesses"] += 1
         done = self.dram.access(arrival + cfg.l3_latency)
         self._mshr[line_key] = done
         if len(self._mshr) > 256:  # prune completed entries
@@ -114,13 +135,54 @@ class MemoryHierarchy:
 
     def _translate(self, addrs: Sequence[int], now: float) -> float:
         """TLB lookups for the pages of the line addresses."""
+        cnt = self.counters
         penalty = 0.0
         for page_addr in {a // PAGE_SIZE for a in addrs}:
-            self.counters.inc("tlb_accesses")
+            cnt["tlb_accesses"] += 1
             if not self.tlb.access(page_addr * PAGE_SIZE):
-                self.counters.inc("tlb_misses")
+                cnt["tlb_misses"] += 1
                 penalty = max(penalty, float(self.cfg.tlb_miss_penalty))
         return penalty
+
+    def _check_accounting(self, cnt: Counters) -> None:
+        """Sanitizer: cache traffic must decompose exactly - for every
+        level, accesses == hits + misses (+ atomic RMWs at the L3)."""
+        h1, h2, h3 = self._san_hits
+        check(cnt["l1_accesses"] == h1 + cnt["l1_misses"],
+              "L1 accounting broken: %d accesses != %d hits + %d misses",
+              cnt["l1_accesses"], h1, cnt["l1_misses"])
+        check(cnt["l2_accesses"] == h2 + cnt["l2_misses"],
+              "L2 accounting broken: %d accesses != %d hits + %d misses",
+              cnt["l2_accesses"], h2, cnt["l2_misses"])
+        check(cnt["l3_accesses"]
+              == h3 + cnt["l3_misses"] + self._san_atomic_l3,
+              "L3 accounting broken: %d accesses != %d hits + %d misses "
+              "+ %d atomic RMWs",
+              cnt["l3_accesses"], h3, cnt["l3_misses"], self._san_atomic_l3)
+
+    def _check_mcu(self, res, addrs) -> None:
+        """Sanitizer: the coalescer may not fabricate line requests.
+
+        Non-stack patterns emit at most one request per active lane
+        (``divergent``/``scalar`` exactly one; ``same_word`` and
+        ``consecutive`` merge, so never more).  Stack interleaving maps
+        every 4-byte word separately, so its bound is the per-lane word
+        count: one 8-byte access touches two physical words (128 bytes
+        apart), possibly on two lines.
+        """
+        n_lines = len(res.line_addrs)
+        if res.pattern == "stack":
+            bound = sum(max(1, s // 4) for _t, _a, s in addrs)
+            check(n_lines <= bound,
+                  "MCU stack pattern emitted %d lines for %d words",
+                  n_lines, bound)
+        else:
+            check(n_lines <= len(addrs),
+                  "MCU %s pattern emitted %d lines for %d lanes",
+                  res.pattern, n_lines, len(addrs))
+        check(len(set(res.line_addrs)) == n_lines
+              or res.pattern in ("divergent", "scalar"),
+              "MCU %s pattern emitted duplicate lines", res.pattern)
 
     # ------------------------------------------------------------------
     def access(
@@ -142,49 +204,57 @@ class MemoryHierarchy:
             return self._atomic(addrs, now, batched)
 
         if batched and cfg.mcu_enabled:
-            cnt.inc("mcu_ops")
+            cnt["mcu_ops"] += 1
             res = self.mcu.coalesce(inst.segment, addrs)
         else:
             res = scalar_accesses(addrs, cfg.line_size)
         lines = res.line_addrs
+        if self._san:
+            self._check_mcu(res, addrs)
         if not lines:
             return now
 
         if inst.segment is Segment.STACK:
-            cnt.inc("stack_line_accesses", len(lines))
+            cnt["stack_line_accesses"] += len(lines)
         else:
-            cnt.inc("data_line_accesses", len(lines))
+            cnt["data_line_accesses"] += len(lines)
 
         # Stack interleaving needs a single translation (thread-0 base
         # override); everything else translates per page touched.
         if res.pattern == "stack":
-            cnt.inc("tlb_accesses")
+            cnt["tlb_accesses"] += 1
             tlb_penalty = 0.0
             if not self.tlb.access(lines[0]):
-                cnt.inc("tlb_misses")
+                cnt["tlb_misses"] += 1
                 tlb_penalty = float(cfg.tlb_miss_penalty)
         else:
             tlb_penalty = self._translate(lines, now)
 
         serial = self.l1.bank_conflicts(lines) if cfg.l1_banks > 1 else len(lines)
-        serial_penalty = max(0, serial - 1)
-        cnt.inc("l1_bank_conflict_cycles", serial_penalty)
-
-        start = now + tlb_penalty + serial_penalty
+        if serial > 1:
+            cnt["l1_bank_conflict_cycles"] += serial - 1
+            start = now + tlb_penalty + (serial - 1)
+        else:
+            cnt["l1_bank_conflict_cycles"] += 0
+            start = now + tlb_penalty
         worst = 0.0
         for line in lines:
-            worst = max(worst, self._line_latency(line, start, write))
+            lat = self._line_latency(line, start, write)
+            if lat > worst:
+                worst = lat
+        if self._san:
+            self._check_accounting(cnt)
         if write:
             # stores drain through the store queue off the critical path
             return start + 1
         # fig. 21 metrics: average load-to-use latency, plus the
         # latency of loads that left the L1 (the queueing-sensitive
         # part the paper's Fig. 21 reports)
-        cnt.inc("load_latency_sum", start + worst - now)
-        cnt.inc("load_count")
-        if worst > self.cfg.l1_latency:
-            cnt.inc("miss_latency_sum", start + worst - now)
-            cnt.inc("miss_count")
+        cnt["load_latency_sum"] += start + worst - now
+        cnt["load_count"] += 1
+        if worst > cfg.l1_latency:
+            cnt["miss_latency_sum"] += start + worst - now
+            cnt["miss_count"] += 1
         return start + worst
 
     def _atomic(self, addrs: Sequence[Tuple[int, int, int]], now: float,
@@ -194,24 +264,38 @@ class MemoryHierarchy:
         n = len(addrs)
         if cfg.atomics_at_l3:
             # bypass private caches; serialize RMWs at the L3 slice
-            cnt.inc("atomics_at_l3", n)
-            cnt.inc("noc_traversals")
+            cnt["atomics_at_l3"] += n
+            cnt["noc_traversals"] += 1
             arrival = self.noc.traverse(now)
-            cnt.inc("l3_accesses", n)
+            cnt["l3_accesses"] += n
             for _tid, a, _s in addrs:
                 self.l3.access(a)
+            if self._san:
+                self._san_atomic_l3 += n
+                self._check_accounting(cnt)
             return arrival + cfg.l3_latency + n  # one RMW slot per lane
         # CPU baseline: idealized - atomics behave like private-cache
         # loads with zero coherence traffic (paper Section IV)
-        cnt.inc("atomics_in_l1", n)
+        cnt["atomics_in_l1"] += n
         worst = 0.0
         for _tid, a, _s in addrs:
             line = a // cfg.line_size * cfg.line_size
-            worst = max(worst, self._line_latency(line, now, True))
+            lat = self._line_latency(line, now, True)
+            if lat > worst:
+                worst = lat
+        if self._san:
+            self._check_accounting(cnt)
         return now + worst
 
-    def reset_stats(self) -> None:
+    def reset_counters(self) -> None:
+        """Swap in fresh counters (measurement boundary), keeping warm
+        caches, TLBs and MSHRs - and resync the sanitizer shadows."""
         self.counters = Counters()
+        self._san_hits = [0, 0, 0]
+        self._san_atomic_l3 = 0
+
+    def reset_stats(self) -> None:
+        self.reset_counters()
         self._mshr.clear()
         self.l1.reset_stats()
         self.l2.reset_stats()

@@ -1,0 +1,51 @@
+"""Streaming timing path vs legacy materialize-then-run differential.
+
+``run_chip`` grew a streaming fast path (executor events fed straight
+into ``CoreRun``) plus a cross-config trace cache; the legacy
+materialized path is kept under ``streaming=False`` precisely so this
+differential can assert all three produce bit-identical results.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.timing import CPU_CONFIG, RPU_CONFIG, run_chip
+from repro.timing import trace_cache
+from repro.workloads import get_service
+
+SMT_CONFIG = replace(CPU_CONFIG, name="smt4-test", hw_contexts=4)
+
+
+def _observables(res):
+    return (res.core_cycles, res.latencies_cycles, dict(res.counters),
+            res.simt_efficiency, res.scalar_instructions, res.n_requests)
+
+
+@pytest.mark.parametrize("config", [CPU_CONFIG, SMT_CONFIG, RPU_CONFIG],
+                         ids=["cpu", "smt", "rpu"])
+@pytest.mark.parametrize("svc_name", ["mcrouter", "post"])
+def test_streaming_matches_materialized(svc_name, config, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+    svc = get_service(svc_name)
+    reqs = svc.generate_requests(24, random.Random(7))
+    legacy = run_chip(svc, reqs, config, streaming=False)
+    streamed = run_chip(svc, reqs, config)
+    assert _observables(streamed) == _observables(legacy)
+
+
+def test_streaming_with_cache_matches_materialized(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+    trace_cache.clear()
+    try:
+        svc = get_service("mcrouter")
+        reqs = svc.generate_requests(24, random.Random(7))
+        legacy = run_chip(svc, reqs, RPU_CONFIG, streaming=False)
+        warm = run_chip(svc, reqs, RPU_CONFIG)    # fills the cache
+        cached = run_chip(svc, reqs, RPU_CONFIG)  # replays from it
+        assert trace_cache.stats()["hits"] > 0
+        assert _observables(warm) == _observables(legacy)
+        assert _observables(cached) == _observables(legacy)
+    finally:
+        trace_cache.clear()

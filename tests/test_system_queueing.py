@@ -49,9 +49,13 @@ class TestStation:
         st = Station(sim, "s", latency_us=10.0, servers=1, batch_size=4,
                      batch_timeout_us=100.0)
         done = []
+
+        def collect(tt, js):  # one shared callback per batched station
+            done.append((tt, len(js)))
+
         for i in range(4):
             sim.schedule(float(i), lambda t, i=i: st.arrive(
-                t, Job(i, 0.0), lambda tt, js: done.append((tt, len(js)))))
+                t, Job(i, 0.0), collect))
         sim.run()
         assert done == [(13.0, 4)]  # dispatched at the 4th arrival (t=3)
 

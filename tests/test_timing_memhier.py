@@ -6,6 +6,8 @@ import pytest
 
 from repro.engine.memory import HEAP_BASE, stack_base
 from repro.isa import Instruction, OpClass, Segment
+from repro.memsys.mcu import CoalescingResult
+from repro.sanitize import SanitizerError
 from repro.timing import CPU_CONFIG, RPU_CONFIG, MemoryHierarchy
 
 
@@ -128,3 +130,75 @@ def test_reset_stats():
     mh.access(ld(), [(0, HEAP_BASE, 8)], 0.0, batched=False)
     mh.reset_stats()
     assert mh.counters == {}
+
+
+class TestSanitizers:
+    """REPRO_SANITIZE=1 memory-system invariants.
+
+    ``MemoryHierarchy`` captures the sanitizer flag at construction, so
+    every test sets the environment *before* building the hierarchy.
+    """
+
+    @pytest.fixture
+    def san(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+
+    def test_accounting_invariant_holds_on_clean_runs(self, san):
+        mh = MemoryHierarchy(RPU_CONFIG)
+        addrs = [(t, HEAP_BASE + 64 * t, 8) for t in range(32)]
+        mh.access(ld(), addrs, 0.0, batched=True)
+        mh.access(st(), addrs, 100.0, batched=True)
+        mh.access(amo(), addrs, 200.0, batched=True)  # no SanitizerError
+
+    def test_corrupted_counters_detected(self, san):
+        mh = MemoryHierarchy(CPU_CONFIG)
+        mh.access(ld(), [(0, HEAP_BASE, 8)], 0.0, batched=False)
+        mh.counters["l1_misses"] += 1  # simulate lost bookkeeping
+        with pytest.raises(SanitizerError):
+            mh.access(ld(), [(0, HEAP_BASE + 4096, 8)], 10.0,
+                      batched=False)
+
+    def test_atomic_accounting_detects_corruption(self, san):
+        mh = MemoryHierarchy(RPU_CONFIG)
+        addrs = [(t, HEAP_BASE + 64, 8) for t in range(4)]
+        mh.access(amo(), addrs, 0.0, batched=True)
+        mh.counters["l3_accesses"] += 3
+        with pytest.raises(SanitizerError):
+            mh.access(amo(), addrs, 100.0, batched=True)
+
+    def test_mcu_fabricated_lines_detected(self, san, monkeypatch):
+        mh = MemoryHierarchy(RPU_CONFIG)
+        # 3 line requests for a single active lane: impossible for any
+        # non-stack pattern
+        monkeypatch.setattr(
+            mh.mcu, "coalesce",
+            lambda segment, accesses: CoalescingResult(
+                [0, 32, 64], "same_word"))
+        with pytest.raises(SanitizerError):
+            mh.access(ld(), [(0, HEAP_BASE, 8)], 0.0, batched=True)
+
+    def test_mcu_duplicate_lines_detected(self, san, monkeypatch):
+        mh = MemoryHierarchy(RPU_CONFIG)
+        monkeypatch.setattr(
+            mh.mcu, "coalesce",
+            lambda segment, accesses: CoalescingResult(
+                [0, 0], "consecutive"))
+        with pytest.raises(SanitizerError):
+            mh.access(ld(), [(t, HEAP_BASE + 32 * t, 8) for t in (0, 1)],
+                      0.0, batched=True)
+
+    def test_wide_stack_access_within_word_bound(self, san):
+        # an 8-byte single-lane stack access maps to two interleaved
+        # physical words 128 bytes apart - two lines for one lane is
+        # legitimate under the per-lane word-count bound
+        mh = MemoryHierarchy(RPU_CONFIG)
+        mh.access(ld(Segment.STACK), [(0, stack_base(0) - 128, 8)],
+                  0.0, batched=True)
+        assert mh.counters["stack_line_accesses"] == 2
+
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        mh = MemoryHierarchy(CPU_CONFIG)
+        mh.access(ld(), [(0, HEAP_BASE, 8)], 0.0, batched=False)
+        mh.counters["l1_misses"] += 1  # corruption goes unchecked
+        mh.access(ld(), [(0, HEAP_BASE + 4096, 8)], 10.0, batched=False)
