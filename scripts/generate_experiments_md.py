@@ -19,6 +19,7 @@ from repro.experiments import (
     fig19_20_21_chip,
     fig22_end_to_end,
     gpu_comparison,
+    resilience_sweep,
     sensitivity,
     table05_area_power,
 )
@@ -50,6 +51,13 @@ def main() -> None:
     gpu = gpu_comparison.run(SCALE)[-1]
     t5 = table05_area_power.run()
     eq_low, eq_high = anticipated_gain_range()
+    resil = {r.label: r for r in
+             resilience_sweep.run(min(1.0, SCALE))["rows"]}
+    r_none = resil["cpu/none@f=2"]
+    r_retry = resil["cpu/retry@f=2"]
+    r_retry0 = resil["cpu/retry@f=0"]
+    rpu_none = resil["rpu/none@f=2"]
+    rpu_hedge = resil["rpu/hedge@f=2"]
 
     leaf = mpki_rows["hdsearch-leaf"]
 
@@ -112,6 +120,16 @@ def main() -> None:
         ("Extension: 2 resident batches per core "
          "(throughput gain @ latency cost)", "future work",
          f"{multi['gain']:.2f}x @ {multi['lat_cost']:.2f}x"),
+        ("Extension: resilience sweep, CPU goodput at 2x faults "
+         "(no policy -> retry)", "robustness study",
+         f"{r_none['goodput_frac']:.0%} -> {r_retry['goodput_frac']:.0%}"),
+        ("Extension: resilience sweep, retry requests/joule "
+         "(CPU fault-free -> 2x faults)", "robustness study",
+         f"{r_retry0['req_per_j']:.0f} -> {r_retry['req_per_j']:.0f} "
+         "req/J"),
+        ("Extension: resilience sweep, RPU p99.9 at 2x faults "
+         "(no policy -> hedge)", "robustness study",
+         f"{rpu_none['p999']:.0f} -> {rpu_hedge['p999']:.0f} us"),
     ]
 
     lines = [

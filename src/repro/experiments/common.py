@@ -62,6 +62,53 @@ def task_seed(*parts, base: int = SEED) -> int:
     return (base * 1_000_003 + h) & 0x7FFF_FFFF
 
 
+class WorkerTaskError(RuntimeError):
+    """A ``parallel_map`` task raised (or timed out) in its worker; the
+    message identifies the failing item and embeds the worker traceback."""
+
+
+def task_timeout_s() -> Optional[float]:
+    """Optional seconds-per-task guard from ``REPRO_TASK_TIMEOUT``."""
+    raw = os.environ.get("REPRO_TASK_TIMEOUT", "")
+    if not raw:
+        return None
+    try:
+        t = float(raw)
+    except ValueError:
+        print(f"ignoring non-numeric REPRO_TASK_TIMEOUT={raw!r}",
+              file=sys.stderr)
+        return None
+    return t if t > 0 else None
+
+
+def _invoke_task(payload):
+    """Worker entry: run one task, never let an exception escape.
+
+    Returns ``(idx, True, result)`` or ``(idx, False, (item_repr,
+    traceback_text))`` so the parent can identify the failing item -
+    a bare ``pool.map`` loses both the index and the traceback.
+    """
+    import signal
+    import traceback
+
+    fn, idx, item, timeout = payload
+    armed = False
+    try:
+        if timeout and hasattr(signal, "setitimer"):
+            def _alarm(_sig, _frame):
+                raise TimeoutError(
+                    f"task exceeded REPRO_TASK_TIMEOUT={timeout:g}s")
+            signal.signal(signal.SIGALRM, _alarm)
+            signal.setitimer(signal.ITIMER_REAL, timeout)
+            armed = True
+        return idx, True, fn(item)
+    except BaseException:
+        return idx, False, (repr(item)[:200], traceback.format_exc())
+    finally:
+        if armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+
+
 def parallel_map(fn: Callable, items: Iterable, jobs: Optional[int] = None,
                  chunksize: int = 1) -> List:
     """``[fn(x) for x in items]``, optionally across worker processes.
@@ -71,6 +118,13 @@ def parallel_map(fn: Callable, items: Iterable, jobs: Optional[int] = None,
     items picklable.  Falls back to the serial path when only one job
     is requested, when there is at most one item, or inside a worker
     process (daemonic workers cannot spawn nested pools).
+
+    Hardening: a task that raises in its worker surfaces as
+    :class:`WorkerTaskError` naming the failing item with the worker's
+    traceback; if the *pool itself* dies (a worker OOM-killed mid-run),
+    the unfinished items are re-executed serially rather than losing
+    the whole sweep; ``REPRO_TASK_TIMEOUT`` (seconds, unix-only) guards
+    each task against hanging.
     """
     items = list(items)
     jobs = resolve_jobs(jobs)
@@ -81,8 +135,33 @@ def parallel_map(fn: Callable, items: Iterable, jobs: Optional[int] = None,
         ctx = multiprocessing.get_context("fork")
     except ValueError:  # platform without fork: inherit the default
         ctx = multiprocessing.get_context()
-    with ctx.Pool(min(jobs, len(items))) as pool:
-        return pool.map(fn, items, chunksize=chunksize)
+    timeout = task_timeout_s()
+    payloads = [(fn, i, item, timeout) for i, item in enumerate(items)]
+    results: dict = {}
+    try:
+        # ``imap_unordered`` yields as workers finish, so on a pool
+        # death ``results`` holds exactly the items that completed
+        with ctx.Pool(min(jobs, len(items))) as pool:
+            for idx, ok, value in pool.imap_unordered(
+                    _invoke_task, payloads, chunksize=chunksize):
+                if not ok:
+                    item_repr, tb = value
+                    raise WorkerTaskError(
+                        f"parallel_map task {idx} ({item_repr}) failed "
+                        f"in worker:\n{tb}")
+                results[idx] = value
+    except WorkerTaskError:
+        raise
+    except Exception as exc:
+        # the pool died under us (worker killed, pipe torn down):
+        # finish the remaining items serially instead of losing the run
+        missing = [i for i in range(len(items)) if i not in results]
+        print(f"parallel_map: pool died ({type(exc).__name__}: {exc}); "
+              f"re-running {len(missing)} unfinished of {len(items)} "
+              "items serially", file=sys.stderr)
+        for i in missing:
+            results[i] = fn(items[i])
+    return [results[i] for i in range(len(items))]
 
 
 def requests_for(service: Microservice, scale: float = 1.0,

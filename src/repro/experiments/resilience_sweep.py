@@ -1,0 +1,146 @@
+"""Resilience sweep: fault rate x policy on the end-to-end systems.
+
+The paper evaluates batch splitting (Section V-B, Fig. 22) on an ideal
+cluster.  This sweep asks the question real deployments would: *does
+SIMR-style batching amplify tail latency under faults, and do standard
+resilience policies recover goodput - at what requests/joule cost?*
+
+For the CPU and RPU (batch-split) end-to-end configurations it sweeps
+fault intensity x resilience policy and reports p50/p99/p99.9 latency,
+goodput, shed/violated counts and requests/joule.  Expected shape:
+
+* p99/p99.9 grow with fault intensity for every policy;
+* with no policy, goodput falls roughly linearly in the fault rate;
+* retry/hedging recover goodput (completion fraction back near 1.0)
+  while spending extra attempts - visible as a requests/joule drop;
+* the full policy stack (shed + breaker + degrade) trades a little
+  goodput and quality for a flatter tail.
+
+Faults perturb batch formation on the RPU: retries and hedges re-enter
+the batch queues mid-stream, so the batching layer is exercised under
+exactly the churn the paper's ideal-cluster evaluation leaves out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..system import (
+    EndToEndConfig,
+    FaultConfig,
+    ResilienceConfig,
+    run_resilient,
+)
+from .common import Row, format_rows, parallel_map
+
+#: fault intensity multipliers (x axis); BASE_FAULTS is intensity 1.0
+INTENSITIES = (0.0, 0.5, 1.0, 2.0)
+
+BASE_FAULTS = FaultConfig(
+    seed=11,
+    outage_rate_per_s=3.0,
+    outage_min_us=2_000.0,
+    outage_max_us=8_000.0,
+    straggler_prob=0.02,
+    straggler_mult=6.0,
+    spike_prob=0.02,
+    spike_us=600.0,
+    drop_prob=0.015,
+)
+
+POLICIES: Dict[str, ResilienceConfig] = {
+    "none": ResilienceConfig(deadline_us=60_000.0),
+    "retry": ResilienceConfig(deadline_us=60_000.0, max_retries=3),
+    "hedge": ResilienceConfig(deadline_us=60_000.0, max_retries=2,
+                              hedge_after_us=2_500.0),
+    "full": ResilienceConfig(deadline_us=60_000.0, max_retries=2,
+                             hedge_after_us=2_500.0,
+                             shed_backlog_us=2_500.0,
+                             breaker_threshold=5,
+                             breaker_cooldown_us=4_000.0,
+                             degrade_storage=True),
+}
+
+#: offered load per system: comfortably below the fault-free knee, so
+#: the sweep measures fault response rather than saturation
+SYSTEMS: Dict[str, Tuple[EndToEndConfig, float]] = {
+    "cpu": (EndToEndConfig(rpu=False), 8_000.0),
+    "rpu": (EndToEndConfig(rpu=True, batch_split=True), 40_000.0),
+}
+
+COLUMNS = ["p50", "p99", "p999", "goodput_kqps", "shed", "violated",
+           "degraded", "retries", "hedges", "req_per_j", "quality"]
+
+SEED = 5
+
+
+def _run_cell(task) -> Tuple[str, str, float, dict]:
+    """Worker entry point: one (system, policy, intensity) cell."""
+    sys_name, pol_name, intensity, n = task
+    cfg, qps = SYSTEMS[sys_name]
+    faults = BASE_FAULTS.scaled(intensity) if intensity > 0 else None
+    r = run_resilient(cfg, POLICIES[pol_name], faults, qps=qps,
+                      n_requests=n, seed=SEED,
+                      max_events=max(200_000, 400 * n))
+    return sys_name, pol_name, intensity, {
+        "p50": r.p50_us,
+        "p99": r.p99_us,
+        "p999": r.p999_us,
+        "goodput_kqps": r.goodput_kqps,
+        "goodput_frac": r.goodput_frac,
+        "shed": float(r.shed),
+        "violated": float(r.violated),
+        "degraded": float(r.degraded),
+        "retries": float(r.retries),
+        "hedges": float(r.hedges),
+        "req_per_j": r.requests_per_joule,
+        "quality": r.quality,
+    }
+
+
+def run(scale: float = 1.0) -> Dict:
+    """Measure the sweep; returns structured rows."""
+    n = max(400, int(1600 * scale))
+    tasks = [(s, p, i, n) for s in SYSTEMS for p in POLICIES
+             for i in INTENSITIES]
+    results = parallel_map(_run_cell, tasks)
+    rows: List[Row] = []
+    for sys_name, pol_name, intensity, values in results:
+        rows.append(Row(label=f"{sys_name}/{pol_name}@f={intensity:g}",
+                        values=values))
+    return {"rows": rows, "n_requests": n}
+
+
+def main(scale: float = 1.0) -> str:
+    """Render the experiment as the printable report."""
+    from ..report import grid_table
+
+    data = run(scale)
+    by_label = {r.label: r for r in data["rows"]}
+    out = ["Resilience sweep: fault intensity x policy "
+           f"({data['n_requests']} requests per cell)"]
+    for sys_name in SYSTEMS:
+        cells = {}
+        for pol_name in POLICIES:
+            for i in INTENSITIES:
+                r = by_label[f"{sys_name}/{pol_name}@f={i:g}"]
+                cells[(pol_name, f"f={i:g}")] = (
+                    f"p99 {r['p99']:7.0f}us "
+                    f"good {r['goodput_frac']:4.0%} "
+                    f"r/J {r['req_per_j']:5.1f}")
+        out.append("")
+        out.append(grid_table(
+            list(POLICIES), [f"f={i:g}" for i in INTENSITIES], cells,
+            title=f"[{sys_name}] offered {SYSTEMS[sys_name][1]/1000:g} "
+                  "kQPS"))
+    out.append("")
+    out.append(format_rows(
+        data["rows"], COLUMNS,
+        title="per-cell detail (latencies in us)", width=22))
+    return "\n".join(out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from .common import experiment_cli
+
+    raise SystemExit(experiment_cli(main))

@@ -34,6 +34,7 @@ from . import (
     fig19_20_21_chip,
     fig22_end_to_end,
     gpu_comparison,
+    resilience_sweep,
     sensitivity,
     table04_config,
     table05_area_power,
@@ -52,6 +53,7 @@ EXPERIMENTS: Dict[str, Callable[[float], str]] = {
     "fig16": fig16_allocator.main,
     "fig19_20_21": fig19_20_21_chip.main,
     "fig22": fig22_end_to_end.main,
+    "resilience": resilience_sweep.main,
     "table04": table04_config.main,
     "table05": table05_area_power.main,
     "sensitivity": sensitivity.main,
@@ -94,6 +96,7 @@ EXPORTABLE = {
     "fig16": fig16_allocator.run,
     "fig19_20_21": fig19_20_21_chip.run,
     "fig22": fig22_end_to_end.run,
+    "resilience": resilience_sweep.run,
     "table05": table05_area_power.run,
     "sensitivity": sensitivity.run,
     "gpu": gpu_comparison.run,

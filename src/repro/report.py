@@ -66,6 +66,28 @@ def grouped_bar_chart(rows: Sequence[Tuple[str, Dict[str, float]]],
     return "\n".join(lines).rstrip()
 
 
+def grid_table(row_labels: Sequence[str], col_labels: Sequence[str],
+               cells: Dict[Tuple[str, str], str], title: str = "",
+               cell_width: int = 0) -> str:
+    """Rows x columns grid of preformatted cell strings.
+
+    Renders two-factor sweeps (e.g. resilience policy x fault rate)
+    where each cell packs several metrics, which ``format_rows``'s
+    single-float columns cannot express.  Missing cells render as '-'.
+    """
+    w = max([cell_width, 3] + [len(v) for v in cells.values()]
+            + [len(c) for c in col_labels])
+    label_w = max((len(r) for r in row_labels), default=4)
+    lines = [title] if title else []
+    lines.append(f"{'':{label_w}s}  "
+                 + "  ".join(f"{c:>{w}s}" for c in col_labels))
+    for r in row_labels:
+        row = "  ".join(f"{cells.get((r, c), '-'):>{w}s}"
+                        for c in col_labels)
+        lines.append(f"{r:{label_w}s}  {row}")
+    return "\n".join(lines)
+
+
 def series_plot(points: Sequence[Tuple[float, Dict[str, float]]],
                 series: Sequence[str], height: int = 12,
                 width: int = 60, title: str = "",

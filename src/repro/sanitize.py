@@ -16,8 +16,16 @@ ordinary unit assertion sees:
 * allocators: every block stays inside its thread's arena and the
   SIMR-aware allocator really lands on the ``tid % n_banks`` bank;
 * queueing simulator: no event is scheduled into the past, stations
-  drain completely and every injected job completes exactly once
-  (conservation of jobs).
+  drain completely, every injected job completes exactly once
+  (conservation of jobs), and a batched station dispatches each batch
+  through exactly one completion-callback object;
+* resilience layer (:mod:`repro.system.resilience`): every logical
+  request resolves exactly once as completed, shed or
+  deadline-violated; every launched attempt - including hedge losers
+  and post-resolution stragglers - is accounted exactly once (no job
+  leaks across hedge "cancellation", which is really first-wins
+  draining); per-request retry/hedge counts stay within their
+  configured budgets; completions never predate their arrivals.
 
 The checks are deliberately cheap (a captured local bool per run loop)
 so the differential fuzzer (:mod:`repro.fuzz`) and the tier-1 test

@@ -1,5 +1,6 @@
 """System-level microservice-interaction simulation (uqsim role)."""
 
+from .faults import FaultConfig, FaultInjector, FaultStats
 from .graph import (
     GraphConfig,
     GraphNode,
@@ -11,22 +12,41 @@ from .queueing import (
     EndToEndConfig,
     EndToEndResult,
     Job,
+    SimulationLimitError,
     Simulator,
     Station,
     max_throughput_kqps,
     run_end_to_end,
     saturation_sweep,
 )
+from .resilience import (
+    CircuitBreaker,
+    ResilienceConfig,
+    ResilientEndToEnd,
+    ResilientResult,
+    run_resilient,
+    system_energy_joules,
+)
 
 __all__ = [
+    "CircuitBreaker",
     "EndToEndConfig",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
     "GraphConfig",
     "GraphNode",
     "GraphSimulation",
+    "ResilienceConfig",
+    "ResilientEndToEnd",
+    "ResilientResult",
     "run_graph",
+    "run_resilient",
     "social_network_graph",
+    "system_energy_joules",
     "EndToEndResult",
     "Job",
+    "SimulationLimitError",
     "Simulator",
     "Station",
     "max_throughput_kqps",

@@ -1,0 +1,212 @@
+"""Deterministic, seeded fault injection for the system-level simulation.
+
+Four fault classes, mirroring what uqSim/DeathStarBench-style studies
+inject into microservice clusters:
+
+* **fail-stop outages** - a station goes dark for a window and comes
+  back; dispatches attempted during the window fail fast (connection
+  refused after ``detect_us``) and work *in flight* when the outage
+  begins is lost at the onset (true fail-stop, not drain);
+* **stragglers** - a dispatch is served by a slow replica: latency
+  *and* pipelined occupancy are multiplied by ``straggler_mult``;
+* **transient latency spikes** - additive ``spike_us`` on a dispatch
+  (GC pause, SmartNIC hiccup) without slowing the initiation rate;
+* **request drops** - an individual request vanishes from its batch
+  and fails fast.
+
+Every decision is a pure function of the injector seed plus stable
+identifiers (station name, job id, attempt number): outage windows are
+precomputed per station from a seeded Poisson process, and per-dispatch
+draws hash ``(kind, station, jid, attempt)``.  Nothing consumes RNG
+state during the simulation, so fault placement is independent of
+event interleaving - the property the determinism tests pin.
+
+A ``FaultInjector`` with all rates at zero is a strict no-op, and a
+:class:`~repro.system.queueing.Station` with no injector attached never
+touches this module (the fault-free fast path is bit-identical to the
+pre-fault-layer simulator).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_U32 = float(1 << 32)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault intensity knobs (all default to "no faults")."""
+
+    seed: int = 11
+    #: expected fail-stop outages per simulated *second* per station
+    outage_rate_per_s: float = 0.0
+    outage_min_us: float = 2_000.0
+    outage_max_us: float = 10_000.0
+    #: how long a client waits before a dead station's fail-fast reply
+    detect_us: float = 30.0
+    #: probability a dispatch lands on a straggling replica
+    straggler_prob: float = 0.0
+    straggler_mult: float = 4.0
+    #: probability of an additive transient latency spike per dispatch
+    spike_prob: float = 0.0
+    spike_us: float = 500.0
+    #: probability an individual request is dropped at dispatch
+    drop_prob: float = 0.0
+    #: outage schedules are drawn over this horizon
+    horizon_us: float = 2_000_000.0
+    #: restrict injection to these station names (None = every station
+    #: the injector is attached to)
+    stations: Optional[frozenset] = None
+
+    def scaled(self, intensity: float) -> "FaultConfig":
+        """A copy with every probability/rate multiplied by ``intensity``
+        (probabilities clamped to 1); the sweep's x axis."""
+        return FaultConfig(
+            seed=self.seed,
+            outage_rate_per_s=self.outage_rate_per_s * intensity,
+            outage_min_us=self.outage_min_us,
+            outage_max_us=self.outage_max_us,
+            detect_us=self.detect_us,
+            straggler_prob=min(1.0, self.straggler_prob * intensity),
+            straggler_mult=self.straggler_mult,
+            spike_prob=min(1.0, self.spike_prob * intensity),
+            spike_us=self.spike_us,
+            drop_prob=min(1.0, self.drop_prob * intensity),
+            horizon_us=self.horizon_us,
+            stations=self.stations,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return (self.outage_rate_per_s > 0 or self.straggler_prob > 0
+                or self.spike_prob > 0 or self.drop_prob > 0)
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did (for reports and tests)."""
+
+    outage_failures: int = 0
+    inflight_failures: int = 0
+    drops: int = 0
+    stragglers: int = 0
+    spikes: int = 0
+    windows: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_failures(self) -> int:
+        return self.outage_failures + self.inflight_failures + self.drops
+
+
+class FaultInjector:
+    """Seeded fault oracle; attach to stations via :meth:`attach`."""
+
+    def __init__(self, cfg: FaultConfig):
+        self.cfg = cfg
+        self.stats = FaultStats()
+        #: per-station sorted outage windows, built lazily per name
+        self._windows: Dict[str, Tuple[List[float], List[float]]] = {}
+
+    # -- deterministic randomness --------------------------------------
+    def _u(self, kind: str, name: str, jid: int, attempt: int) -> float:
+        """Uniform [0, 1) from stable identifiers only."""
+        h = zlib.crc32(repr((self.cfg.seed, kind, name, jid,
+                             attempt)).encode("ascii"))
+        return h / _U32
+
+    def _station_windows(self, name: str) -> Tuple[List[float], List[float]]:
+        got = self._windows.get(name)
+        if got is not None:
+            return got
+        starts: List[float] = []
+        ends: List[float] = []
+        cfg = self.cfg
+        if (cfg.outage_rate_per_s > 0
+                and (cfg.stations is None or name in cfg.stations)):
+            rng = random.Random(zlib.crc32(
+                repr((cfg.seed, "outages", name)).encode("ascii")))
+            mean_gap_us = 1e6 / cfg.outage_rate_per_s
+            t = rng.expovariate(1.0) * mean_gap_us
+            while t < cfg.horizon_us:
+                dur = rng.uniform(cfg.outage_min_us, cfg.outage_max_us)
+                if starts and t <= ends[-1]:
+                    ends[-1] = max(ends[-1], t + dur)  # merge overlap
+                else:
+                    starts.append(t)
+                    ends.append(t + dur)
+                t += rng.expovariate(1.0) * mean_gap_us
+        self._windows[name] = (starts, ends)
+        self.stats.windows[name] = len(starts)
+        return starts, ends
+
+    # -- queries -------------------------------------------------------
+    def outage_end(self, name: str, t: float) -> Optional[float]:
+        """Recovery time if ``name`` is down at ``t``, else None."""
+        starts, ends = self._station_windows(name)
+        i = bisect.bisect_right(starts, t) - 1
+        if i >= 0 and t < ends[i]:
+            return ends[i]
+        return None
+
+    def outage_onset(self, name: str, a: float, b: float) -> Optional[float]:
+        """First outage start strictly inside ``(a, b)``, if any."""
+        starts, _ends = self._station_windows(name)
+        i = bisect.bisect_right(starts, a)
+        if i < len(starts) and starts[i] < b:
+            return starts[i]
+        return None
+
+    def windows_for(self, name: str) -> List[Tuple[float, float]]:
+        starts, ends = self._station_windows(name)
+        return list(zip(starts, ends))
+
+    # -- the per-dispatch plan ----------------------------------------
+    def plan(self, name: str, now: float, jobs: Sequence) -> Tuple[
+            Optional[float], list, float, float]:
+        """Fault plan for one dispatch decision.
+
+        Returns ``(outage_end, drops, lat_mult, extra_us)``: if
+        ``outage_end`` is not None the whole dispatch fails fast;
+        otherwise ``drops`` (a subset of ``jobs``) fail fast
+        individually and the survivors are served with their latency
+        multiplied by ``lat_mult`` plus ``extra_us``.
+        """
+        cfg = self.cfg
+        if cfg.stations is not None and name not in cfg.stations:
+            return None, (), 1.0, 0.0
+        end = self.outage_end(name, now) if cfg.outage_rate_per_s > 0 \
+            else None
+        if end is not None:
+            self.stats.outage_failures += len(jobs)
+            return end, (), 1.0, 0.0
+        drops: list = ()
+        if cfg.drop_prob > 0:
+            drops = [j for j in jobs
+                     if self._u("drop", name, j.jid, j.attempt)
+                     < cfg.drop_prob]
+            self.stats.drops += len(drops)
+        mult = 1.0
+        extra = 0.0
+        lead = jobs[0]
+        if cfg.straggler_prob > 0 and self._u(
+                "straggler", name, lead.jid, lead.attempt) \
+                < cfg.straggler_prob:
+            mult = cfg.straggler_mult
+            self.stats.stragglers += 1
+        if cfg.spike_prob > 0 and self._u(
+                "spike", name, lead.jid, lead.attempt) < cfg.spike_prob:
+            extra = cfg.spike_us
+            self.stats.spikes += 1
+        return None, drops, mult, extra
+
+    # -- wiring --------------------------------------------------------
+    def attach(self, *stations) -> "FaultInjector":
+        """Install this injector on the given stations (fluent)."""
+        for st in stations:
+            st.faults = self
+        return self

@@ -16,11 +16,17 @@ and join on the slowest).
 
 from __future__ import annotations
 
+import itertools
+import math
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..sanitize import check, sanitizer_enabled
+from .faults import FaultConfig, FaultInjector
 from .queueing import EndToEndResult, Job, Simulator, Station, _percentile
+from .resilience import ResilienceConfig
 
 
 @dataclass
@@ -75,12 +81,31 @@ def social_network_graph(rpu: bool = False) -> GraphConfig:
 
 
 class GraphSimulation:
-    """Drives jobs through a GraphConfig at an offered load."""
+    """Drives jobs through a GraphConfig at an offered load.
 
-    def __init__(self, cfg: GraphConfig, seed: int = 1):
+    ``faults`` attaches a :class:`~repro.system.faults.FaultInjector`
+    to every station; ``resilience`` arms the retry/deadline subset of
+    :class:`~repro.system.resilience.ResilienceConfig` at the request
+    level (a failed attempt re-enters the entry tier's batch queue
+    after exponential backoff with deterministic jitter; an unresolved
+    request past its deadline, or out of retries, counts as violated).
+    With both left at None the simulation is bit-identical to the
+    pre-fault-layer behaviour.
+    """
+
+    def __init__(self, cfg: GraphConfig, seed: int = 1,
+                 faults: Optional[FaultConfig] = None,
+                 resilience: Optional[ResilienceConfig] = None):
         self.cfg = cfg
         self.rng = random.Random(seed)
         self.sim = Simulator()
+        self.injector: Optional[FaultInjector] = None
+        if faults is not None and faults.enabled:
+            self.injector = FaultInjector(faults)
+        self.resilience = resilience
+        self.violated = 0
+        self._rstates: Dict[int, dict] = {}
+        self._jidc = itertools.count()
         self.stations: Dict[str, Station] = {}
         for name, node in cfg.nodes.items():
             if cfg.rpu and node.servers < 1000:
@@ -97,6 +122,8 @@ class GraphSimulation:
                     self.sim, name, node.service_us, node.servers,
                     infinite=node.servers >= 1000,
                 )
+        if self.injector is not None:
+            self.injector.attach(*self.stations.values())
         self.finished: List[Job] = []
         #: per-(station, job) continuations: a Station fires one
         #: callback per dispatched *batch*, so each job's onward path
@@ -109,11 +136,63 @@ class GraphSimulation:
                         for name, node in cfg.nodes.items()}
 
     def _make_after(self, node: GraphNode):
+        if self.injector is None:
+            def after(t: float, jobs: List[Job]) -> None:
+                for j in jobs:
+                    cont = self._conts.pop((node.name, j.jid))
+                    self._after_service(t, node, j, cont)
+            return after
+
         def after(t: float, jobs: List[Job]) -> None:
             for j in jobs:
                 cont = self._conts.pop((node.name, j.jid))
-                self._after_service(t, node, j, cont)
+                if j.failed:
+                    self._attempt_failed(t, j)
+                else:
+                    self._after_service(t, node, j, cont)
         return after
+
+    # -- fault/resilience request lifecycle ----------------------------
+    def _attempt_failed(self, now: float, job: Job) -> None:
+        """A fault killed this attempt somewhere in the graph: retry
+        from the entry tier (re-entering its batch queue) or give up.
+        The attempt's other fan-out legs keep draining harmlessly -
+        their join continuation checks the resolved flag."""
+        state = self._rstates[job.rid]
+        if state["resolved"]:
+            return
+        res = self.resilience
+        if res is not None and state["retries"] < res.max_retries:
+            k = state["retries"]
+            state["retries"] += 1
+            u = zlib.crc32(repr((res.seed, job.rid, k)).encode("ascii")) \
+                / float(1 << 32)
+            back = (res.retry_backoff_us * res.backoff_mult ** k
+                    * (1.0 + res.jitter_frac * u))
+            self.sim.schedule(now + back, self._start_attempt, state)
+            return
+        state["resolved"] = True
+        self.violated += 1
+
+    def _start_attempt(self, now: float, state: dict) -> None:
+        if state["resolved"]:  # deadline fired while backing off
+            return
+        job = Job(jid=next(self._jidc), arrival_us=state["arrival"],
+                  rid=state["rid"], attempt=state["retries"])
+
+        def finish(tt: float, j: Job = job, s: dict = state) -> None:
+            if s["resolved"]:
+                return
+            s["resolved"] = True
+            j.done_us = tt + self.cfg.network_us
+            self.finished.append(j)
+
+        self._visit(now, self.cfg.entry, job, finish)
+
+    def _deadline(self, now: float, state: dict) -> None:
+        if not state["resolved"]:
+            state["resolved"] = True
+            self.violated += 1
 
     # ------------------------------------------------------------------
     def _visit(self, now: float, node_name: str, job: Job,
@@ -157,9 +236,20 @@ class GraphSimulation:
     # ------------------------------------------------------------------
     def run(self, qps: float, n_requests: int = 2000) -> EndToEndResult:
         inter_us = 1e6 / qps
+        resilient = self.injector is not None or self.resilience is not None
         t = 0.0
         for i in range(n_requests):
             t += self.rng.expovariate(1.0) * inter_us
+            if resilient:
+                state = {"rid": i, "arrival": t, "retries": 0,
+                         "resolved": False}
+                self._rstates[i] = state
+                res = self.resilience
+                if res is not None and res.deadline_us != math.inf:
+                    self.sim.schedule(t + res.deadline_us, self._deadline,
+                                      state)
+                self.sim.schedule(t, self._start_attempt, state)
+                continue
             job = Job(jid=i, arrival_us=t)
 
             def finish(tt: float, j: Job = job) -> None:
@@ -168,6 +258,12 @@ class GraphSimulation:
 
             self.sim.schedule(t, self._visit, self.cfg.entry, job, finish)
         self.sim.run()
+        if resilient and sanitizer_enabled():
+            check(len(self.finished) + self.violated == n_requests,
+                  "graph: %d requests but %d finished + %d violated",
+                  n_requests, len(self.finished), self.violated)
+            check(all(s["resolved"] for s in self._rstates.values()),
+                  "graph: unresolved request states after drain")
         lats = [j.latency_us for j in self.finished]
         return EndToEndResult(
             offered_qps=qps,
@@ -179,6 +275,9 @@ class GraphSimulation:
 
 
 def run_graph(cfg: GraphConfig, qps: float, n_requests: int = 2000,
-              seed: int = 1) -> EndToEndResult:
+              seed: int = 1, faults: Optional[FaultConfig] = None,
+              resilience: Optional[ResilienceConfig] = None
+              ) -> EndToEndResult:
     """Convenience wrapper: simulate ``cfg`` at ``qps`` offered load."""
-    return GraphSimulation(cfg, seed=seed).run(qps, n_requests)
+    return GraphSimulation(cfg, seed=seed, faults=faults,
+                           resilience=resilience).run(qps, n_requests)

@@ -31,6 +31,11 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from ..sanitize import check, sanitizer_enabled
 
 
+class SimulationLimitError(RuntimeError):
+    """The event-count ceiling was hit: the simulation is (probably)
+    stuck in a self-rescheduling loop, e.g. an unbounded retry storm."""
+
+
 class Simulator:
     """Minimal deterministic event loop.
 
@@ -39,12 +44,19 @@ class Simulator:
     callers pass bound methods plus data instead of allocating a
     closure per event.  Ties break by insertion order; the argument
     tuple is never compared.
+
+    ``max_events`` arms a bounded-progress guard: instead of spinning
+    forever on a pathological schedule (a retry storm, or a future
+    self-rescheduling callback bug), :meth:`run` raises a diagnosable
+    :class:`SimulationLimitError` naming the hottest callback owner.
+    The guard is off by default and the unguarded loop is untouched.
     """
 
-    def __init__(self):
+    def __init__(self, max_events: Optional[int] = None):
         self._events: List[Tuple[float, int, Callable, tuple]] = []
         self._tie = itertools.count()
         self.now = 0.0
+        self.max_events = max_events
         self._san = sanitizer_enabled()
 
     def schedule(self, when: float, fn: Callable, *args) -> None:
@@ -54,7 +66,45 @@ class Simulator:
                   "(%f before now=%f)", when, self.now)
         heapq.heappush(self._events, (when, next(self._tie), fn, args))
 
-    def run(self) -> None:
+    @staticmethod
+    def _owner_name(fn: Callable) -> str:
+        owner = getattr(fn, "__self__", None)
+        name = getattr(owner, "name", None)
+        if isinstance(name, str):
+            return f"station {name!r}"
+        return getattr(fn, "__qualname__", repr(fn))
+
+    def _run_bounded(self, limit: int) -> None:
+        from collections import Counter
+
+        events = self._events
+        pop = heapq.heappop
+        san = self._san
+        fired: Counter = Counter()
+        n = 0
+        while events:
+            when, _t, fn, args = pop(events)
+            if san:
+                check(when >= self.now,
+                      "simulator: time ran backwards (%f after %f)",
+                      when, self.now)
+            n += 1
+            if n > limit:
+                hot, hits = fired.most_common(1)[0]
+                raise SimulationLimitError(
+                    f"simulation exceeded {limit} events at "
+                    f"t={self.now:.1f}us with {len(events)} still queued; "
+                    f"hottest callback: {hot} ({hits} of {limit} events). "
+                    f"Likely an unbounded retry/reschedule loop.")
+            fired[self._owner_name(fn)] += 1
+            self.now = when
+            fn(when, *args)
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        limit = max_events if max_events is not None else self.max_events
+        if limit is not None:
+            self._run_bounded(limit)
+            return
         events = self._events
         pop = heapq.heappop
         san = self._san
@@ -74,6 +124,16 @@ class Job:
     arrival_us: float
     blocks: bool = False  # misses memcached -> storage path
     done_us: float = 0.0
+    #: logical request id (several attempt-Jobs of one retried/hedged
+    #: request share it); -1 means "same as jid"
+    rid: int = -1
+    #: attempt number of this Job for its logical request (0 = primary)
+    attempt: int = 0
+    #: True for a hedge duplicate launched by the resilience layer
+    hedge: bool = False
+    #: set by the fault injector: this attempt failed at ``fail_site``
+    failed: bool = False
+    fail_site: str = ""
 
     @property
     def latency_us(self) -> float:
@@ -107,6 +167,17 @@ class Station:
         self.dispatched_batches = 0
         self.dispatched_jobs = 0
         self.arrived_jobs = 0
+        #: jobs that failed fast because the station was down / in-flight
+        self.failed_jobs = 0
+        #: jobs individually dropped out of their dispatch
+        self.dropped_jobs = 0
+        #: total server-occupancy time actually dispatched (for the
+        #: system energy model); stragglers are charged their real time
+        self.busy_us = 0.0
+        #: optional :class:`repro.system.faults.FaultInjector`; when
+        #: None (the default) dispatching takes the exact pre-fault
+        #: fast path
+        self.faults = None
         self._san = sanitizer_enabled()
         self._schedule = sim.schedule
 
@@ -172,10 +243,14 @@ class Station:
         return start
 
     def _dispatch_one(self, now: float, job: Job, done: Callable) -> None:
+        if self.faults is not None:
+            self._serve_group_faulty(now, [job], done)
+            return
         start = now if self.infinite else self._pick_server(now)
         finish = start + self.latency_us
         self.dispatched_batches += 1
         self.dispatched_jobs += 1
+        self.busy_us += self.occupancy_us
         self._schedule(finish, done, [job])
 
     def _arm_timeout(self, now: float) -> None:
@@ -212,6 +287,11 @@ class Station:
                           "station %s: mixed completion callbacks in "
                           "one dispatched batch", self.name)
             del dones[:n]
+            if self.faults is not None:
+                self._serve_group_faulty(now, group, done)
+                if n < bs:
+                    break
+                continue
             if self.infinite:
                 start = now
             else:
@@ -227,9 +307,87 @@ class Station:
             finish = start + self.latency_us
             self.dispatched_batches += 1
             self.dispatched_jobs += n
+            self.busy_us += self.occupancy_us * n
             self._schedule(finish, done, group)
             if n < bs:
                 break
+
+    def _serve_group_faulty(self, now: float, group: List[Job],
+                            done: Callable) -> None:
+        """Dispatch one group through the fault injector.
+
+        Semantics: a dispatch attempted while the station is down fails
+        fast (no server time consumed); dropped requests leave the
+        batch and fail fast; survivors are served with the injector's
+        latency multiplier/spike, and an outage *beginning* during the
+        service interval kills the in-flight work at its onset.
+        Failed jobs complete through the same ``done`` callback with
+        ``job.failed`` set, so routing layers can divert them.
+        """
+        inj = self.faults
+        n = len(group)
+        self.dispatched_batches += 1
+        self.dispatched_jobs += n
+        outage_end, drops, mult, extra = inj.plan(self.name, now, group)
+        detect = now + inj.cfg.detect_us
+        if outage_end is not None:
+            for j in group:
+                j.failed = True
+                j.fail_site = self.name
+            self.failed_jobs += n
+            self._schedule(detect, done, group)
+            return
+        if drops:
+            dropped = set(id(j) for j in drops)
+            group = [j for j in group if id(j) not in dropped]
+            for j in drops:
+                j.failed = True
+                j.fail_site = self.name
+            self.dropped_jobs += len(drops)
+            self._schedule(detect, done, list(drops))
+            if not group:
+                return
+        occ = self.occupancy_us * mult
+        if self.infinite:
+            start = now
+        else:
+            free = self._free_at
+            server = 0
+            best = free[0]
+            for s in range(1, len(free)):
+                if free[s] < best:
+                    best = free[s]
+                    server = s
+            start = best if best > now else now
+            free[server] = start + occ * len(group)
+        finish = start + self.latency_us * mult + extra
+        # an outage beginning any time between the dispatch decision and
+        # the would-be completion kills the (queued or in-flight) work
+        onset = inj.outage_onset(self.name, now, finish) \
+            if inj.cfg.outage_rate_per_s > 0 else None
+        if onset is not None:
+            for j in group:
+                j.failed = True
+                j.fail_site = self.name
+            self.failed_jobs += len(group)
+            inj.stats.inflight_failures += len(group)
+            self._schedule(max(now, onset) + inj.cfg.detect_us, done,
+                           group)
+            return
+        self.busy_us += occ * len(group)
+        self._schedule(finish, done, group)
+
+    def backlog_us(self, now: float) -> float:
+        """How far behind the earliest-free server is (the load-shedding
+        signal: time a new dispatch would wait for a server)."""
+        if not self._free_at:
+            return 0.0
+        return max(0.0, min(self._free_at) - now)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting in the batching queue right now."""
+        return len(self._pending)
 
     @property
     def utilization_horizon(self) -> float:

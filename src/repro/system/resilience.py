@@ -1,0 +1,537 @@
+"""Resilience policies over the faulty end-to-end simulation.
+
+Runs the paper's Fig. 22 User scenario (web -> user -> mcrouter ->
+memcached -> storage-on-miss) on a cluster with injected faults
+(:mod:`repro.system.faults`) and layers client-side resilience on top:
+
+* **deadlines** - each request carries ``deadline_us``; an unresolved
+  request is counted *violated* when it expires;
+* **retry with exponential backoff + deterministic jitter** - a failed
+  attempt re-enters the front of the pipeline after
+  ``retry_backoff_us * backoff_mult**k`` (jittered by a seeded hash),
+  so retries *re-enter the batch queues* and perturb batch formation -
+  the SIMR interaction the sweep measures;
+* **hedged requests** - if the primary attempt has not resolved after
+  ``hedge_after_us``, a duplicate is launched; first completion wins
+  and the loser is drained through the stations (never cancelled
+  mid-flight, so the no-leak invariant is checkable);
+* **load shedding** - a request arriving while the entry tier is more
+  than ``shed_backlog_us`` behind is rejected immediately;
+* **circuit breaker** - ``breaker_threshold`` consecutive failures at
+  one station fail subsequent attempts fast for
+  ``breaker_cooldown_us`` instead of queueing into a dead machine;
+* **graceful degradation** - a memcached miss whose storage visit
+  fails (or is breaker-blocked) can complete *degraded* with a
+  recorded quality penalty instead of failing the request.
+
+Conservation contract (sanitizer-checked under ``REPRO_SANITIZE=1``,
+and always summarized in the result): every injected request resolves
+exactly once as completed, shed, or violated; every launched attempt -
+including hedge losers and post-resolution stragglers - is accounted
+exactly once; per-request retries/hedges never exceed their budgets.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..sanitize import check, sanitizer_enabled
+from .faults import FaultConfig, FaultInjector
+from .queueing import (
+    EndToEndConfig,
+    Job,
+    Simulator,
+    Station,
+    _percentile,
+)
+
+_U32 = float(1 << 32)
+
+#: request outcomes (exactly one per injected request)
+DONE, SHED, VIOLATED = "done", "shed", "violated"
+
+#: simple tier power model for the system-level requests/joule metric:
+#: a fully-occupied tier server burns DYNAMIC_W, every provisioned tier
+#: server leaks STATIC_W for the whole run, and the (shared, remote)
+#: storage backend is charged dynamic-only at a lower rate.
+DYNAMIC_W = 20.0
+STATIC_W = 8.0
+STORAGE_DYNAMIC_W = 4.0
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Client-side policy knobs (defaults = every policy off)."""
+
+    deadline_us: float = math.inf
+    max_retries: int = 0
+    retry_backoff_us: float = 300.0
+    backoff_mult: float = 2.0
+    #: backoff is multiplied by ``1 + jitter_frac * u`` with ``u`` a
+    #: seeded per-(request, attempt) hash - deterministic jitter
+    jitter_frac: float = 0.5
+    hedge_after_us: float = math.inf
+    max_hedges: int = 1
+    #: shed arrivals when the entry tier is this far behind (0 = off)
+    shed_backlog_us: float = 0.0
+    #: consecutive failures at one station that open its breaker (0 = off)
+    breaker_threshold: int = 0
+    breaker_cooldown_us: float = 5_000.0
+    #: complete a request whose storage leg failed, at a quality penalty
+    degrade_storage: bool = False
+    quality_penalty: float = 0.25
+    seed: int = 23
+
+
+@dataclass(slots=True)
+class RequestState:
+    """Lifecycle of one logical request across all its attempts."""
+
+    rid: int
+    arrival_us: float
+    blocks: bool
+    outcome: Optional[str] = None
+    done_us: float = 0.0
+    degraded: bool = False
+    attempts: int = 0
+    retries: int = 0
+    hedges: int = 0
+    won_by_hedge: bool = False
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker, one state per station name."""
+
+    def __init__(self, threshold: int, cooldown_us: float):
+        self.threshold = threshold
+        self.cooldown_us = cooldown_us
+        self._fails: Dict[str, int] = {}
+        self._open_until: Dict[str, float] = {}
+        self.opened = 0
+
+    def allow(self, name: str, now: float) -> bool:
+        return now >= self._open_until.get(name, 0.0)
+
+    def failure(self, name: str, now: float) -> None:
+        if self.threshold <= 0:
+            return
+        n = self._fails.get(name, 0) + 1
+        if n >= self.threshold:
+            self._open_until[name] = now + self.cooldown_us
+            self._fails[name] = 0
+            self.opened += 1
+        else:
+            self._fails[name] = n
+
+    def success(self, name: str) -> None:
+        if self._fails.get(name):
+            self._fails[name] = 0
+
+
+@dataclass
+class ResilientResult:
+    """One resilient end-to-end run (metrics the sweep reports)."""
+
+    offered_qps: float
+    n_requests: int
+    completed: int
+    shed: int
+    violated: int
+    degraded: int
+    retries: int
+    hedges: int
+    hedge_wins: int
+    failed_attempts: int
+    breaker_opens: int
+    avg_latency_us: float
+    p50_us: float
+    p99_us: float
+    p999_us: float
+    goodput_kqps: float
+    energy_j: float
+    requests_per_joule: float
+    quality: float
+    fault_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def goodput_frac(self) -> float:
+        return self.completed / self.n_requests if self.n_requests else 0.0
+
+
+def system_energy_joules(tiers: List[Station], storage: Station,
+                         horizon_us: float) -> float:
+    """Busy-time dynamic energy + provisioned static energy (joules)."""
+    dyn = sum(st.busy_us for st in tiers) * 1e-6 * DYNAMIC_W
+    dyn += storage.busy_us * 1e-6 * STORAGE_DYNAMIC_W
+    static = sum(st.servers for st in tiers) * horizon_us * 1e-6 * STATIC_W
+    return dyn + static
+
+
+class ResilientEndToEnd:
+    """Fig. 22 pipeline + fault injector + resilience policies."""
+
+    def __init__(self, cfg: EndToEndConfig, policy: ResilienceConfig,
+                 faults: Optional[FaultConfig] = None, seed: int = 1,
+                 max_events: Optional[int] = None):
+        import random
+
+        self.cfg = cfg
+        self.policy = policy
+        self.rng = random.Random(seed)
+        self.sim = Simulator(max_events=max_events)
+        self.injector: Optional[FaultInjector] = None
+        if faults is not None and faults.enabled:
+            self.injector = FaultInjector(faults)
+
+        if cfg.rpu:
+            lat = cfg.rpu_latency_factor
+            gain = cfg.rpu_throughput_gain
+
+            def tier(name: str, t_us: float) -> Station:
+                return Station(self.sim, name, t_us * lat,
+                               cfg.cpu_tier_servers,
+                               occupancy_us=t_us / gain,
+                               batch_size=cfg.batch_size,
+                               batch_timeout_us=cfg.batch_timeout_us)
+        else:
+            def tier(name: str, t_us: float) -> Station:
+                return Station(self.sim, name, t_us, cfg.cpu_tier_servers)
+
+        self.user_st = tier("user", cfg.user_us)
+        self.mcrouter_st = tier("mcrouter", cfg.mcrouter_us)
+        self.memcached_st = tier("memcached", cfg.memcached_us)
+        self.storage_st = Station(self.sim, "storage", cfg.storage_us,
+                                  servers=0, infinite=True)
+        self.stations = [self.user_st, self.mcrouter_st,
+                         self.memcached_st, self.storage_st]
+        if self.injector is not None:
+            self.injector.attach(*self.stations)
+
+        self.breaker = CircuitBreaker(policy.breaker_threshold,
+                                      policy.breaker_cooldown_us)
+        self.states: List[RequestState] = []
+        self.attempts_launched = 0
+        self.attempts_accounted = 0
+        self.failed_attempts = 0
+        self.degraded_completions = 0
+        self._jid = 0
+        self._n_requests = 0
+        self._split = cfg.batch_split or not cfg.rpu
+        self._san = sanitizer_enabled()
+        self._horizon_us = 0.0
+        # one stable bound-callback object per station: a batched
+        # station dispatches a whole group through a single callback
+        # and sanitizes on callback *identity*, so every arrival must
+        # share the same object (attribute access would mint new ones)
+        self._cb_after_user = self._after_user
+        self._cb_after_mcrouter = self._after_mcrouter
+        self._cb_after_memcached = self._after_memcached
+
+    # -- deterministic jitter ------------------------------------------
+    def _u(self, rid: int, k: int) -> float:
+        h = zlib.crc32(repr((self.policy.seed, rid, k)).encode("ascii"))
+        return h / _U32
+
+    # -- attempt lifecycle ---------------------------------------------
+    def _launch(self, t: float, state: RequestState,
+                hedge: bool = False) -> None:
+        self._jid += 1
+        job = Job(jid=self._jid, arrival_us=state.arrival_us,
+                  blocks=state.blocks, rid=state.rid,
+                  attempt=state.attempts, hedge=hedge)
+        state.attempts += 1
+        self.attempts_launched += 1
+        pol = self.policy
+        if (not hedge and pol.hedge_after_us != math.inf):
+            self.sim.schedule(t + pol.hedge_after_us, self._maybe_hedge,
+                              state)
+        self.user_st.arrive(t, job, self._cb_after_user)
+
+    def _maybe_hedge(self, now: float, state: RequestState) -> None:
+        if state.outcome is None and state.hedges < self.policy.max_hedges:
+            state.hedges += 1
+            self._launch(now, state, hedge=True)
+
+    def _relaunch(self, now: float, state: RequestState) -> None:
+        # the request may have been resolved (deadline) while backing off
+        if state.outcome is None:
+            self._launch(now, state)
+
+    def _attempt_failed(self, now: float, job: Job) -> None:
+        self.attempts_accounted += 1
+        self.failed_attempts += 1
+        site = job.fail_site
+        if ":" not in site:  # breaker fail-fasts don't re-feed the breaker
+            self.breaker.failure(site, now)
+        state = self.states[job.rid]
+        if state.outcome is not None:
+            return
+        pol = self.policy
+        if state.retries < pol.max_retries:
+            k = state.retries
+            state.retries += 1
+            back = (pol.retry_backoff_us * pol.backoff_mult ** k
+                    * (1.0 + pol.jitter_frac * self._u(state.rid, k)))
+            t = now + back
+            if t < state.arrival_us + pol.deadline_us:
+                self.sim.schedule(t, self._relaunch, state)
+                return
+        self._resolve(now, state, VIOLATED)
+
+    def _attempt_done(self, t: float, job: Job,
+                      degraded: bool = False) -> None:
+        self.attempts_accounted += 1
+        br = self.breaker
+        br.success("user")
+        br.success("mcrouter")
+        br.success("memcached")
+        if job.blocks and not degraded:
+            br.success("storage")
+        state = self.states[job.rid]
+        if state.outcome is not None:
+            return  # hedge loser / post-deadline straggler
+        state.done_us = t
+        state.degraded = degraded
+        state.won_by_hedge = job.hedge
+        if degraded:
+            self.degraded_completions += 1
+        self._resolve(t, state, DONE)
+
+    def _resolve(self, t: float, state: RequestState,
+                 outcome: str) -> None:
+        if self._san:
+            check(state.outcome is None,
+                  "resilience: request %d resolved twice (%s then %s)",
+                  state.rid, state.outcome, outcome)
+        state.outcome = outcome
+        # measurement horizon: last *resolution*, not sim drain time
+        # (deadline timers and hedge losers tick on harmlessly after
+        # the final request has resolved and must not dilute goodput)
+        if t > self._horizon_us:
+            self._horizon_us = t
+
+    def _deadline(self, now: float, state: RequestState) -> None:
+        if state.outcome is None:
+            self._resolve(now, state, VIOLATED)
+
+    # -- pipeline routing ----------------------------------------------
+    def _hop(self, now: float, jobs: List[Job], nxt: Station,
+             after: Callable) -> None:
+        ok = []
+        for j in jobs:
+            if j.failed:
+                self._attempt_failed(now, j)
+            else:
+                ok.append(j)
+        if not ok:
+            return
+        if (self.policy.breaker_threshold > 0
+                and not self.breaker.allow(nxt.name, now)):
+            for j in ok:
+                j.failed = True
+                j.fail_site = nxt.name + ":breaker"
+                self._attempt_failed(now, j)
+            return
+        nxt.arrive_many(now, ok, after)
+
+    def _after_user(self, now: float, jobs: List[Job]) -> None:
+        self._hop(now, jobs, self.mcrouter_st, self._cb_after_mcrouter)
+
+    def _after_mcrouter(self, now: float, jobs: List[Job]) -> None:
+        self._hop(now, jobs, self.memcached_st, self._cb_after_memcached)
+
+    def _finish(self, now: float, jobs: List[Job],
+                degraded: bool = False) -> None:
+        done_at = now + self.cfg.network_us
+        for j in jobs:
+            if j.failed:
+                self._attempt_failed(now, j)
+            else:
+                self._attempt_done(done_at, j, degraded)
+
+    def _storage_leg(self, now: float, misses: List[Job],
+                     done: Callable) -> None:
+        """Route a miss sub-batch to storage, honoring breaker/degrade."""
+        if (self.policy.breaker_threshold > 0
+                and not self.breaker.allow("storage", now)):
+            if self.policy.degrade_storage:
+                # skip the dead downstream: serve stale at a penalty
+                done(now, misses, True)
+                return
+            for j in misses:
+                j.failed = True
+                j.fail_site = "storage:breaker"
+            done(now, misses, False)
+            return
+        self.storage_st.arrive_many(
+            now, misses, lambda t, js: self._after_storage(t, js, done))
+
+    def _after_storage(self, now: float, jobs: List[Job],
+                       done: Callable) -> None:
+        if self.policy.degrade_storage:
+            failed = [j for j in jobs if j.failed]
+            okay = [j for j in jobs if not j.failed]
+            if okay:
+                done(now, okay, False)
+            if failed:
+                for j in failed:  # degrade instead of failing the attempt
+                    j.failed = False
+                    j.fail_site = ""
+                done(now, failed, True)
+            return
+        done(now, jobs, False)
+
+    def _after_memcached(self, now: float, jobs: List[Job]) -> None:
+        hits: List[Job] = []
+        misses: List[Job] = []
+        for j in jobs:
+            if j.failed:
+                self._attempt_failed(now, j)
+            elif j.blocks:
+                misses.append(j)
+            else:
+                hits.append(j)
+        if not misses:
+            if hits:
+                self._finish(now, hits)
+            return
+        if self._split:
+            if hits:
+                self._finish(now, hits)
+            self._storage_leg(now, misses,
+                              lambda t, js, deg: self._finish(t, js, deg))
+            return
+        # lockstep without splitting: hits wait for the batch's misses
+        remaining = {"n": len(misses)}
+
+        def on_storage(t: float, js: List[Job], deg: bool) -> None:
+            self._finish(t, js, deg)
+            remaining["n"] -= len(js)
+            if remaining["n"] == 0 and hits:
+                self._finish(t, hits)
+
+        self._storage_leg(now, misses, on_storage)
+
+    # -- driving --------------------------------------------------------
+    def _inject(self, now: float, i: int) -> None:
+        state = RequestState(rid=i, arrival_us=now,
+                             blocks=self._rnd() >= self._hit_rate)
+        self.states.append(state)
+        nxt = i + 1
+        if nxt < self._n_requests:
+            self.sim.schedule(
+                now + self._expovariate(1.0) * self._inter_us,
+                self._inject, nxt)
+        pol = self.policy
+        if (pol.shed_backlog_us > 0
+                and self.user_st.backlog_us(now) > pol.shed_backlog_us):
+            self._resolve(now, state, SHED)
+            return
+        if pol.deadline_us != math.inf:
+            self.sim.schedule(now + pol.deadline_us, self._deadline, state)
+        self._launch(now + self.cfg.web_us + self.cfg.network_us, state)
+
+    def run(self, qps: float, n_requests: int = 2000) -> ResilientResult:
+        self._san = sanitizer_enabled()
+        self._n_requests = n_requests
+        self._inter_us = 1e6 / qps
+        self._hit_rate = self.cfg.memcached_hit_rate
+        self._rnd = self.rng.random
+        self._expovariate = self.rng.expovariate
+        if n_requests > 0:
+            self.sim.schedule(self._expovariate(1.0) * self._inter_us,
+                              self._inject, 0)
+        self.sim.run()
+
+        states = self.states
+        completed = [s for s in states if s.outcome == DONE]
+        shed = sum(1 for s in states if s.outcome == SHED)
+        violated = sum(1 for s in states if s.outcome == VIOLATED)
+        if self._san:
+            self._sanitize(n_requests, len(completed), shed, violated)
+
+        lats = [s.done_us - s.arrival_us for s in completed]
+        makespan_us = max(self._horizon_us, 1e-9)
+        energy = system_energy_joules(
+            [self.user_st, self.mcrouter_st, self.memcached_st],
+            self.storage_st, makespan_us)
+        n_done = len(completed)
+        n_degraded = sum(1 for s in completed if s.degraded)
+        quality = 0.0
+        if n_done:
+            quality = (n_done - n_degraded * self.policy.quality_penalty) \
+                / n_done
+        inj = self.injector
+        fault_stats = {}
+        if inj is not None:
+            fault_stats = {
+                "outage_failures": inj.stats.outage_failures,
+                "inflight_failures": inj.stats.inflight_failures,
+                "drops": inj.stats.drops,
+                "stragglers": inj.stats.stragglers,
+                "spikes": inj.stats.spikes,
+            }
+        return ResilientResult(
+            offered_qps=qps,
+            n_requests=n_requests,
+            completed=n_done,
+            shed=shed,
+            violated=violated,
+            degraded=n_degraded,
+            retries=sum(s.retries for s in states),
+            hedges=sum(s.hedges for s in states),
+            hedge_wins=sum(1 for s in completed if s.won_by_hedge),
+            failed_attempts=self.failed_attempts,
+            breaker_opens=self.breaker.opened,
+            avg_latency_us=sum(lats) / n_done if n_done else 0.0,
+            p50_us=_percentile(lats, 0.50),
+            p99_us=_percentile(lats, 0.99),
+            p999_us=_percentile(lats, 0.999),
+            goodput_kqps=n_done / makespan_us * 1e3,
+            energy_j=energy,
+            requests_per_joule=n_done / energy if energy > 0 else 0.0,
+            quality=quality,
+            fault_stats=fault_stats,
+        )
+
+    def _sanitize(self, n: int, completed: int, shed: int,
+                  violated: int) -> None:
+        """The conservation invariants of the resilience layer."""
+        check(completed + shed + violated == n,
+              "resilience: %d requests but %d completed + %d shed + %d "
+              "violated", n, completed, shed, violated)
+        check(self.attempts_launched == self.attempts_accounted,
+              "resilience: %d attempts launched but %d accounted - a "
+              "job leaked (hedge cancellation?)",
+              self.attempts_launched, self.attempts_accounted)
+        pol = self.policy
+        for s in self.states:
+            check(s.retries <= pol.max_retries,
+                  "resilience: request %d used %d retries (budget %d)",
+                  s.rid, s.retries, pol.max_retries)
+            check(s.hedges <= pol.max_hedges,
+                  "resilience: request %d used %d hedges (budget %d)",
+                  s.rid, s.hedges, pol.max_hedges)
+            if s.outcome == DONE:
+                check(s.done_us >= s.arrival_us,
+                      "resilience: request %d finished at %f before "
+                      "arriving at %f", s.rid, s.done_us, s.arrival_us)
+        for st in self.stations:
+            check(not st._pending,
+                  "resilience: station %s stranded %d jobs",
+                  st.name, len(st._pending))
+            check(st.dispatched_jobs == st.arrived_jobs,
+                  "resilience: station %s dispatched %d of %d arrivals",
+                  st.name, st.dispatched_jobs, st.arrived_jobs)
+
+
+def run_resilient(cfg: EndToEndConfig, policy: ResilienceConfig,
+                  faults: Optional[FaultConfig] = None, qps: float = 10000,
+                  n_requests: int = 2000, seed: int = 1,
+                  max_events: Optional[int] = None) -> ResilientResult:
+    """Convenience wrapper: one resilient end-to-end run."""
+    return ResilientEndToEnd(cfg, policy, faults, seed=seed,
+                             max_events=max_events).run(qps, n_requests)

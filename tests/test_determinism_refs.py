@@ -1,0 +1,72 @@
+"""Determinism pins for the fault/resilience PR.
+
+Two contracts:
+
+* the fault/resilience layer is *opt-in*: with no injector armed, six
+  existing experiments render byte-identically to reference stdouts
+  captured before the layer existed (``tests/data/ref_stdout_*.txt``);
+* the new resilience sweep is itself deterministic: repeated runs and
+  ``--jobs 1`` vs ``--jobs 4`` produce byte-identical output.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    fig05_bandwidth,
+    fig07_minpc,
+    fig13_stack_interleaving,
+    fig22_end_to_end,
+    resilience_sweep,
+    run_all,
+    table04_config,
+    table05_area_power,
+)
+from repro.experiments.common import set_default_jobs
+
+DATA = Path(__file__).parent / "data"
+
+#: (reference file stem, experiment main, scale it was captured at)
+REFERENCES = [
+    ("fig05", fig05_bandwidth.main, 1.0),
+    ("fig07", fig07_minpc.main, 1.0),
+    ("fig13", fig13_stack_interleaving.main, 1.0),
+    ("fig22", fig22_end_to_end.main, 0.25),
+    ("table04", table04_config.main, 1.0),
+    ("table05", table05_area_power.main, 1.0),
+]
+
+
+@pytest.mark.parametrize("stem,main_fn,scale", REFERENCES,
+                         ids=[r[0] for r in REFERENCES])
+def test_fault_free_output_matches_pre_change_reference(stem, main_fn,
+                                                        scale):
+    """The layer's no-op guarantee, pinned byte for byte."""
+    ref = (DATA / f"ref_stdout_{stem}.txt").read_text()
+    assert main_fn(scale) == ref
+
+
+def test_resilience_sweep_repeats_byte_identically():
+    assert resilience_sweep.main(0.1) == resilience_sweep.main(0.1)
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_resilience_sweep_independent_of_jobs(jobs):
+    try:
+        set_default_jobs(jobs)
+        out = resilience_sweep.main(0.1)
+    finally:
+        set_default_jobs(None)
+    assert out == resilience_sweep.main(0.1)  # vs the serial rendering
+
+
+def test_run_all_resilience_jobs_parity(capsys):
+    args = ["--only", "resilience", "--scale", "0.1"]
+    assert run_all.main(args) == 0
+    baseline = capsys.readouterr().out
+    assert run_all.main(args + ["--jobs", "4"]) == 0
+    try:
+        assert capsys.readouterr().out == baseline
+    finally:
+        set_default_jobs(None)

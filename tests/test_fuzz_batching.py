@@ -1,0 +1,201 @@
+"""End-to-end fuzz of the batching layer under faults and deadlines.
+
+Each case drives a seeded random mix of multi-API requests plus a
+random fault schedule through :class:`~repro.system.queueing.Station`
+with a small retry/deadline client on top, then asserts the two
+properties no parameter draw may break:
+
+* **conservation** - every arrival resolves exactly once, so
+  ``arrivals == completions + sheds + deadline misses``;
+* **latency floor** - a completed request's latency is at least the
+  service latency of the station its final attempt was served by
+  (faults only ever slow service down, never speed it up).
+
+Both *naive* batching (one shared station serves every API class) and
+*per-API* batching (one station per class, the SIMR arrangement) are
+fuzzed, with the Station-level sanitizer checks armed throughout.
+"""
+
+import random
+
+import pytest
+
+from repro.system import FaultConfig, FaultInjector, Job, Simulator, Station
+
+#: (api name, service latency us) - deliberately spread an order of
+#: magnitude so naive cross-API batches are visibly heterogeneous
+APIS = (("get", 10.0), ("set", 25.0), ("range", 80.0), ("stat", 120.0))
+
+
+class _FuzzClient:
+    """Tiny open-loop client: deadlines, bounded retries, shedding."""
+
+    def __init__(self, sim, stations, rng, deadline_us, max_retries,
+                 shed_backlog_us):
+        self.sim = sim
+        self.stations = stations  # api name -> Station
+        self.rng = rng
+        self.deadline_us = deadline_us
+        self.max_retries = max_retries
+        self.shed_backlog_us = shed_backlog_us
+        self.arrivals = 0
+        self.completed = []  # (state, done_us)
+        self.shed = 0
+        self.missed = 0
+        self._states = {}
+        #: one stable callback per *station* object (a batched station
+        #: dispatches each batch through a single callback, and naive
+        #: mode routes every API through one shared station)
+        by_station = {}
+        self._dones = {}
+        for api, st in stations.items():
+            if id(st) not in by_station:
+                by_station[id(st)] = self._make_done()
+            self._dones[api] = by_station[id(st)]
+
+    def _make_done(self):
+        def done(t, jobs):
+            for j in jobs:
+                self._job_done(t, j)
+        return done
+
+    def submit(self, now, rid, api):
+        self.arrivals += 1
+        st = self.stations[api]
+        state = {"rid": rid, "api": api, "arrival": now, "retries": 0,
+                 "resolved": False}
+        self._states[rid] = state
+        if (self.shed_backlog_us is not None
+                and st.backlog_us(now) > self.shed_backlog_us):
+            state["resolved"] = True
+            self.shed += 1
+            return
+        self.sim.schedule(now + self.deadline_us, self._deadline, state)
+        self._attempt(now, state)
+
+    def _attempt(self, now, state):
+        if state["resolved"]:
+            return
+        job = Job(jid=self.arrivals * 1000 + state["retries"],
+                  arrival_us=state["arrival"], rid=state["rid"],
+                  attempt=state["retries"])
+        api = state["api"]
+        self.stations[api].arrive(now, job, self._dones[api])
+
+    def _job_done(self, t, job):
+        state = self._states[job.rid]
+        if state["resolved"]:
+            return  # stale attempt of an already-missed request
+        if job.failed:
+            if state["retries"] < self.max_retries:
+                state["retries"] += 1
+                self.sim.schedule(t + 50.0, self._attempt, state)
+            # out of retries: leave it to the deadline to resolve
+            return
+        state["resolved"] = True
+        self.completed.append((state, t))
+
+    def _deadline(self, now, state):
+        if not state["resolved"]:
+            state["resolved"] = True
+            self.missed += 1
+
+
+def _fuzz_case(seed, per_api):
+    rng = random.Random(seed)
+    sim = Simulator(max_events=500_000)
+    batch = rng.choice((1, 2, 4, 8))
+    servers = rng.randint(1, 3)
+    timeout = rng.choice((10.0, 50.0, 200.0))
+
+    if per_api:
+        stations = {api: Station(sim, f"st-{api}", lat, servers,
+                                 batch_size=batch,
+                                 batch_timeout_us=timeout)
+                    for api, lat in APIS}
+    else:
+        shared = Station(sim, "st-naive", max(l for _a, l in APIS),
+                         servers, batch_size=batch,
+                         batch_timeout_us=timeout)
+        stations = {api: shared for api, _lat in APIS}
+
+    faults = FaultConfig(
+        seed=seed,
+        outage_rate_per_s=rng.choice((0.0, 5.0, 20.0)),
+        outage_min_us=500.0,
+        outage_max_us=rng.choice((2_000.0, 10_000.0)),
+        straggler_prob=rng.choice((0.0, 0.05)),
+        straggler_mult=rng.choice((2.0, 8.0)),
+        spike_prob=rng.choice((0.0, 0.05)),
+        spike_us=300.0,
+        drop_prob=rng.choice((0.0, 0.02, 0.1)),
+    )
+    if faults.enabled:
+        FaultInjector(faults).attach(*set(stations.values()))
+
+    client = _FuzzClient(
+        sim, stations, rng,
+        deadline_us=rng.choice((2_000.0, 10_000.0, 50_000.0)),
+        max_retries=rng.randint(0, 3),
+        shed_backlog_us=rng.choice((None, 500.0)),
+    )
+
+    n = rng.randint(50, 200)
+    t = 0.0
+    for rid in range(n):
+        t += rng.expovariate(1.0) * rng.choice((20.0, 100.0))
+        api = rng.choice(APIS)[0]
+        sim.schedule(t, client.submit, rid, api)
+    sim.run()
+    return client, stations
+
+
+@pytest.mark.parametrize("per_api", [False, True],
+                         ids=["naive", "per-api"])
+@pytest.mark.parametrize("seed", range(0, 60, 3))
+def test_fuzz_conservation_and_latency_floor(monkeypatch, seed, per_api):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    client, stations = _fuzz_case(seed, per_api)
+
+    # conservation: every arrival resolved exactly once
+    assert (len(client.completed) + client.shed + client.missed
+            == client.arrivals)
+
+    # no station stranded queued work, none served more than arrived
+    for st in set(stations.values()):
+        assert not st._pending
+        assert st.dispatched_jobs == st.arrived_jobs
+
+    # latency floor: at least the serving station's service latency
+    for state, done_us in client.completed:
+        floor = stations[state["api"]].latency_us
+        lat = done_us - state["arrival"]
+        assert lat >= floor - 1e-9, (
+            f"seed {seed}: request {state['rid']} ({state['api']}) "
+            f"finished in {lat}us, below the {floor}us service floor")
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_fuzz_case_deterministic(seed):
+    a_client, _ = _fuzz_case(seed, per_api=True)
+    b_client, _ = _fuzz_case(seed, per_api=True)
+    assert [(s["rid"], t) for s, t in a_client.completed] == \
+        [(s["rid"], t) for s, t in b_client.completed]
+    assert (a_client.shed, a_client.missed) == \
+        (b_client.shed, b_client.missed)
+
+
+def test_fuzz_campaign_exercises_every_outcome():
+    """Sanity on the campaign itself: across the seeds, completions,
+    sheds, deadline misses and faults must all actually occur, or the
+    invariants above are vacuous."""
+    totals = {"completed": 0, "shed": 0, "missed": 0, "retried": 0}
+    for seed in range(0, 60, 3):
+        for per_api in (False, True):
+            client, _ = _fuzz_case(seed, per_api)
+            totals["completed"] += len(client.completed)
+            totals["shed"] += client.shed
+            totals["missed"] += client.missed
+            totals["retried"] += sum(
+                s["retries"] for s in client._states.values())
+    assert all(v > 0 for v in totals.values()), totals

@@ -6,15 +6,31 @@ import pytest
 
 from repro.core.run import BatchTask, run_batch_task, run_batch_tasks
 from repro.experiments.common import (
+    WorkerTaskError,
     parallel_map,
     resolve_jobs,
     set_default_jobs,
     task_seed,
+    task_timeout_s,
 )
 
 
 def _square(x):
     return x * x
+
+
+def _square_or_fail(x):
+    if x == 13:
+        raise ValueError("unlucky item")
+    return x * x
+
+
+def _sleep_forever(x):
+    import time
+
+    if x == 2:
+        time.sleep(60)
+    return x
 
 
 def test_parallel_map_matches_serial_and_preserves_order():
@@ -41,6 +57,34 @@ def test_resolve_jobs_precedence(monkeypatch):
         assert resolve_jobs() == 5  # CLI default beats environment
     finally:
         set_default_jobs(None)
+
+
+def test_parallel_map_names_the_failing_item():
+    with pytest.raises(WorkerTaskError) as exc:
+        parallel_map(_square_or_fail, list(range(20)), jobs=4)
+    msg = str(exc.value)
+    assert "13" in msg  # the failing item is identified...
+    assert "unlucky item" in msg  # ...with the worker's traceback
+    assert "ValueError" in msg
+
+
+def test_task_timeout_parsing(monkeypatch):
+    monkeypatch.delenv("REPRO_TASK_TIMEOUT", raising=False)
+    assert task_timeout_s() is None
+    monkeypatch.setenv("REPRO_TASK_TIMEOUT", "2.5")
+    assert task_timeout_s() == 2.5
+    monkeypatch.setenv("REPRO_TASK_TIMEOUT", "bogus")
+    assert task_timeout_s() is None
+    monkeypatch.setenv("REPRO_TASK_TIMEOUT", "0")
+    assert task_timeout_s() is None
+
+
+def test_task_timeout_kills_hung_worker(monkeypatch):
+    monkeypatch.setenv("REPRO_TASK_TIMEOUT", "0.2")
+    with pytest.raises(WorkerTaskError) as exc:
+        parallel_map(_sleep_forever, [0, 1, 2, 3], jobs=2)
+    assert "REPRO_TASK_TIMEOUT" in str(exc.value)
+    assert "TimeoutError" in str(exc.value)
 
 
 def test_task_seed_is_deterministic_and_distinct():

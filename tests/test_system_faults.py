@@ -1,0 +1,236 @@
+"""Deterministic fault injector: windows, per-dispatch plans, Station
+semantics (fail-fast, in-flight kill, drops, stragglers, spikes)."""
+
+import pytest
+
+from repro.system import (
+    FaultConfig,
+    FaultInjector,
+    Job,
+    SimulationLimitError,
+    Simulator,
+    Station,
+)
+
+
+def _place_window(inj, name, start, end):
+    """Pin one outage window for ``name`` (bypassing the Poisson draw)
+    so the Station-facing tests control fault placement exactly."""
+    inj._windows[name] = ([start], [end])
+    inj.stats.windows[name] = 1
+
+
+class TestFaultConfig:
+    def test_default_is_disabled(self):
+        assert not FaultConfig().enabled
+
+    def test_scaled_multiplies_and_clamps(self):
+        cfg = FaultConfig(outage_rate_per_s=2.0, straggler_prob=0.4,
+                          spike_prob=0.01, drop_prob=0.6)
+        up = cfg.scaled(3.0)
+        assert up.outage_rate_per_s == 6.0
+        assert up.straggler_prob == 1.0  # clamped
+        assert up.spike_prob == pytest.approx(0.03)
+        assert up.drop_prob == 1.0  # clamped
+        assert not cfg.scaled(0.0).enabled
+
+    def test_scaled_preserves_seed_and_shape(self):
+        cfg = FaultConfig(seed=42, outage_rate_per_s=1.0,
+                          outage_min_us=100.0, outage_max_us=200.0)
+        up = cfg.scaled(2.0)
+        assert up.seed == 42
+        assert (up.outage_min_us, up.outage_max_us) == (100.0, 200.0)
+
+
+class TestWindows:
+    def test_windows_deterministic_per_seed(self):
+        cfg = FaultConfig(outage_rate_per_s=20.0, horizon_us=500_000.0)
+        a = FaultInjector(cfg).windows_for("memcached")
+        b = FaultInjector(cfg).windows_for("memcached")
+        assert a == b and len(a) > 0
+
+    def test_windows_differ_across_stations_and_seeds(self):
+        cfg = FaultConfig(outage_rate_per_s=20.0, horizon_us=500_000.0)
+        inj = FaultInjector(cfg)
+        assert inj.windows_for("user") != inj.windows_for("memcached")
+        other = FaultInjector(FaultConfig(seed=99, outage_rate_per_s=20.0,
+                                          horizon_us=500_000.0))
+        assert other.windows_for("user") != inj.windows_for("user")
+
+    def test_windows_sorted_and_disjoint(self):
+        inj = FaultInjector(FaultConfig(outage_rate_per_s=50.0,
+                                        horizon_us=1_000_000.0))
+        wins = inj.windows_for("s")
+        for (s0, e0), (s1, _e1) in zip(wins, wins[1:]):
+            assert s0 < e0 < s1  # merged: no overlap, strictly ordered
+
+    def test_outage_queries_match_windows(self):
+        inj = FaultInjector(FaultConfig(outage_rate_per_s=1.0))
+        _place_window(inj, "s", 100.0, 500.0)
+        assert inj.outage_end("s", 99.9) is None
+        assert inj.outage_end("s", 100.0) == 500.0
+        assert inj.outage_end("s", 499.9) == 500.0
+        assert inj.outage_end("s", 500.0) is None
+        assert inj.outage_onset("s", 0.0, 100.0) is None  # open interval
+        assert inj.outage_onset("s", 0.0, 100.1) == 100.0
+        assert inj.outage_onset("s", 100.0, 1000.0) is None  # already down
+
+    def test_station_filter_limits_injection(self):
+        cfg = FaultConfig(drop_prob=1.0, stations=frozenset({"memcached"}))
+        inj = FaultInjector(cfg)
+        jobs = [Job(0, 0.0), Job(1, 0.0)]
+        _end, drops, _m, _x = inj.plan("user", 0.0, jobs)
+        assert not drops
+        _end, drops, _m, _x = inj.plan("memcached", 0.0, jobs)
+        assert len(drops) == 2
+
+    def test_plan_is_order_independent(self):
+        """The same (station, jid, attempt) identifiers give the same
+        plan no matter when or in what order they are queried."""
+        cfg = FaultConfig(straggler_prob=0.3, spike_prob=0.3, drop_prob=0.3)
+        a = FaultInjector(cfg)
+        b = FaultInjector(cfg)
+        jobs = [Job(j, 0.0) for j in range(50)]
+        plans_a = [a.plan("s", 10.0 * j.jid, [j]) for j in jobs]
+        plans_b = [b.plan("s", 999.0, [j]) for j in reversed(jobs)]
+        assert plans_a == list(reversed(plans_b))
+
+
+def _drive(st, jobs, at=0.0):
+    """Arrive jobs at ``at`` sharing one callback; run; return results."""
+    out = []
+
+    def done(t, js):
+        out.append((t, list(js)))
+
+    for j in jobs:
+        st.sim.schedule(at, lambda t, j=j: st.arrive(t, j, done))
+    st.sim.run()
+    return out
+
+
+class TestStationFaults:
+    def test_dispatch_during_outage_fails_fast(self):
+        sim = Simulator()
+        st = Station(sim, "s", latency_us=100.0, servers=1)
+        inj = FaultInjector(FaultConfig(outage_rate_per_s=1.0,
+                                        detect_us=30.0)).attach(st)
+        _place_window(inj, "s", 0.0, 1_000.0)
+        out = _drive(st, [Job(0, 0.0)])
+        (t, js), = out
+        assert t == 30.0  # detect_us, not service latency
+        assert js[0].failed and js[0].fail_site == "s"
+        assert st.failed_jobs == 1 and st.busy_us == 0.0
+        assert inj.stats.outage_failures == 1
+
+    def test_outage_onset_kills_inflight_work(self):
+        sim = Simulator()
+        st = Station(sim, "s", latency_us=100.0, servers=1)
+        inj = FaultInjector(FaultConfig(outage_rate_per_s=1.0,
+                                        detect_us=30.0)).attach(st)
+        _place_window(inj, "s", 40.0, 500.0)  # starts mid-service
+        out = _drive(st, [Job(0, 0.0)])
+        (t, js), = out
+        assert t == 70.0  # onset 40 + detect 30, not finish 100
+        assert js[0].failed
+        assert inj.stats.inflight_failures == 1
+
+    def test_service_completes_before_onset(self):
+        sim = Simulator()
+        st = Station(sim, "s", latency_us=100.0, servers=1)
+        inj = FaultInjector(FaultConfig(outage_rate_per_s=1.0)).attach(st)
+        _place_window(inj, "s", 200.0, 500.0)  # after the finish
+        (t, js), = _drive(st, [Job(0, 0.0)])
+        assert t == 100.0 and not js[0].failed
+
+    def test_drops_leave_the_batch(self):
+        sim = Simulator()
+        st = Station(sim, "s", latency_us=10.0, servers=1, batch_size=4,
+                     batch_timeout_us=5.0)
+        inj = FaultInjector(FaultConfig(drop_prob=1.0,
+                                        detect_us=30.0)).attach(st)
+        out = _drive(st, [Job(j, 0.0) for j in range(4)])
+        assert st.dropped_jobs == 4 and inj.stats.drops == 4
+        for _t, js in out:
+            assert all(j.failed for j in js)
+
+    def test_straggler_multiplies_latency_and_occupancy(self):
+        sim = Simulator()
+        st = Station(sim, "s", latency_us=10.0, servers=1)
+        FaultInjector(FaultConfig(straggler_prob=1.0,
+                                  straggler_mult=4.0)).attach(st)
+        (t, js), = _drive(st, [Job(0, 0.0)])
+        assert t == 40.0 and not js[0].failed
+        assert st.busy_us == 40.0  # stragglers charged their real time
+
+    def test_spike_is_additive(self):
+        sim = Simulator()
+        st = Station(sim, "s", latency_us=10.0, servers=1)
+        FaultInjector(FaultConfig(spike_prob=1.0, spike_us=500.0)).attach(st)
+        (t, _js), = _drive(st, [Job(0, 0.0)])
+        assert t == 510.0
+
+    def test_unattached_station_is_exact_fast_path(self):
+        for faulty in (False, True):
+            sim = Simulator()
+            st = Station(sim, "s", latency_us=10.0, servers=1)
+            if faulty:
+                # all rates zero: attached but must behave identically
+                FaultInjector(FaultConfig()).attach(st)
+            out = _drive(st, [Job(j, 0.0) for j in range(3)])
+            assert [t for t, _ in out] == [10.0, 20.0, 30.0]
+            assert st.busy_us == 30.0
+
+
+class TestSimulatorLimit:
+    def test_limit_raises_and_names_hottest_callback(self):
+        sim = Simulator(max_events=200)
+        st = Station(sim, "hotspot", latency_us=1.0, servers=1)
+
+        def rebound(t, js):  # pathological: every completion re-arrives
+            for j in js:
+                st.arrive(t, j, rebound)
+
+        st.arrive(0.0, Job(0, 0.0), rebound)
+        with pytest.raises(SimulationLimitError) as exc:
+            sim.run()
+        msg = str(exc.value)
+        assert "200 events" in msg and "rebound" in msg
+
+    def test_limit_names_the_owning_station(self):
+        """Bound-method callbacks are attributed to their station by
+        name - the diagnosis the guard exists to provide."""
+
+        class Pinger:
+            def __init__(self, sim, name):
+                self.sim = sim
+                self.name = name
+
+            def ping(self, t):
+                self.sim.schedule(t + 1.0, self.ping)
+
+        sim = Simulator()
+        Pinger(sim, "retry-storm").ping(0.0)
+        with pytest.raises(SimulationLimitError) as exc:
+            sim.run(max_events=100)
+        assert "station 'retry-storm'" in str(exc.value)
+
+    def test_limit_on_run_call_overrides(self):
+        sim = Simulator()
+        st = Station(sim, "s", latency_us=1.0, servers=1)
+
+        def rebound(t, js):
+            for j in js:
+                st.arrive(t, j, rebound)
+
+        st.arrive(0.0, Job(0, 0.0), rebound)
+        with pytest.raises(SimulationLimitError):
+            sim.run(max_events=50)
+
+    def test_limit_allows_bounded_simulations(self):
+        sim = Simulator(max_events=10_000)
+        seen = []
+        for i in range(100):
+            sim.schedule(float(i), lambda t: seen.append(t))
+        sim.run()
+        assert len(seen) == 100

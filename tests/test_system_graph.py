@@ -3,8 +3,10 @@
 import pytest
 
 from repro.system import (
+    FaultConfig,
     GraphConfig,
     GraphNode,
+    ResilienceConfig,
     run_graph,
     social_network_graph,
 )
@@ -62,3 +64,64 @@ def test_cpu_graph_saturates_before_rpu():
     cpu = run_graph(social_network_graph(), qps, n_requests=1200)
     rpu = run_graph(social_network_graph(rpu=True), qps, n_requests=1200)
     assert cpu.p99_us > 3 * rpu.p99_us
+
+
+_GRAPH_FAULTS = FaultConfig(seed=11, outage_rate_per_s=4.0,
+                            outage_min_us=2_000.0, outage_max_us=8_000.0,
+                            drop_prob=0.01)
+
+
+def test_faulty_graph_conserves_requests(monkeypatch):
+    """completed + violated == injected, sanitizer-checked in-run."""
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    res = run_graph(social_network_graph(), qps=5000, n_requests=600,
+                    faults=_GRAPH_FAULTS)
+    assert res.completed < 600  # faults actually landed
+    assert res.completed > 0
+
+
+def test_graph_retries_recover_completions(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    bare = run_graph(social_network_graph(), qps=5000, n_requests=600,
+                     faults=_GRAPH_FAULTS)
+    ret = run_graph(social_network_graph(), qps=5000, n_requests=600,
+                    faults=_GRAPH_FAULTS,
+                    resilience=ResilienceConfig(max_retries=3))
+    assert ret.completed > bare.completed
+
+
+def test_graph_deadline_counts_violations(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    res = run_graph(social_network_graph(), qps=5000, n_requests=400,
+                    resilience=ResilienceConfig(deadline_us=200.0))
+    # every path through the graph exceeds 200us even idle (the
+    # cheapest - post -> uniqueid - needs ~265us of service + network)
+    assert res.completed == 0
+
+
+def test_faulty_graph_deterministic_per_seed():
+    kwargs = dict(qps=5000, n_requests=500, seed=9, faults=_GRAPH_FAULTS,
+                  resilience=ResilienceConfig(max_retries=2,
+                                              deadline_us=80_000.0))
+    a = run_graph(social_network_graph(), **kwargs)
+    b = run_graph(social_network_graph(), **kwargs)
+    assert (a.completed, a.avg_latency_us, a.p99_us) == \
+        (b.completed, b.avg_latency_us, b.p99_us)
+
+
+def test_fanout_leg_failure_fails_the_attempt(monkeypatch):
+    """An outage on one fan-out leaf must fail the joined request (the
+    other legs drain without resolving it)."""
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    faults = FaultConfig(seed=11, outage_rate_per_s=100.0,
+                         outage_min_us=50_000.0, outage_max_us=100_000.0,
+                         stations=frozenset({"text"}))
+    nodes = {
+        "root": GraphNode("root", 10.0, servers=100,
+                          fanout=["uid", "text"]),
+        "uid": GraphNode("uid", 5.0, servers=100),
+        "text": GraphNode("text", 40.0, servers=100),
+    }
+    cfg = GraphConfig(nodes=nodes, entry="root", network_us=10.0)
+    res = run_graph(cfg, qps=1000, n_requests=200, faults=faults)
+    assert res.completed < 200
