@@ -24,6 +24,21 @@ def scale():
     return BENCH_SCALE
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_store(tmp_path_factory):
+    """Keep the persistent store (repro.store) out of the working tree
+    and out of cross-run reuse: figure benches would otherwise serve
+    timed results from a previous benchmark invocation's cache."""
+    prev = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("repro_bench_store"))
+    yield
+    if prev is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = prev
+
+
 def run_once(benchmark, fn):
     """Benchmark one expensive experiment with a single measurement."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

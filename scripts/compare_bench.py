@@ -45,6 +45,11 @@ def main(argv=None) -> int:
     parser.add_argument("current", help="current benchmark JSON")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="allowed fractional slowdown (default 0.30)")
+    parser.add_argument("--min-speedup", action="append", default=[],
+                        metavar="SLOW:FAST:K",
+                        help="require current[SLOW] >= K * current[FAST] "
+                             "(e.g. the pipeline store's cold:warm ratio); "
+                             "repeatable")
     args = parser.parse_args(argv)
 
     base = load_means(args.baseline)
@@ -67,6 +72,25 @@ def main(argv=None) -> int:
 
     for name in sorted(base.keys() - cur.keys()):
         print(f"{name:{width}}  missing from current run", file=sys.stderr)
+    for name in sorted(cur.keys() - base.keys()):
+        print(f"{name:{width}}  {'(new)':>12}  {cur[name]:>10.1f}us")
+
+    for spec in args.min_speedup:
+        try:
+            slow, fast, k = spec.split(":")
+            k = float(k)
+        except ValueError:
+            raise SystemExit(f"--min-speedup wants SLOW:FAST:K, got {spec!r}")
+        for name in (slow, fast):
+            if name not in cur:
+                raise SystemExit(f"--min-speedup: {name!r} not in current")
+        ratio = cur[slow] / cur[fast]
+        if ratio < k:
+            regressions.append(f"{slow}/{fast}")
+            print(f"\n{slow} is only {ratio:.1f}x {fast} "
+                  f"(required >= {k:g}x)  <-- REGRESSION")
+        else:
+            print(f"\n{slow} is {ratio:.1f}x {fast} (required >= {k:g}x)")
 
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed by more than "

@@ -139,6 +139,14 @@ def main() -> None:
         f"{SCALE}` (request scale {SCALE}; paper scale is ~12, i.e. "
         "2400 requests/service).",
         "",
+        "Simulation results are memoized in the persistent "
+        "content-addressed store (`.repro_cache/`, see README), so "
+        "regeneration after an edit re-simulates only what the edit "
+        "invalidated; `REPRO_CACHE=0` forces a from-scratch run and "
+        "`REPRO_CACHE_VERIFY=1` recomputes every cache hit and fails "
+        "on any divergence. Either way the numbers below are "
+        "byte-identical.",
+        "",
         "All measured numbers come from the approximate Python models "
         "described in DESIGN.md; the reproduction targets the paper's "
         "*shapes* (who wins, by roughly what factor, where crossovers "

@@ -18,6 +18,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from ..timing.config import CoreConfig
 from ..workloads import Microservice, all_services, get_service
 
 #: default measured population per service (scaled by `scale`)
@@ -110,7 +111,8 @@ def _invoke_task(payload):
 
 
 def parallel_map(fn: Callable, items: Iterable, jobs: Optional[int] = None,
-                 chunksize: int = 1) -> List:
+                 chunksize: int = 1,
+                 priority: Optional[Sequence[float]] = None) -> List:
     """``[fn(x) for x in items]``, optionally across worker processes.
 
     Results keep item order, so parallel and serial runs produce
@@ -118,6 +120,15 @@ def parallel_map(fn: Callable, items: Iterable, jobs: Optional[int] = None,
     items picklable.  Falls back to the serial path when only one job
     is requested, when there is at most one item, or inside a worker
     process (daemonic workers cannot spawn nested pools).
+
+    ``priority`` (one float per item, higher = submitted earlier) fixes
+    the tail-blocking unfairness of heterogeneous task costs: with
+    ``chunksize=1`` a long task submitted last runs alone at the end of
+    the sweep while every other worker idles.  Submitting
+    longest-estimated-first bounds that tail at the cost of the longest
+    single task.  Submission order never affects the *result* order
+    (results are re-gathered by item index), and the serial path
+    ignores priorities entirely so serial output stays byte-identical.
 
     Hardening: a task that raises in its worker surfaces as
     :class:`WorkerTaskError` naming the failing item with the worker's
@@ -136,7 +147,14 @@ def parallel_map(fn: Callable, items: Iterable, jobs: Optional[int] = None,
     except ValueError:  # platform without fork: inherit the default
         ctx = multiprocessing.get_context()
     timeout = task_timeout_s()
-    payloads = [(fn, i, item, timeout) for i, item in enumerate(items)]
+    order = list(range(len(items)))
+    if priority is not None:
+        ranks = list(priority)
+        if len(ranks) != len(items):
+            raise ValueError(
+                f"priority has {len(ranks)} entries for {len(items)} items")
+        order.sort(key=lambda i: (-ranks[i], i))
+    payloads = [(fn, i, items[i], timeout) for i in order]
     results: dict = {}
     try:
         # ``imap_unordered`` yields as workers finish, so on a pool
@@ -169,6 +187,109 @@ def requests_for(service: Microservice, scale: float = 1.0,
     """Draw the scaled default request population for a service."""
     n = max(2 * service.recommended_batch, int(DEFAULT_REQUESTS * scale))
     return service.generate_requests(n, random.Random(seed))
+
+
+def default_population(service: Microservice, scale: float) -> int:
+    """Request count :func:`requests_for` draws at this scale."""
+    return max(2 * service.recommended_batch, int(DEFAULT_REQUESTS * scale))
+
+
+# ----------------------------------------------------------------------
+# deduplicating cross-experiment work-unit scheduler
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One deduplicatable chip simulation: service x config x policy x
+    population.
+
+    Experiments declare the units their ``run()`` will consume via a
+    module-level ``work_units(scale)`` hook; ``run_all`` collects the
+    declarations, drops duplicates (identical units recur across
+    figures: fig14, fig15, fig19-21 and cycle_stacks all time the same
+    CPU runs), and executes the unique set once through the parallel
+    pool.  The results land in the persistent store
+    (:mod:`repro.store`), so the figures themselves render entirely
+    from cache hits.  ``cost`` is a scheduling estimate only - it is
+    excluded from identity, so two figures estimating the same unit
+    differently still dedup.
+    """
+
+    service: str
+    config: CoreConfig
+    policy: str = "minsp_pc"
+    batching: str = "per_api_size"
+    batch_size: Optional[int] = None
+    n_requests: int = DEFAULT_REQUESTS
+    seed: int = SEED
+    #: bespoke allocator class name from ``repro.memsys.alloc`` (None =
+    #: the config's default allocator)
+    allocator: Optional[str] = None
+    cost: float = field(default=0.0, compare=False)
+
+
+def chip_unit(service: Microservice, config: CoreConfig, scale: float,
+              **kw) -> WorkUnit:
+    """A :class:`WorkUnit` for one default-population ``run_chip`` call,
+    with a cost estimate proportional to the requests simulated (solo
+    designs execute every request individually, so they weigh double a
+    lockstep design's shared-frontend batches)."""
+    n = kw.pop("n_requests", default_population(service, scale))
+    weight = 2.0 if config.batch_size <= 1 else 1.0
+    return WorkUnit(service=service.name, config=config, n_requests=n,
+                    cost=n * weight, **kw)
+
+
+def execute_work_unit(unit: WorkUnit) -> None:
+    """Worker entry: simulate one unit so its results reach the store.
+
+    The returned :class:`ChipResult` is deliberately dropped - workers
+    communicate through the persistent store, not the pool pipe.
+    """
+    from ..timing.chip import run_chip
+
+    service = get_service(unit.service)
+    requests = service.generate_requests(unit.n_requests,
+                                         random.Random(unit.seed))
+    kwargs = {}
+    if unit.allocator is not None:
+        from ..memsys import alloc as alloc_mod
+
+        cls = getattr(alloc_mod, unit.allocator)
+        n_banks = max(unit.config.l1_banks, 1)
+        kwargs["allocator_factory"] = lambda: cls(n_banks=n_banks)
+        kwargs["allocator_signature"] = (unit.allocator, n_banks)
+    run_chip(service, requests, unit.config, policy=unit.policy,
+             batching=unit.batching, batch_size=unit.batch_size, **kwargs)
+
+
+def dedup_units(units: Iterable[WorkUnit]) -> List[WorkUnit]:
+    """Unique units in first-seen order (cost excluded from identity)."""
+    seen: Dict[WorkUnit, WorkUnit] = {}
+    for u in units:
+        seen.setdefault(u, u)
+    return list(seen.values())
+
+
+def schedule_units(units: Sequence[WorkUnit],
+                   jobs: Optional[int] = None) -> int:
+    """Prewarm the persistent store with the unique units, longest
+    estimated first; returns how many unique units were scheduled.
+
+    A no-op (returns 0) when the store is disabled - without it the
+    results would die with the workers - or when only one job is
+    available, where the experiments themselves fill the store in the
+    same total time.
+    """
+    from .. import store
+
+    jobs = resolve_jobs(jobs)
+    unique = dedup_units(units)
+    if not unique or jobs <= 1 or store.get_store() is None:
+        return 0
+    parallel_map(execute_work_unit, unique, jobs=jobs,
+                 priority=[u.cost for u in unique])
+    return len(unique)
 
 
 @dataclass
@@ -226,14 +347,19 @@ def summary_row(rows: Sequence[Row], columns: Sequence[str],
     )
 
 
-def experiment_cli(main_fn: Callable[[float], str], argv=None) -> int:
+def experiment_cli(main_fn: Callable[[float], str], argv=None,
+                   units_fn: Optional[Callable] = None) -> int:
     """Shared ``__main__`` driver for the per-figure experiment modules.
 
     Gives every experiment the same flags as ``run_all``: ``--scale``,
     ``--full`` (the paper's ~2400-request populations) and ``--jobs N``
-    for the multiprocessing sweep driver.
+    for the multiprocessing sweep driver.  Experiments that declare
+    their work units pass ``units_fn``; with multiple jobs the unique
+    units are prewarmed through the pool (longest first) before the
+    figure renders from the store.
     """
     import argparse
+    import time
 
     parser = argparse.ArgumentParser(description=main_fn.__doc__)
     parser.add_argument("--scale", type=float, default=1.0,
@@ -245,5 +371,12 @@ def experiment_cli(main_fn: Callable[[float], str], argv=None) -> int:
     args = parser.parse_args(argv)
     if args.jobs is not None:
         set_default_jobs(args.jobs)
-    print(main_fn(12.0 if args.full else args.scale))
+    scale = 12.0 if args.full else args.scale
+    if units_fn is not None and resolve_jobs(args.jobs) > 1:
+        t0 = time.time()
+        n = schedule_units(units_fn(scale), jobs=args.jobs)
+        if n:
+            print(f"[prewarmed {n} work units in {time.time() - t0:.1f}s]",
+                  file=sys.stderr)
+    print(main_fn(scale))
     return 0

@@ -14,12 +14,19 @@ from typing import List
 
 from ..timing import CPU_CONFIG, RPU_CONFIG, SMT8_CONFIG, run_chip
 from ..workloads import get_service
-from .common import Row, format_rows, requests_for
+from .common import Row, chip_unit, format_rows, requests_for
 
 COLUMNS = ["dep_wait", "mem_service", "exec_service", "icache_stalls",
            "retire_share"]
 
 SERVICES = ("memcached", "post", "search-midtier", "socialgraph")
+
+
+def work_units(scale: float = 1.0):
+    """Declare the chip simulations ``run(scale)`` will consume."""
+    return [chip_unit(get_service(name), cfg, scale)
+            for name in SERVICES
+            for cfg in (CPU_CONFIG, SMT8_CONFIG, RPU_CONFIG)]
 
 
 def run(scale: float = 1.0, services=SERVICES) -> List[Row]:
@@ -58,4 +65,6 @@ def main(scale: float = 1.0) -> str:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    print(main())
+    from .common import experiment_cli
+
+    raise SystemExit(experiment_cli(main, units_fn=work_units))

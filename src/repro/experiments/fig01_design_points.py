@@ -23,7 +23,7 @@ from ..timing import (
     run_chip,
 )
 from ..workloads import get_service
-from .common import Row, format_rows, geomean
+from .common import Row, chip_unit, format_rows, geomean
 
 COLUMNS = ["rel_requests_per_joule", "rel_latency"]
 
@@ -35,6 +35,14 @@ INORDER_CPU = replace(CPU_CONFIG, name="cpu-inorder", in_order=True,
                       rob_entries=8)
 
 DESIGNS = [CPU_CONFIG, INORDER_CPU, SMT8_CONFIG, RPU_CONFIG, GPU_CONFIG]
+
+
+def work_units(scale: float = 1.0):
+    """Declare the chip simulations ``run(scale)`` will consume."""
+    n = max(256, int(512 * scale))
+    return [chip_unit(get_service(name), design, scale, n_requests=n,
+                      seed=13)
+            for name in SERVICE_MIX for design in DESIGNS]
 
 
 def run(scale: float = 1.0) -> List[Row]:
@@ -77,4 +85,6 @@ def main(scale: float = 1.0) -> str:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    print(main())
+    from .common import experiment_cli
+
+    raise SystemExit(experiment_cli(main, units_fn=work_units))

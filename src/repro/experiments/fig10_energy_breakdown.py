@@ -12,11 +12,16 @@ from typing import List
 from ..energy import energy_of
 from ..timing import CPU_CONFIG, run_chip
 from ..workloads import all_services
-from .common import Row, format_rows, requests_for, summary_row
+from .common import Row, chip_unit, format_rows, requests_for, summary_row
 
 COLUMNS = ["frontend_ooo", "execution", "memory"]
 
 PAPER = {"frontend_ooo": 0.73, "memory": 0.20}
+
+
+def work_units(scale: float = 1.0):
+    """Declare the chip simulations ``run(scale)`` will consume."""
+    return [chip_unit(s, CPU_CONFIG, scale) for s in all_services()]
 
 
 def run(scale: float = 1.0) -> List[Row]:
@@ -45,4 +50,6 @@ def main(scale: float = 1.0) -> str:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    print(main())
+    from .common import experiment_cli
+
+    raise SystemExit(experiment_cli(main, units_fn=work_units))

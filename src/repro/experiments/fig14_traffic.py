@@ -12,12 +12,18 @@ from typing import List
 
 from ..timing import CPU_CONFIG, RPU_CONFIG, run_chip
 from ..workloads import all_services
-from .common import Row, format_rows, requests_for, summary_row
+from .common import Row, chip_unit, format_rows, requests_for, summary_row
 
 COLUMNS = ["cpu_l1_per_req", "rpu_l1_per_req", "reduction",
            "rpu_norm", "stack_share"]
 
 PAPER_AVG_REDUCTION = 4.0
+
+
+def work_units(scale: float = 1.0):
+    """Declare the chip simulations ``run(scale)`` will consume."""
+    return [chip_unit(s, cfg, scale) for s in all_services()
+            for cfg in (CPU_CONFIG, RPU_CONFIG)]
 
 
 def run(scale: float = 1.0) -> List[Row]:
@@ -55,4 +61,6 @@ def main(scale: float = 1.0) -> str:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    print(main())
+    from .common import experiment_cli
+
+    raise SystemExit(experiment_cli(main, units_fn=work_units))

@@ -12,10 +12,20 @@ from typing import List
 
 from ..timing import CPU_CONFIG, RPU_CONFIG, run_chip
 from ..workloads import all_services
-from .common import Row, format_rows, requests_for, summary_row
+from .common import Row, chip_unit, format_rows, requests_for, summary_row
 
 BATCHES = (32, 16, 8, 4)
 COLUMNS = ["cpu"] + [f"rpu_b{b}" for b in BATCHES]
+
+
+def work_units(scale: float = 1.0):
+    """Declare the chip simulations ``run(scale)`` will consume."""
+    units = []
+    for service in all_services():
+        units.append(chip_unit(service, CPU_CONFIG, scale))
+        units.extend(chip_unit(service, RPU_CONFIG, scale, batch_size=b)
+                     for b in BATCHES)
+    return units
 
 
 def _mpki(result) -> float:
@@ -45,4 +55,6 @@ def main(scale: float = 1.0) -> str:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    print(main())
+    from .common import experiment_cli
+
+    raise SystemExit(experiment_cli(main, units_fn=work_units))

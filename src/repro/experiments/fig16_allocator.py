@@ -14,7 +14,7 @@ from typing import List
 from ..memsys import DefaultAllocator, SimrAwareAllocator
 from ..timing import RPU_CONFIG, run_chip
 from ..workloads import get_service
-from .common import Row, format_rows, requests_for
+from .common import Row, chip_unit, format_rows, requests_for
 
 COLUMNS = ["conflict_cyc_per_req", "latency_cyc", "l1_per_cycle"]
 
@@ -22,13 +22,26 @@ SERVICES = ("hdsearch-leaf", "search-leaf")
 
 PAPER_THROUGHPUT_GAIN = 1.8
 
+ALLOCATORS = (("default", DefaultAllocator), ("simr-aware",
+                                              SimrAwareAllocator))
+
 
 def _run(service, requests, allocator_cls):
+    # allocator behaviour is fully determined by (class, n_banks), so
+    # vouch for the factory with its signature to stay cacheable
     return run_chip(
         service, requests, RPU_CONFIG,
         allocator_factory=lambda: allocator_cls(
             n_banks=RPU_CONFIG.l1_banks),
+        allocator_signature=(allocator_cls.__name__, RPU_CONFIG.l1_banks),
     )
+
+
+def work_units(scale: float = 1.0):
+    """Declare the chip simulations ``run(scale)`` will consume."""
+    return [chip_unit(get_service(name), RPU_CONFIG, scale,
+                      allocator=cls.__name__)
+            for name in SERVICES for _label, cls in ALLOCATORS]
 
 
 def run(scale: float = 1.0) -> List[Row]:
@@ -37,8 +50,7 @@ def run(scale: float = 1.0) -> List[Row]:
     for name in SERVICES:
         service = get_service(name)
         requests = requests_for(service, scale)
-        for label, cls in (("default", DefaultAllocator),
-                           ("simr-aware", SimrAwareAllocator)):
+        for label, cls in ALLOCATORS:
             res = _run(service, requests, cls)
             rows.append(
                 Row(
@@ -84,4 +96,6 @@ def main(scale: float = 1.0) -> str:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    print(main())
+    from .common import experiment_cli
+
+    raise SystemExit(experiment_cli(main, units_fn=work_units))

@@ -21,6 +21,7 @@ from ..timing import CPU_CONFIG, RPU_CONFIG, SMT8_CONFIG, run_chip
 from ..workloads import all_services, get_service
 from .common import (
     Row,
+    chip_unit,
     format_rows,
     parallel_map,
     requests_for,
@@ -95,6 +96,12 @@ def _service_row(item) -> Row:
     return _measure(get_service(name), scale)
 
 
+def work_units(scale: float = 1.0):
+    """Declare the chip simulations ``run(scale)`` will consume."""
+    return [chip_unit(s, cfg, scale) for s in all_services()
+            for cfg in (CPU_CONFIG, SMT8_CONFIG, RPU_CONFIG)]
+
+
 def run(scale: float = 1.0, services=None) -> List[Row]:
     """Measure the experiment; returns structured rows.
 
@@ -152,4 +159,4 @@ def main(scale: float = 1.0) -> str:
 if __name__ == "__main__":  # pragma: no cover
     from .common import experiment_cli
 
-    raise SystemExit(experiment_cli(main))
+    raise SystemExit(experiment_cli(main, units_fn=work_units))

@@ -15,13 +15,21 @@ from typing import List
 from ..energy import requests_per_joule
 from ..timing import CPU_CONFIG, GPU_CONFIG, RPU_CONFIG, run_chip
 from ..workloads import get_service
-from .common import Row, format_rows, summary_row
+from .common import Row, chip_unit, format_rows, summary_row
 
 COLUMNS = ["gpu_ee", "gpu_lat", "rpu_ee", "rpu_lat"]
 
 PAPER = {"gpu_ee": 28.0, "gpu_lat": 79.0}
 
 SUBSET = ("post", "uniqueid", "usertag", "mcrouter")
+
+
+def work_units(scale: float = 1.0):
+    """Declare the chip simulations ``run(scale)`` will consume."""
+    n = max(2048, int(2048 * scale))
+    return [chip_unit(get_service(name), cfg, scale, n_requests=n, seed=11)
+            for name in SUBSET
+            for cfg in (CPU_CONFIG, GPU_CONFIG, RPU_CONFIG)]
 
 
 def run(scale: float = 1.0, services=SUBSET) -> List[Row]:
@@ -56,4 +64,6 @@ def main(scale: float = 1.0) -> str:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    print(main())
+    from .common import experiment_cli
+
+    raise SystemExit(experiment_cli(main, units_fn=work_units))

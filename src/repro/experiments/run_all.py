@@ -9,6 +9,16 @@ Usage::
 ``--jobs N`` fans independent simulations over N worker processes;
 the printed output is byte-identical for any ``--jobs`` value (timing
 chatter goes to stderr).
+
+Timing experiments declare their simulation work units (service x
+config x policy x population); before the parallel fan-out the units
+are deduplicated *across figures* and executed once each,
+longest-estimated-first, so the persistent store
+(:mod:`repro.store`) serves every figure's render from cache hits.
+A warm store (second invocation with identical source and config)
+skips simulation entirely.  ``REPRO_CACHE=0`` disables the store,
+``REPRO_CACHE_DIR`` relocates it; either way stdout stays
+byte-identical.
 """
 
 from __future__ import annotations
@@ -16,7 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, List
 
 from . import (
     cycle_stacks,
@@ -119,15 +129,69 @@ def export_json(path: str, names, scale: float) -> None:
         json.dump({"scale": scale, "experiments": out}, fh, indent=1)
 
 
-def _run_named(item) -> str:
-    """Worker entry point: render one named experiment."""
+#: modules declaring their chip work units for cross-figure dedup
+WORK_UNITS: Dict[str, Callable[[float], List]] = {
+    "fig01": fig01_design_points.work_units,
+    "fig10": fig10_energy_breakdown.work_units,
+    "fig14": fig14_traffic.work_units,
+    "fig15": fig15_mpki.work_units,
+    "fig16": fig16_allocator.work_units,
+    "fig19_20_21": fig19_20_21_chip.work_units,
+    "sensitivity": sensitivity.work_units,
+    "gpu": gpu_comparison.work_units,
+    "sec6a": sec6a_simd_alternative.work_units,
+    "cycle_stacks": cycle_stacks.work_units,
+}
+
+#: measured serial seconds per experiment at scale=1 (relative weights
+#: for longest-first submission; an unknown name sorts last)
+COSTS = {
+    "fig15": 23.0, "fig19_20_21": 23.0, "fig10": 10.0, "fig14": 8.5,
+    "fig16": 5.0, "gpu": 4.2, "fig04_fig11": 2.5, "fig01": 2.3,
+    "sensitivity": 2.1, "resilience": 1.7, "sec6a": 0.9,
+    "cycle_stacks": 0.6, "workloads": 0.5, "fig22": 0.5,
+}
+
+
+def collect_units(names, scale: float) -> List:
+    """Every work unit the named experiments declare (duplicates kept;
+    ``schedule_units`` dedups)."""
+    units: List = []
+    for name in names:
+        declare = WORK_UNITS.get(name)
+        if declare is not None:
+            units.extend(declare(scale))
+    return units
+
+
+def _run_named(item):
+    """Worker entry point: render one named experiment; returns the
+    text plus this worker's cache stats (the parent aggregates them)."""
+    from ..timing import trace_cache
+
     name, scale = item
-    return EXPERIMENTS[name](scale)
+    before = trace_cache.stats()
+    text = EXPERIMENTS[name](scale)
+    after = trace_cache.stats()
+    return text, {k: after[k] - before.get(k, 0) for k in after}
+
+
+def _print_cache_stats(extra=None) -> None:
+    """Aggregate cache diagnostics on stderr (stdout stays pinned)."""
+    from ..report import stats_line
+    from ..timing import trace_cache
+
+    merged = dict(trace_cache.stats())
+    for delta in extra or []:
+        for k, v in delta.items():
+            merged[k] = merged.get(k, 0) + v
+    print(stats_line("cache", merged), file=sys.stderr)
 
 
 def main(argv=None) -> int:
     """CLI entry point: run the selected experiments and print them."""
-    from .common import parallel_map, resolve_jobs, set_default_jobs
+    from .common import (parallel_map, resolve_jobs, schedule_units,
+                         set_default_jobs)
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0,
@@ -150,23 +214,38 @@ def main(argv=None) -> int:
         set_default_jobs(args.jobs)
     jobs = resolve_jobs(args.jobs)
 
-    if jobs > 1 and len(names) > 1:
-        # one worker per experiment; stdout stays in `names` order and
-        # is byte-identical to the serial path (timing is stderr-only)
+    if jobs > 1:
+        # phase 1: dedup the declared work units across figures and
+        # simulate each exactly once, longest first, filling the store
         t0 = time.time()
-        texts = parallel_map(_run_named, [(n, args.scale) for n in names],
-                             jobs=jobs)
-        for name, text in zip(names, texts):
+        units = collect_units(names, args.scale)
+        n_unique = schedule_units(units, jobs=jobs)
+        if n_unique:
+            print(f"[prewarmed {n_unique} unique work units "
+                  f"({len(units)} declared) in {time.time() - t0:.1f}s "
+                  f"on {jobs} workers]", file=sys.stderr)
+
+    if jobs > 1 and len(names) > 1:
+        t0 = time.time()
+        # phase 2: one worker per experiment, costliest submitted
+        # first; stdout stays in `names` order and is byte-identical
+        # to the serial path (timing is stderr-only)
+        results = parallel_map(_run_named, [(n, args.scale) for n in names],
+                               jobs=jobs,
+                               priority=[COSTS.get(n, 0.1) for n in names])
+        for name, (text, _stats) in zip(names, results):
             print("=" * 72)
             print(text)
         print(f"[{len(names)} experiments took {time.time() - t0:.1f}s "
               f"on {jobs} workers]", file=sys.stderr)
+        _print_cache_stats(extra=[s for _t, s in results])
     else:
         for name in names:
             t0 = time.time()
             print("=" * 72)
             print(EXPERIMENTS[name](args.scale))
             print(f"[{name} took {time.time() - t0:.1f}s]", file=sys.stderr)
+        _print_cache_stats()
     if args.json:
         export_json(args.json, names, args.scale)
         print(f"wrote {args.json}", file=sys.stderr)

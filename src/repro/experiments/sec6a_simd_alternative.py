@@ -62,6 +62,26 @@ def run(scale: float = 0.5) -> List[Row]:
 TIMING_COLUMNS = ["simd_ee", "simd_lat", "rpu_ee", "rpu_lat"]
 
 
+def work_units(scale: float = 0.5):
+    """Declare the chip simulations ``run_timing(scale)`` will consume
+    (the ISA-mix half is architectural-only and has none)."""
+    from ..timing import CPU_CONFIG, CPU_SIMD_CONFIG, RPU_CONFIG
+    from ..workloads import get_service
+    from .common import chip_unit
+
+    n = max(96, int(192 * scale))
+    units = []
+    for name in ("post", "memcached", "urlshort"):
+        svc = get_service(name)
+        units.append(chip_unit(svc, CPU_CONFIG, scale, n_requests=n,
+                               seed=17))
+        units.append(chip_unit(svc, CPU_SIMD_CONFIG, scale, n_requests=n,
+                               seed=17, policy="predicated", batch_size=4))
+        units.append(chip_unit(svc, RPU_CONFIG, scale, n_requests=n,
+                               seed=17))
+    return units
+
+
 def run_timing(scale: float = 1.0,
                services=("post", "memcached", "urlshort")) -> List[Row]:
     """Quantify the SPMD-on-SIMD alternative against the RPU.
@@ -120,4 +140,6 @@ def main(scale: float = 0.5) -> str:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    print(main())
+    from .common import experiment_cli
+
+    raise SystemExit(experiment_cli(main, units_fn=work_units))

@@ -15,7 +15,8 @@ from typing import Dict, List
 from ..timing import (RPU_CONFIG, run_chip, rpu_with_batches,
                       rpu_with_lanes, rpu_without)
 from ..workloads import all_services, get_service
-from .common import Row, format_rows, mean, requests_for, summary_row
+from .common import (Row, chip_unit, format_rows, mean, requests_for,
+                     summary_row)
 
 LANE_COLUMNS = ["lat_8lanes", "lat_32lanes", "loss"]
 ATOMIC_COLUMNS = ["lat_atomics_l3", "lat_atomics_l1", "slowdown"]
@@ -156,6 +157,29 @@ def run_speculative_reconvergence(scale: float = 1.0) -> List[Row]:
     return rows
 
 
+def work_units(scale: float = 1.0):
+    """Declare the chip simulations the timed studies will consume
+    (speculative reconvergence is architectural-only and has none)."""
+    units = []
+    for name in SUBSET:
+        svc = get_service(name)
+        units.append(chip_unit(svc, RPU_CONFIG, scale))
+        units.append(chip_unit(svc, rpu_with_lanes(32), scale))
+    for name in ("socialgraph", "uniqueid", "memcached"):
+        svc = get_service(name)
+        units.append(chip_unit(svc, RPU_CONFIG, scale))
+        units.append(chip_unit(svc, rpu_without("atomics_at_l3"), scale))
+    for name in ("memcached", "post", "user"):
+        svc = get_service(name)
+        units.append(chip_unit(svc, RPU_CONFIG, scale))
+        units.append(chip_unit(svc, rpu_without("majority_vote"), scale))
+    for name in ("memcached", "socialgraph", "user"):
+        svc = get_service(name)
+        units.append(chip_unit(svc, RPU_CONFIG, scale))
+        units.append(chip_unit(svc, rpu_with_batches(2), scale))
+    return units
+
+
 def run(scale: float = 1.0) -> Dict[str, List[Row]]:
     """All Section V-A1 sensitivity studies, keyed by name."""
     return {
@@ -187,4 +211,6 @@ def main(scale: float = 1.0) -> str:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    print(main())
+    from .common import experiment_cli
+
+    raise SystemExit(experiment_cli(main, units_fn=work_units))

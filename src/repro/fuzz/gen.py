@@ -77,6 +77,7 @@ def gen_spec(rng: random.Random, max_constructs: int = 5) -> Dict:
         + ["bounded_loop"] * 2
         + ["heap_stream"] * 2
         + ["alu_run"] * 2
+        + ["simd_stream"] * 2
         + ["stack_frame", "spin_lock", "atomic_rmw", "syscall",
            "global_read"]
     )
@@ -109,6 +110,15 @@ def _gen_construct(rng: random.Random, kind: str) -> Dict:
                 "base": rng.choice(("inbuf", "scratch")),
                 "store": rng.random() < 0.5,
                 "unroll": rng.choice((1, 1, 2, 4))}
+    if kind == "simd_stream":
+        # inbuf is guaranteed only 64 bytes (2 vectors); scratch is 256
+        base = rng.choice(("inbuf", "scratch"))
+        return {"kind": kind, "base": base,
+                "vecs": rng.randint(1, 2 if base == "inbuf" else 4),
+                "counter": rng.choice(("const", "size")),
+                "ops_per_vec": rng.randint(1, 3),
+                "store": rng.random() < 0.5,
+                "unroll": rng.choice((1, 1, 2))}
     if kind == "global_read":
         return {"kind": kind, "offset": rng.randrange(1 << 14) * 8,
                 "words": rng.randint(1, 4)}
@@ -227,6 +237,34 @@ def _emit_heap_stream(b, c, idx, helpers):
                    unroll=c["unroll"])
 
 
+def _emit_simd_stream(b, c, idx, helpers):
+    """Streaming vld/vop/vst over the thread's own buffer, mirroring
+    ``kernels.emit_simd_stream``.  ``vop`` is architecturally opaque, so
+    each loaded word is also folded into the scalar accumulator (and a
+    stored word reloaded through a scalar ``ld``) - the differential
+    oracle would otherwise never see a wrong vector address."""
+    base_reg = "r4" if c["base"] == "inbuf" else "r5"
+    b.mov("r19", base_reg)
+    b.li("r30", c["vecs"])
+    if c["counter"] == "size":
+        # divergent vector trip counts (r10 = request size, 1..6)
+        b.min("r30", "r30", "r10")
+
+    def body(j):
+        b.vld("r27", "r19", 32 * j, Segment.HEAP)
+        for _ in range(c["ops_per_vec"]):
+            b.vop("r28", "r28", "r27", note="fma")
+        if c["store"]:
+            b.vst("r28", "r19", 32 * j, Segment.HEAP)
+        b.add("r9", "r9", "r27")
+
+    b.counted_loop("r30", body, cursors=(("r19", 32),),
+                   unroll=c["unroll"])
+    if c["store"]:
+        b.ld("r26", base_reg, 0, Segment.HEAP)
+        b.add("r9", "r9", "r26")
+
+
 def _emit_global_read(b, c, idx, helpers):
     b.li("r21", GLOBAL_BASE + c["offset"])
     for i in range(c["words"]):
@@ -340,6 +378,7 @@ def _emit_syscall(b, c, idx, helpers):
 _EMITTERS = {
     "alu_run": _emit_alu_run,
     "heap_stream": _emit_heap_stream,
+    "simd_stream": _emit_simd_stream,
     "global_read": _emit_global_read,
     "divergent_if": _emit_divergent_if,
     "bounded_loop": _emit_bounded_loop,

@@ -12,6 +12,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 BAR = "#"
 
 
+def stats_line(title: str, stats: Dict[str, object]) -> str:
+    """One ``[title k=v k=v ...]`` diagnostics line (cache hit rates,
+    worker counts, ...) - grep-friendly for the CI smoke jobs."""
+    body = " ".join(f"{k}={v}" for k, v in stats.items())
+    return f"[{title}: {body}]" if body else f"[{title}]"
+
+
 def bar_chart(items: Sequence[Tuple[str, float]], width: int = 48,
               title: str = "", fmt: str = "{:.2f}",
               reference: Optional[float] = None) -> str:

@@ -25,7 +25,13 @@ ordinary unit assertion sees:
   and post-resolution stragglers - is accounted exactly once (no job
   leaks across hedge "cancellation", which is really first-wins
   draining); per-request retry/hedge counts stay within their
-  configured budgets; completions never predate their arrivals.
+  configured budgets; completions never predate their arrivals;
+* persistent store (:mod:`repro.store`): every freshly written entry
+  is immediately read back through the full magic/CRC/unpickle
+  validation path (the write path is the one place corruption could be
+  *made*), and ``run_chip`` callers vouching for a custom allocator
+  via ``allocator_signature`` are checked against the signature the
+  factory actually constructs.
 
 The checks are deliberately cheap (a captured local bool per run loop)
 so the differential fuzzer (:mod:`repro.fuzz`) and the tier-1 test

@@ -24,14 +24,32 @@ enabled, the streaming path replays memoized event streams instead of
 re-executing: CPU and CPU-SMT8 share solo traces, RPU and GPU share
 batch traces.  Callers supplying a bespoke ``allocator_factory``
 bypass the cache (allocator behaviour is part of the trace identity
-and arbitrary factories cannot be fingerprinted).
+and arbitrary factories cannot be fingerprinted) unless they vouch for
+the factory by passing ``allocator_signature`` — the (class name,
+n_banks) tuple that keys the cache — asserting that those two values
+fully determine the factory's allocation behaviour.
+
+On top of the trace cache, whole *timed* results are persisted in the
+content-addressed store (:mod:`repro.store`): a ``run_chip`` call whose
+(service, population, config, policy, batching, allocator,
+reconvergence, warmup) tuple was ever simulated before — by any
+process, figure or fork worker with identical source — returns the
+stored :class:`ChipResult` without touching the executor or the timing
+model.  Only the default ``streaming=True`` path participates: the
+legacy materialized path is the differential *reference* and must
+always compute live.  ``REPRO_CACHE_VERIFY=1`` recomputes on every
+timed hit and raises :class:`repro.store.CacheVerifyError` on any
+field-level mismatch.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from .. import sanitize
+from .. import store as disk_store
 from ..batching.policies import form_batches
 from ..engine.events import MultiSink
 from ..memsys.alloc import DefaultAllocator, SimrAwareAllocator
@@ -95,6 +113,30 @@ def _allocator_for(config: CoreConfig):
     return DefaultAllocator(n_banks=max(config.l1_banks, 1))
 
 
+def _timed_key(service, requests, config, policy, batching, batch_size,
+               reconv_override, warmup_frac, alloc_sig) -> tuple:
+    """Logical identity of one timed run (content-addressed on disk
+    together with the source fingerprint of executor + timing code)."""
+    reconv = (tuple(sorted(reconv_override.items()))
+              if reconv_override else None)
+    return ("chip", service.name, trace_cache.fingerprint_requests(requests),
+            repr(config), policy, batching, batch_size, reconv,
+            alloc_sig, warmup_frac, 0, SOLO_MAX_STEPS, BATCH_MAX_STEPS)
+
+
+def _verify_timed(stored: ChipResult, fresh: ChipResult, key: tuple) -> None:
+    """REPRO_CACHE_VERIFY=1: a stored timed entry must equal a live
+    recompute field-for-field (floats bit-exact - the simulation is
+    deterministic, so any drift is a store or simulator bug)."""
+    if dataclasses.asdict(stored) != dataclasses.asdict(fresh):
+        diff = [f.name for f in dataclasses.fields(ChipResult)
+                if dataclasses.asdict(stored)[f.name]
+                != dataclasses.asdict(fresh)[f.name]]
+        raise disk_store.CacheVerifyError(
+            f"stored chip result diverges from recompute in fields {diff} "
+            f"for key {key[:6]}...")
+
+
 def run_chip(
     service: Microservice,
     requests: Sequence[Request],
@@ -104,6 +146,7 @@ def run_chip(
     batch_size: Optional[int] = None,
     reconv_override: Optional[Dict[int, int]] = None,
     allocator_factory=None,
+    allocator_signature: Optional[tuple] = None,
     warmup_frac: float = 0.2,
     streaming: bool = True,
 ) -> ChipResult:
@@ -115,7 +158,26 @@ def run_chip(
     """
     requests = list(requests)
     make_alloc = allocator_factory or (lambda: _allocator_for(config))
-    cache = None if allocator_factory is not None else trace_cache.get_cache()
+    cacheable = allocator_factory is None or allocator_signature is not None
+    cache = trace_cache.get_cache() if cacheable else None
+    if cacheable:
+        alloc_sig = trace_cache.allocator_signature(make_alloc())
+        if allocator_signature is not None and sanitize.sanitizer_enabled():
+            sanitize.check(
+                alloc_sig == tuple(allocator_signature),
+                "run_chip: allocator_signature %r does not match the "
+                "factory's actual signature %r", allocator_signature,
+                alloc_sig)
+    stored = disk_store.MISS
+    timed_key = None
+    if streaming and cacheable:
+        timed_key = _timed_key(service, requests, config, policy, batching,
+                               batch_size, reconv_override, warmup_frac,
+                               alloc_sig)
+        stored = disk_store.lookup("chip", disk_store.timed_fingerprint(),
+                                   timed_key)
+        if stored is not disk_store.MISS and not disk_store.verify_enabled():
+            return stored
     core = CoreModel(config)
     out = ChipResult(
         config_name=config.name,
@@ -139,6 +201,12 @@ def run_chip(
 
     out.counters = core.all_counters()
     out.scalar_instructions = int(out.counters["scalar_instructions"])
+    if timed_key is not None:
+        if stored is not disk_store.MISS:  # REPRO_CACHE_VERIFY=1 hit
+            _verify_timed(stored, out, timed_key)
+        else:
+            disk_store.record("chip", disk_store.timed_fingerprint(),
+                              timed_key, out)
     return out
 
 

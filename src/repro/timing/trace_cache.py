@@ -25,16 +25,23 @@ is class-determined, so two fresh instances of the same class with the
 same bank count produce identical traces.  Callers with bespoke
 allocator factories must bypass the cache (``run_chip`` does).
 
-The cache is process-local.  Under the fork-based experiment driver
-(``repro.experiments.common.parallel_map``) each worker inherits a
-copy-on-write snapshot and keeps its own cache from there - no locking,
-no cross-process invalidation, and the per-task config sweeps (the hot
-reuse pattern) all happen within one worker.
+The in-memory cache is process-local.  Under the fork-based experiment
+driver (``repro.experiments.common.parallel_map``) each worker inherits
+a copy-on-write snapshot and keeps its own cache from there - no
+locking, no cross-process invalidation, and the per-task config sweeps
+(the hot reuse pattern) all happen within one worker.
 
-``REPRO_TRACE_CACHE=0`` disables lookups and stores; the variable is
-re-read on every query so tests and benchmarks can toggle it at will.
-Entries are LRU-evicted once the cache holds more than
-``MAX_CACHED_EVENTS`` trace events in total.
+Since PR 5 the memory cache is additionally a *read-through* layer over
+the persistent content-addressed store (:mod:`repro.store`): a memory
+miss consults the disk store (keyed by the same logical tuple plus the
+source fingerprint of every trace-producing module), and a computed
+entry is written through, so warm traces survive both fork and process
+exit.  ``REPRO_CACHE=0`` confines caching to this process;
+``REPRO_TRACE_CACHE=0`` disables trace caching entirely (memory and
+disk).  Both variables are re-read on every query so tests and
+benchmarks can toggle them at will.  Memory entries are LRU-evicted
+once the cache holds more than ``MAX_CACHED_EVENTS`` trace events in
+total; the disk store has its own byte budget.
 """
 
 from __future__ import annotations
@@ -45,6 +52,7 @@ import os
 from collections import OrderedDict
 from typing import Dict, Optional, Sequence, Tuple
 
+from .. import store as disk_store
 from ..engine.events import LockstepResult
 from ..memsys.alloc import BaseAllocator
 from ..workloads.base import Microservice, Request
@@ -95,7 +103,8 @@ def batch_key(service: Microservice, batch: Sequence[Request],
 
 
 class TraceCache:
-    """LRU cache of immutable trace entries, budgeted by event count."""
+    """LRU cache of immutable trace entries, budgeted by event count,
+    backed read-through/write-through by the persistent store."""
 
     def __init__(self, max_events: int = MAX_CACHED_EVENTS):
         self.max_events = max_events
@@ -104,19 +113,33 @@ class TraceCache:
         self._held_events = 0
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
 
     def get(self, key: tuple):
         entry = self._store.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._store.move_to_end(key)
-        self.hits += 1
-        return entry
+        if entry is not None:
+            self._store.move_to_end(key)
+            self.hits += 1
+            return entry
+        # read through to the persistent store; a disk entry is
+        # (n_events, value) so the memory budget stays accurate
+        disk = disk_store.lookup("trace", disk_store.trace_fingerprint(), key)
+        if disk is not disk_store.MISS:
+            n_events, value = disk
+            self._insert(key, value, n_events)
+            self.disk_hits += 1
+            return value
+        self.misses += 1
+        return None
 
     def put(self, key: tuple, value: tuple, n_events: int) -> None:
         if key in self._store:
             return
+        disk_store.record("trace", disk_store.trace_fingerprint(), key,
+                          (n_events, value))
+        self._insert(key, value, n_events)
+
+    def _insert(self, key: tuple, value: tuple, n_events: int) -> None:
         self._store[key] = value
         self._sizes[key] = n_events
         self._held_events += n_events
@@ -151,12 +174,16 @@ def clear() -> None:
 
 
 def stats() -> Dict[str, int]:
-    return {
+    out = {
         "entries": len(_GLOBAL),
         "held_events": _GLOBAL.held_events,
         "hits": _GLOBAL.hits,
         "misses": _GLOBAL.misses,
+        "disk_hits": _GLOBAL.disk_hits,
     }
+    for k, v in disk_store.stats().items():
+        out[f"store_{k}"] = v
+    return out
 
 
 def copy_result(result: LockstepResult) -> LockstepResult:

@@ -1,0 +1,24 @@
+"""Shared test fixtures."""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_store(tmp_path_factory):
+    """Point the persistent result store at a session-private directory.
+
+    A developer's warm ``.repro_cache/`` must never leak hits into test
+    assertions (several tests count misses), and the suite must never
+    pollute the developer's cache with tiny test populations.  The
+    variable is inherited by subprocess-based CLI tests and fork
+    workers alike.
+    """
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro_cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old

@@ -28,6 +28,7 @@ def _observables(res):
 @pytest.mark.parametrize("svc_name", ["mcrouter", "post"])
 def test_streaming_matches_materialized(svc_name, config, monkeypatch):
     monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+    monkeypatch.setenv("REPRO_CACHE", "0")  # force a live compute
     svc = get_service(svc_name)
     reqs = svc.generate_requests(24, random.Random(7))
     legacy = run_chip(svc, reqs, config, streaming=False)
@@ -37,6 +38,9 @@ def test_streaming_matches_materialized(svc_name, config, monkeypatch):
 
 def test_streaming_with_cache_matches_materialized(monkeypatch):
     monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+    # the persistent store would satisfy the second run at the timed
+    # level and never exercise the in-memory replay being tested here
+    monkeypatch.setenv("REPRO_CACHE", "0")
     trace_cache.clear()
     try:
         svc = get_service("mcrouter")

@@ -59,6 +59,49 @@ class TestGenerator:
         assert not state["result"]["truncated"]
 
 
+class TestSimdStream:
+    """The `simd_stream` construct: vld/vop/vst under every policy."""
+
+    def _simd_spec(self, seed, **overrides):
+        rng = random.Random(seed)
+        from repro.fuzz.gen import _gen_construct
+        c = _gen_construct(rng, "simd_stream")
+        c.update(overrides)
+        return {"seed": seed, "n_threads": rng.randint(2, 8),
+                "salt": rng.randrange(4), "constructs": [c]}
+
+    def test_in_generator_rotation(self):
+        kinds = {c["kind"] for s in range(60)
+                 for c in gen_spec(random.Random(s))["constructs"]}
+        assert "simd_stream" in kinds
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_pure_simd_specs_pass_oracle(self, seed):
+        assert check_spec(self._simd_spec(seed)) == []
+
+    def test_emits_vector_ops(self):
+        spec = self._simd_spec(3, store=True, vecs=2, base="inbuf")
+        ops = [i.op for i in build_program(spec).instructions]
+        assert {"vld", "vop", "vst"} <= set(ops)
+
+    def test_divergent_trip_counts_diverge(self):
+        """counter='size' trips come from a per-thread ABI register, so
+        lockstep batches must actually lose lanes mid-stream."""
+        spec = self._simd_spec(5, counter="size", vecs=4,
+                               base="scratch", n_threads=8)
+        spec["n_threads"] = 8
+        state = _run_one(spec, "ipdom", fastpath=False, with_mask=True)
+        assert min(state["mask"]) < spec["n_threads"]
+
+    def test_oracle_sees_vector_data(self, monkeypatch):
+        """vop is architecturally opaque; the emitter folds each loaded
+        word into the accumulator so corruption of that fold (and hence
+        any wrong vld value) is caught differentially."""
+        monkeypatch.setitem(decode._BIN_OPS, "add", "-")
+        spec = self._simd_spec(7, store=False, counter="const")
+        assert check_spec(spec) != []
+
+
 class TestOracle:
     @pytest.mark.parametrize("seed", range(5))
     def test_clean_specs_pass(self, seed):

@@ -11,6 +11,10 @@ from repro.workloads import get_service
 
 @pytest.fixture(autouse=True)
 def fresh_cache(monkeypatch):
+    # this file tests the *in-memory* layer; pin the persistent store
+    # off so its read-through/timed entries cannot satisfy lookups
+    # (tests/test_store.py covers the disk layer)
+    monkeypatch.setenv("REPRO_CACHE", "0")
     monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
     trace_cache.clear()
     yield
