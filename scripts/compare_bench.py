@@ -26,17 +26,25 @@ import json
 import sys
 
 
-def load_means(path: str) -> dict[str, float]:
-    """Return {benchmark name: mean microseconds} from either format."""
+def load_means(path: str, block: str = "current") -> dict[str, float]:
+    """Return {benchmark name: mean microseconds} from either format.
+
+    ``block`` selects which block of a committed summary to read:
+    ``"current"`` (the last refreshed numbers) or ``"baseline"`` (the
+    frozen pre-optimization reference the speedup map is quoted
+    against).  Native pytest-benchmark files have a single block and
+    ignore it.
+    """
     with open(path) as f:
         data = json.load(f)
     if "benchmarks" in data:  # native pytest-benchmark output
         return {b["name"]: b["stats"]["mean"] * 1e6
                 for b in data["benchmarks"]}
-    if "current" in data:  # committed summary artifact
+    if block in data:  # committed summary artifact
         return {name: row["mean_us"]
-                for name, row in data["current"].items()}
-    raise SystemExit(f"{path}: unrecognised benchmark JSON shape")
+                for name, row in data[block].items()}
+    raise SystemExit(f"{path}: unrecognised benchmark JSON shape "
+                     f"(no {block!r} block)")
 
 
 def main(argv=None) -> int:
@@ -50,9 +58,19 @@ def main(argv=None) -> int:
                         help="require current[SLOW] >= K * current[FAST] "
                              "(e.g. the pipeline store's cold:warm ratio); "
                              "repeatable")
+    parser.add_argument("--min-speedup-vs-base", action="append",
+                        default=[], metavar="NAME:K",
+                        help="require baseline[NAME] >= K * current[NAME] "
+                             "(the interpreter-rate gate: the entry must "
+                             "stay at least K times faster than the "
+                             "baseline block); repeatable")
+    parser.add_argument("--base-block", default="current",
+                        choices=("current", "baseline"),
+                        help="which block of a committed-summary baseline "
+                             "file to compare against (default: current)")
     args = parser.parse_args(argv)
 
-    base = load_means(args.baseline)
+    base = load_means(args.baseline, block=args.base_block)
     cur = load_means(args.current)
     common = sorted(base.keys() & cur.keys())
     if not common:
@@ -91,6 +109,28 @@ def main(argv=None) -> int:
                   f"(required >= {k:g}x)  <-- REGRESSION")
         else:
             print(f"\n{slow} is {ratio:.1f}x {fast} (required >= {k:g}x)")
+
+    for spec in args.min_speedup_vs_base:
+        try:
+            name, k = spec.rsplit(":", 1)
+            k = float(k)
+        except ValueError:
+            raise SystemExit(
+                f"--min-speedup-vs-base wants NAME:K, got {spec!r}")
+        if name not in base:
+            raise SystemExit(f"--min-speedup-vs-base: {name!r} not in "
+                             f"baseline ({args.base_block} block)")
+        if name not in cur:
+            raise SystemExit(f"--min-speedup-vs-base: {name!r} not in "
+                             f"current")
+        ratio = base[name] / cur[name]
+        if ratio < k:
+            regressions.append(f"{name} vs base")
+            print(f"\n{name} is only {ratio:.2f}x its baseline "
+                  f"(required >= {k:g}x)  <-- REGRESSION")
+        else:
+            print(f"\n{name} is {ratio:.2f}x its baseline "
+                  f"(required >= {k:g}x)")
 
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed by more than "

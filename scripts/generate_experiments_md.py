@@ -147,6 +147,16 @@ def main() -> None:
         "on any divergence. Either way the numbers below are "
         "byte-identical.",
         "",
+        "Cold-run wall time is bounded by the instruction-level "
+        "engine, which since the vectorized structure-of-arrays "
+        "rework runs batches at ~1.9x and single requests at ~1.2x "
+        "the previous interpreter's rate "
+        "(`BENCH_simulator_speed.json`; the 3x target of the "
+        "vectorization issue proved out of reach at the CPython "
+        "dispatch floor, see DESIGN.md). `REPRO_VECTOR=0` selects the "
+        "slower scalar engine and must not change a single byte of "
+        "this file.",
+        "",
         "All measured numbers come from the approximate Python models "
         "described in DESIGN.md; the reproduction targets the paper's "
         "*shapes* (who wins, by roughly what factor, where crossovers "

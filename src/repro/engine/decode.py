@@ -42,6 +42,17 @@ semantics of :func:`repro.engine.interpreter.execute`'s ``addrs_out``
 return-address slot, rets the popped one).  They are what lets the
 executors keep the pre-decoded fast path when a :class:`~repro.engine.
 events.StepSink` is attached.
+
+Since the vectorized structure-of-arrays engine landed
+(:mod:`repro.engine.vector` / :mod:`repro.engine.vcodegen`), this
+per-thread fast path is no longer the default batch execution engine:
+batch executors dispatch to the vector engine unless ``REPRO_VECTOR=0``
+or a sink is attached.  It remains load-bearing three ways - as the
+``solo`` policy's engine, as the sink-attached engine, and as the
+scalar differential witness the vector engine is required to match
+bit-for-bit (``tests/test_vector_engine.py``).  The ``RK_*`` re-key
+codes defined here are shared vocabulary with the vector engine's
+compiled dispatch tables.
 """
 
 from __future__ import annotations

@@ -46,12 +46,27 @@ from ..sanitize import check, sanitizer_enabled
 from .decode import RK_BRANCH, RK_CALL, RK_FALL, RK_JUMP, RK_RET
 from .events import LockstepResult, StepSink
 from .interpreter import execute
+from .lanes import vector_enabled
 from .memory import MemoryImage
 from .thread import ThreadState
 
 
 class ExecutionError(Exception):
     """Raised when lockstep invariants are violated or budgets exceeded."""
+
+
+#: lazily-imported repro.engine.vector module.  The vector module
+#: imports this one at load time (for ExecutionError/_san_result), so
+#: the import must be deferred past this module's own initialization.
+_VECTOR = None
+
+
+def _vector():
+    global _VECTOR
+    if _VECTOR is None:
+        from . import vector as _VECTOR_MOD
+        _VECTOR = _VECTOR_MOD
+    return _VECTOR
 
 
 def _san_group(name: str, group: Sequence[ThreadState], alive: set,
@@ -290,6 +305,8 @@ class IpdomExecutor(_BaseLockstep):
         if not self.fastpath:
             return self._run_reference(threads, mem)
         if self.sink is None:
+            if vector_enabled():
+                return _vector().run_ipdom(self, threads, mem)
             return self._run_fast(threads, mem)
         return self._run_fast_sink(threads, mem)
 
@@ -615,6 +632,8 @@ class MinSpPcExecutor(_BaseLockstep):
         if not self.fastpath:
             return self._run_reference(threads, mem)
         if self.sink is None:
+            if vector_enabled():
+                return _vector().run_minsp(self, threads, mem)
             return self._run_fast(threads, mem)
         return self._run_fast_sink(threads, mem)
 

@@ -16,6 +16,15 @@ class ThreadState:
     frame (decrements SP) and pushes the return pc, ``ret`` restores it.
     This keeps SP meaningful for the MinSP reconvergence heuristic
     without making workload authors write prologues.
+
+    The vectorized engine (:mod:`repro.engine.lanes`) transposes a
+    batch of ``ThreadState`` objects into structure-of-arrays columns on
+    entry and scatters them back on exit, which imposes two aliasing
+    contracts on this class: ``call_stack`` and ``syscall_trace`` are
+    mutated through aliases held by the lane state (never rebind them,
+    only mutate in place), and ``regs`` is written back wholesale via
+    slice assignment (so it must stay a plain list of unbounded Python
+    ints - the ISA's registers overflow 64 bits by design).
     """
 
     __slots__ = (

@@ -78,17 +78,57 @@ def gen_spec(rng: random.Random, max_constructs: int = 5) -> Dict:
         + ["heap_stream"] * 2
         + ["alu_run"] * 2
         + ["simd_stream"] * 2
-        + ["stack_frame", "spin_lock", "atomic_rmw", "syscall",
-           "global_read"]
+        + ["stack_frame", "call_chain", "recursive",
+           "spin_lock", "atomic_rmw", "syscall", "global_read"]
     )
     n = rng.randint(1, max_constructs)
-    return {
+    constructs = [_gen_construct(rng, rng.choice(kinds))
+                  for _ in range(n)]
+    spec = {
         "seed": rng.randrange(1 << 31),
         "n_threads": rng.randint(2, 8),
         "salt": rng.randrange(4),
-        "constructs": [_gen_construct(rng, rng.choice(kinds))
-                       for _ in range(n)],
+        "constructs": constructs,
     }
+    # occasionally move a divergent_if's reconvergence point past its
+    # immediate post-dominator, the way profile-guided reconvergence
+    # does for the paper's midtier services: entries are
+    # [construct_index, target] where target is a later construct index
+    # or "epilogue" (resolved to pcs by spec_reconv_override)
+    overrides = []
+    for i, c in enumerate(constructs):
+        if c["kind"] == "divergent_if" and rng.random() < 0.35:
+            later: List = list(range(i + 1, len(constructs)))
+            later.append("epilogue")
+            overrides.append([i, rng.choice(later)])
+    if overrides:
+        spec["reconv_override"] = overrides
+    return spec
+
+
+def spec_reconv_override(spec: Dict, program: Program):
+    """Resolve a spec's ``reconv_override`` entries to a pc map.
+
+    Returns ``None`` when the spec has no overrides.  Entries whose
+    labels no longer exist (the construct was dropped by shrinking) or
+    that would move reconvergence backwards are skipped: every emitted
+    ``c*_top``/``epilogue`` label sits on the straight-line construct
+    spine all lanes execute, so any forward target is a valid (if not
+    immediate) post-dominator of the branch.
+    """
+    entries = spec.get("reconv_override")
+    if not entries:
+        return None
+    labels = program.labels
+    out: Dict[int, int] = {}
+    for idx, target in entries:
+        br = labels.get(f"c{idx}_br")
+        name = "epilogue" if target == "epilogue" else f"c{target}_top"
+        tgt = labels.get(name)
+        if br is None or tgt is None or tgt <= br:
+            continue
+        out[br] = tgt
+    return out or None
 
 
 def _gen_construct(rng: random.Random, kind: str) -> Dict:
@@ -145,6 +185,19 @@ def _gen_construct(rng: random.Random, kind: str) -> Dict:
                 "work": rng.randint(1, 4),
                 "frame": rng.choice((48, 64)),
                 "seed_val": rng.randint(1, 64)}
+    if kind == "call_chain":
+        depth = rng.randint(2, 3)
+        return {"kind": kind,
+                "frames": [rng.choice((48, 64)) for _ in range(depth)],
+                "spills": [rng.randint(1, 3) for _ in range(depth)],
+                "work": [rng.randint(1, 3) for _ in range(depth)],
+                "seed_val": rng.randint(1, 64),
+                "divergent": rng.random() < 0.5}
+    if kind == "recursive":
+        return {"kind": kind, "depth": rng.randint(2, 5),
+                "frame": rng.choice((48, 64)),
+                "work": rng.randint(1, 2),
+                "divergent": rng.random() < 0.5}
     if kind == "spin_lock":
         return {"kind": kind, "retries": rng.randint(2, 6),
                 "crit_ops": rng.randint(1, 3)}
@@ -182,9 +235,13 @@ def build_program(spec: Dict) -> Program:
         b.addi("r9", "r9", 3)
 
     for idx, c in enumerate(spec["constructs"]):
+        # construct-boundary label: a reconv_override target (every
+        # lane passes through every boundary on the construct spine)
+        b.label(f"c{idx}_top")
         _EMITTERS[c["kind"]](b, c, idx, helpers)
 
     # epilogue: make the accumulator memory-observable, then halt
+    b.label("epilogue")
     b.st("r9", "r5", 0, Segment.HEAP)
     b.halt()
     for label, c in helpers:
@@ -297,6 +354,9 @@ def _emit_divergent_if(b, c, idx, helpers):
             b.syscall(SyscallKind(c["else_syscall"]),
                       note="mid-divergence")
 
+    # if_else emits its branch first, so this label names the branch pc
+    # (the key of a reconv_override entry)
+    b.label(f"c{idx}_br")
     b.if_else(c["op"], "r23", "r24", then_body, else_body)
 
 
@@ -320,10 +380,76 @@ def _emit_stack_frame(b, c, idx, helpers):
     helpers.append((label, c))
 
 
+def _emit_call_chain(b, c, idx, helpers):
+    """Multi-level nested calls (2-3 deep); the ``divergent`` variant
+    skips the innermost call on thread 0, leaving lanes at different
+    call depths mid-batch - the MinSP-PC deep-stack-first case."""
+    b.li("r15", c["seed_val"])
+    b.call(f"c{idx}_lvl0", frame=c["frames"][0])
+    b.add("r9", "r9", "r15")
+    helpers.append((f"c{idx}_lvl0", c))
+
+
+def _emit_recursive(b, c, idx, helpers):
+    """Self-recursive helper with a register countdown.
+
+    The depth is uniform across lanes: per-lane recursion depth would
+    put the countdown branch's reconvergence point *inside* the
+    recursive body, which stack-based IPDOM correctly rejects as
+    irreducible.  The ``divergent`` variant instead has odd lanes skip
+    the whole recursion, so lanes still sit at different call depths
+    mid-batch while reconvergence stays at the (reducible) call site.
+    """
+    label = f"c{idx}_rec"
+    b.li("r15", c["depth"])
+    b.li("r16", 0)
+    if c["divergent"]:
+        b.andi("r17", "r12", 1)
+        with b.if_("bne", "r17", "zero"):
+            b.call(label, frame=c["frame"])
+    else:
+        b.call(label, frame=c["frame"])
+    b.add("r9", "r9", "r16")
+    helpers.append((label, c))
+
+
 def _emit_helper(b, label, c):
-    """Leaf helper body (emitted after the final halt, as the workload
+    """Helper bodies (emitted after the final halt, as the workload
     kernels do): spill/work/reload produces the mixed stack streams the
     stack-interleaving layer has to get right."""
+    if c["kind"] == "call_chain":
+        depth = min(len(c["frames"]), len(c["spills"]), len(c["work"]))
+        for lvl in range(depth):
+            b.label(label if lvl == 0 else f"{label[:-1]}{lvl}")
+            spills = c["spills"][lvl]
+            for i in range(spills):
+                b.st(f"r{16 + i}", "sp", 8 * (i + 1), Segment.STACK)
+            for _ in range(c["work"][lvl]):
+                b.hash("r15", "r15", "r12")
+            if lvl + 1 < depth:
+                inner = f"{label[:-1]}{lvl + 1}"
+                if c["divergent"] and lvl + 2 == depth:
+                    with b.if_("bne", "r12", "zero"):
+                        b.call(inner, frame=c["frames"][lvl + 1])
+                else:
+                    b.call(inner, frame=c["frames"][lvl + 1])
+            for i in range(spills):
+                b.ld(f"r{16 + i}", "sp", 8 * (i + 1), Segment.STACK)
+            b.ret()
+        return
+    if c["kind"] == "recursive":
+        base = f"{label}_base"
+        b.label(label)
+        b.st("r17", "sp", 8, Segment.STACK)
+        for _ in range(c["work"]):
+            b.hash("r16", "r16", "r12")
+        b.ble("r15", "zero", base)
+        b.addi("r15", "r15", -1)
+        b.call(label, frame=c["frame"])
+        b.label(base)
+        b.ld("r17", "sp", 8, Segment.STACK)
+        b.ret()
+        return
     b.label(label)
     for i in range(c["spills"]):
         b.st(f"r{16 + i}", "sp", 8 * (i + 1), Segment.STACK)
@@ -383,6 +509,8 @@ _EMITTERS = {
     "divergent_if": _emit_divergent_if,
     "bounded_loop": _emit_bounded_loop,
     "stack_frame": _emit_stack_frame,
+    "call_chain": _emit_call_chain,
+    "recursive": _emit_recursive,
     "spin_lock": _emit_spin_lock,
     "atomic_rmw": _emit_atomic_rmw,
     "syscall": _emit_syscall,

@@ -35,7 +35,8 @@ from ..engine.memory import MemoryImage
 from ..engine.thread import ThreadState
 from ..memsys.alloc import SimrAwareAllocator
 from ..sanitize import SanitizerError
-from .gen import GeneratorError, build_program, spec_is_racy
+from .gen import (GeneratorError, build_program, spec_is_racy,
+                  spec_reconv_override)
 
 POLICIES = ("solo", "ipdom", "minsp_pc", "predicated")
 
@@ -112,8 +113,13 @@ def _run_one(spec: Dict, policy: str, fastpath: bool,
     mem = MemoryImage(salt=spec["salt"])
     threads = _setup_threads(spec, mem)
     sink = ActiveMaskSink() if with_mask else None
+    kwargs = {}
+    if policy in ("ipdom", "predicated"):
+        override = spec_reconv_override(spec, program)
+        if override is not None:
+            kwargs["reconv_override"] = override
     ex = make_executor(program, policy, sink=sink, fastpath=fastpath,
-                       max_steps=max_steps)
+                       max_steps=max_steps, **kwargs)
     if policy == "solo":
         result = [ex.run(t, mem) for t in threads]
     else:
@@ -243,6 +249,20 @@ def shrink_spec(spec: Dict, max_steps: int = DEFAULT_MAX_STEPS,
         while len(cur["constructs"]) > 1 and i < len(cur["constructs"]):
             cand = copy.deepcopy(cur)
             del cand["constructs"][i]
+            if fails(cand):
+                cur = cand
+                changed = True
+            else:
+                i += 1
+        # reconv_override entries shrink like constructs: drop them one
+        # at a time (entries orphaned by construct deletion are already
+        # ignored by spec_reconv_override's label lookup)
+        i = 0
+        while i < len(cur.get("reconv_override", ())):
+            cand = copy.deepcopy(cur)
+            del cand["reconv_override"][i]
+            if not cand["reconv_override"]:
+                del cand["reconv_override"]
             if fails(cand):
                 cur = cand
                 changed = True

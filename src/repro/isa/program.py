@@ -33,6 +33,10 @@ class Program:
         # (built on first executor use, shared by every executor of this
         # program; see repro.engine.decode)
         self._decoded = None
+        # batch-decode cache for the vectorized lockstep engine (lane-
+        # array handlers and whole-block functions; see
+        # repro.engine.vcodegen)
+        self._vdecoded = None
 
     @property
     def decoded(self):
@@ -51,6 +55,19 @@ class Program:
         return dec
 
     @property
+    def vdecoded(self):
+        """Batch dispatch tables for the vectorized engine (lazily
+        source-generated and compiled, then cached; the generated
+        source itself is additionally cached in the result store keyed
+        by program digest and engine fingerprint)."""
+        vdec = self._vdecoded
+        if vdec is None:
+            from ..engine.vcodegen import compile_vector
+
+            vdec = self._vdecoded = compile_vector(self)
+        return vdec
+
+    @property
     def handlers(self):
         """Per-pc specialized handler table (see :attr:`decoded`)."""
         return self.decoded.handlers
@@ -65,6 +82,7 @@ class Program:
         # boundaries; drop the cache and let the receiver re-decode
         state = dict(self.__dict__)
         state["_decoded"] = None
+        state["_vdecoded"] = None
         return state
 
     def _resolve_targets(self) -> List[Optional[int]]:

@@ -143,8 +143,10 @@ class DefaultAllocator(ArenaAllocator):
     """
 
     def alloc(self, size: int, tid: int = 0) -> int:
-        cursor = self._arena_cursor(tid)
-        start = _align(cursor, 16)
+        cursor = self._arenas.get(tid)
+        if cursor is None:
+            cursor = self._arena_cursor(tid)
+        start = (cursor + 15) & ~15
         return self._commit(tid, start, size, pad=start - cursor)
 
 
@@ -158,10 +160,12 @@ class SimrAwareAllocator(ArenaAllocator):
     """
 
     def alloc(self, size: int, tid: int = 0) -> int:
-        cursor = self._arena_cursor(tid)
+        cursor = self._arenas.get(tid)
+        if cursor is None:
+            cursor = self._arena_cursor(tid)
         period = self.line_size * self.n_banks
         target_off = (tid % self.n_banks) * self.line_size
-        start = _align(cursor, period) + target_off
+        start = (cursor + period - 1) // period * period + target_off
         if start < cursor:
             start += period
         if self._san:
