@@ -1,0 +1,45 @@
+"""Bench: fleet tier - sharded replicated graphs with SIMT-aware
+load balancing.
+
+The headline claim of the fleet layer: at equal offered load, the
+batch-aware balancer keeps every replica's batches API-pure, so the
+divergence penalty never bites and requests/joule beats round-robin.
+Both cells run the same arrival schedule (the balancer cannot perturb
+the keyed arrival draws), so the comparison is paired, not sampled.
+"""
+
+from conftest import run_once
+
+from repro.system.arrivals import TrafficShape
+from repro.system.fleet import FleetConfig, run_fleet
+
+QPS = 100_000.0
+SHARDS = 2
+SEED = 7
+
+
+def _horizon(scale):
+    return max(40_000.0, 80_000.0 * scale)
+
+
+def _run(scale, balancer):
+    return run_fleet(TrafficShape(base_qps=QPS), _horizon(scale),
+                     fleet=FleetConfig(replicas=3, balancer=balancer),
+                     shards=SHARDS, seed=SEED)
+
+
+def test_fleet_batch_aware_vs_round_robin(benchmark, scale):
+    data = run_once(benchmark, lambda: {
+        bal: _run(scale, bal) for bal in ("batch_aware", "round_robin")})
+    aware, robin = data["batch_aware"], data["round_robin"]
+    print()
+    for bal, r in data.items():
+        print(f"{bal:>12}: {r.requests_per_joule:8.2f} req/J  "
+              f"{r.avg_watts:8.1f} W  p99 {r.p99_us:8.1f} us  "
+              f"mixed {r.mixed_batch_frac:.1%}")
+    benchmark.extra_info["batch_aware_req_per_j"] = aware.requests_per_joule
+    benchmark.extra_info["round_robin_req_per_j"] = robin.requests_per_joule
+    benchmark.extra_info["batch_aware_mixed_frac"] = aware.mixed_batch_frac
+    assert aware.n_requests == robin.n_requests
+    assert aware.requests_per_joule > robin.requests_per_joule
+    assert aware.mixed_batch_frac < robin.mixed_batch_frac

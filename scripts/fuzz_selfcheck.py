@@ -7,7 +7,9 @@ bug into each engine and confirming the oracle detects both:
 * fast path only: ``decode._BIN_OPS["sub"]`` compiled as ``+`` (the
   reference interpreter is untouched);
 * reference only: ``interpreter._COND["ble"]`` evaluated as ``<`` (the
-  decoder compiles branch conditions from its own table).
+  decoder compiles branch conditions from its own table);
+* batching layer only: a policy that silently drops one request from
+  its partition (the engines are untouched).
 
 Every generated program contains a fused ``sub`` and a ``ble`` loop
 branch in its prologue precisely so these two mutations are detectable
@@ -29,8 +31,15 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import repro.engine.decode as decode
 import repro.engine.interpreter as interpreter
+from repro.batching import policies
 from repro.fuzz.gen import gen_spec
 from repro.fuzz.oracle import check_spec, shrink_spec, write_repro
+
+
+def _lossy_naive(requests, batch_size):
+    batches = policies.batch_naive(requests, batch_size)
+    batches[-1] = batches[-1][:-1]
+    return [b for b in batches if b]
 
 N_SPECS = 8
 BASE_SEED = 20_240_806
@@ -87,6 +96,13 @@ def main() -> int:
           f"{detected}/{N_SPECS} specs (want {N_SPECS})")
     if detected != N_SPECS:
         failures.append("reference mutation escaped the oracle")
+
+    with mutated(policies.POLICIES, "naive", _lossy_naive):
+        detected = sum(bool(check_spec(s)) for s in specs)
+    print(f"batching mutation (naive drops one request): detected on "
+          f"{detected}/{N_SPECS} specs (want {N_SPECS})")
+    if detected != N_SPECS:
+        failures.append("batching mutation escaped the oracle")
 
     after = [m for s in specs for m in check_spec(s)]
     if after:

@@ -18,6 +18,7 @@ from repro.experiments import (
     fig16_allocator,
     fig19_20_21_chip,
     fig22_end_to_end,
+    fleet_sweep,
     gpu_comparison,
     resilience_sweep,
     sensitivity,
@@ -58,6 +59,14 @@ def main() -> None:
     r_retry0 = resil["cpu/retry@f=0"]
     rpu_none = resil["rpu/none@f=2"]
     rpu_hedge = resil["rpu/hedge@f=2"]
+    fleet = {r.label: r.values for r in
+             fleet_sweep.run(min(1.0, SCALE))["rows"]}
+    f_aware = fleet["r3/batch_aware/steady"]
+    f_robin = fleet["r3/round_robin/steady"]
+    f_fixed = fleet["r4/diurnal/fixed"]
+    f_auto = fleet["r4/diurnal/autoscale"]
+    f_clean = fleet["r4/steady/clean"]
+    f_outage = fleet["r4/steady/outages"]
 
     leaf = mpki_rows["hdsearch-leaf"]
 
@@ -130,6 +139,20 @@ def main() -> None:
         ("Extension: resilience sweep, RPU p99.9 at 2x faults "
          "(no policy -> hedge)", "robustness study",
          f"{rpu_none['p999']:.0f} -> {rpu_hedge['p999']:.0f} us"),
+        ("Extension: fleet sweep, requests/joule at equal load "
+         "(r3 steady, round-robin -> batch-aware)", "fleet study",
+         f"{f_robin['req_per_j']:.1f} -> {f_aware['req_per_j']:.1f} "
+         "req/J"),
+        ("Extension: fleet sweep, mixed-API batch fraction "
+         "(r3 steady, round-robin -> batch-aware)", "fleet study",
+         f"{f_robin['mixed']:.0%} -> {f_aware['mixed']:.0%}"),
+        ("Extension: fleet autoscaling, diurnal cluster power "
+         "(fixed r4 -> elastic)", "fleet study",
+         f"{f_fixed['watts']:.0f} -> {f_auto['watts']:.0f} W "
+         f"({f_auto['scale_events']:.0f} scale events)"),
+        ("Extension: fleet rack outages, goodput under retry "
+         "(clean -> rack-scoped outages)", "fleet study",
+         f"{f_clean['goodput']:.0%} -> {f_outage['goodput']:.0%}"),
     ]
 
     lines = [

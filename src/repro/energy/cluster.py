@@ -1,0 +1,100 @@
+"""Cluster-level power/carbon roll-up for the fleet tier.
+
+The chip model (:mod:`repro.energy.model`) prices one request on one
+chip; the resilience layer prices one service graph.  This module
+closes the loop to the paper's data-center pitch: per-replica busy
+time and provisioned-server time roll up to rack and cluster *watts*,
+facility energy (PUE), and operational carbon, so the headline
+requests/joule can be quoted at the granularity operators budget.
+
+Accounting model (all energies in joules, times in us):
+
+* **dynamic** - every us a tier server spends busy burns ``dynamic_w``
+  (storage backends at the lower ``storage_dynamic_w``, matching the
+  system-level model in :mod:`repro.system.resilience`);
+* **static** - every *active provisioned* server leaks ``static_w``;
+  autoscaling reduces this term by shrinking the integrated
+  active-server-time, which is why it is a time integral
+  (``active_server_us``) rather than ``servers x horizon``;
+* **rack overhead** - each provisioned rack (ToR switch, fans, PSU
+  losses) draws ``rack_overhead_w`` for the whole run: racks stay
+  powered even when their servers scale down;
+* **facility** - IT energy times ``pue``; carbon at a grid intensity
+  of ``carbon_g_per_kwh``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_J_PER_KWH = 3.6e6
+
+
+@dataclass(frozen=True)
+class ClusterPowerModel:
+    """Power coefficients for the fleet roll-up."""
+
+    #: watts for a fully-busy tier server (matches the system model)
+    dynamic_w: float = 20.0
+    #: leakage watts per active provisioned tier server
+    static_w: float = 8.0
+    #: watts for busy time on the shared storage backend
+    storage_dynamic_w: float = 4.0
+    #: per-rack fixed overhead (ToR switch, fans, PSU losses)
+    rack_overhead_w: float = 40.0
+    #: facility power usage effectiveness (cooling, distribution)
+    pue: float = 1.4
+    #: grid carbon intensity (operational, location-based)
+    carbon_g_per_kwh: float = 385.0
+
+
+@dataclass(frozen=True)
+class ClusterEnergy:
+    """One run's energy roll-up (see module docstring for terms)."""
+
+    dynamic_j: float
+    static_j: float
+    rack_j: float
+    pue: float
+    horizon_us: float
+    n_racks: int
+
+    @property
+    def it_j(self) -> float:
+        return self.dynamic_j + self.static_j + self.rack_j
+
+    @property
+    def facility_j(self) -> float:
+        return self.it_j * self.pue
+
+    @property
+    def avg_watts(self) -> float:
+        """Mean facility draw over the run (the cluster's power bill)."""
+        if self.horizon_us <= 0.0:
+            return 0.0
+        return self.facility_j / (self.horizon_us * 1e-6)
+
+    def carbon_g(self, model: "ClusterPowerModel") -> float:
+        """Operational carbon (grams CO2e) at the model's intensity."""
+        return self.facility_j / _J_PER_KWH * model.carbon_g_per_kwh
+
+
+def rollup_cluster(busy_us: float, storage_busy_us: float,
+                   active_server_us: float, n_racks: int,
+                   horizon_us: float,
+                   model: ClusterPowerModel = ClusterPowerModel()
+                   ) -> ClusterEnergy:
+    """Aggregate per-replica accounting into a :class:`ClusterEnergy`.
+
+    ``busy_us`` sums server-busy time over every tier replica,
+    ``active_server_us`` integrates (active replicas x servers each)
+    over time, and ``n_racks`` counts provisioned racks.  Shard
+    roll-ups compose by summing the inputs before calling this once.
+    """
+    dynamic = (busy_us * 1e-6 * model.dynamic_w
+               + storage_busy_us * 1e-6 * model.storage_dynamic_w)
+    static = active_server_us * 1e-6 * model.static_w
+    rack = n_racks * horizon_us * 1e-6 * model.rack_overhead_w
+    return ClusterEnergy(dynamic_j=dynamic, static_j=static, rack_j=rack,
+                         pue=model.pue, horizon_us=horizon_us,
+                         n_racks=n_racks)

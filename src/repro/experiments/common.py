@@ -240,12 +240,35 @@ def chip_unit(service: Microservice, config: CoreConfig, scale: float,
                     cost=n * weight, **kw)
 
 
-def execute_work_unit(unit: WorkUnit) -> None:
+@dataclass(frozen=True)
+class FleetUnit:
+    """One fleet-shard simulation in the cross-experiment dedup pool.
+
+    Wraps a :class:`repro.system.fleet.FleetShardTask` (kept opaque
+    here so this module does not import the fleet stack at import
+    time).  The task is frozen and fully identifies the simulation, so
+    identical shards declared by different sweeps dedup exactly like
+    chip :class:`WorkUnit`\\ s; results land in the persistent store
+    under the shard's own key.
+    """
+
+    task: object
+    cost: float = field(default=0.0, compare=False)
+
+
+def execute_work_unit(unit) -> None:
     """Worker entry: simulate one unit so its results reach the store.
 
-    The returned :class:`ChipResult` is deliberately dropped - workers
-    communicate through the persistent store, not the pool pipe.
+    Accepts either a chip :class:`WorkUnit` or a :class:`FleetUnit`.
+    The computed result is deliberately dropped - workers communicate
+    through the persistent store, not the pool pipe.
     """
+    if isinstance(unit, FleetUnit):
+        from ..system.fleet import _run_shard_cached
+
+        _run_shard_cached(unit.task)
+        return
+
     from ..timing.chip import run_chip
 
     service = get_service(unit.service)

@@ -1,0 +1,225 @@
+"""Fleet sweep: replicas x load balancer x traffic shape.
+
+SIMR quotes requests/joule on one chip; this sweep asks what survives
+at the *cluster* level, where a load balancer decides which replica's
+batch a request lands in.  An RPU tier's efficiency comes from
+batching same-API requests, so a class-blind balancer (round-robin,
+least-loaded) dilutes every batch with divergent work while the
+batch-aware policy keeps replica batches single-class
+(:mod:`repro.system.fleet`).  Expected shape:
+
+* at equal offered load, ``batch_aware`` beats ``round_robin`` on
+  requests/joule and p99 (no divergence multiplier at the web tier);
+* ``least_loaded`` tracks round-robin - balancing backlog does not
+  help when the cost is *inside* the batches;
+* more replicas cost static+rack watts: requests/joule falls with
+  over-provisioning, which is the autoscaling motivation;
+* on the diurnal shape, autoscaling sheds idle replicas off-peak and
+  claws static energy back at a small p99 cost;
+* rack-scoped outages kill in-flight work across a whole rack; the
+  retry policy recovers goodput at extra-attempt energy cost.
+
+Every cell is ``SHARDS`` independent fleet cells (sharded by keyed
+arrival streams), so serial and ``--jobs`` runs are bit-identical and
+each shard is one persistent-store unit (``work_units`` declares them
+for ``run_all``'s cross-experiment prewarm).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..system import (
+    BALANCERS,
+    FaultConfig,
+    FleetConfig,
+    FleetShardTask,
+    ResilienceConfig,
+    TrafficShape,
+    run_fleet,
+)
+from .common import FleetUnit, Row, format_rows, parallel_map
+
+GRAPH = "fleet_rpu"
+#: independent fleet cells per configuration (arrival stream split)
+SHARDS = 2
+#: offered load summed over the shards (QPS)
+BASE_QPS = 120_000.0
+SEED = 9
+
+#: provisioned replicas per tier (the main grid's first axis)
+REPLICAS = (2, 3)
+
+#: rack-scoped outage mix for the fault cells: replica ``r`` lives in
+#: rack ``r // rack_size``, so one outage downs a whole rack's tiers
+RACK_FAULTS = FaultConfig(
+    seed=13,
+    outage_rate_per_s=4.0,
+    outage_min_us=3_000.0,
+    outage_max_us=9_000.0,
+    drop_prob=0.01,
+)
+
+#: retry/deadline policy armed on the fault cells
+RETRY_POLICY = ResilienceConfig(deadline_us=60_000.0, max_retries=2)
+
+COLUMNS = ["req_per_j", "watts", "p50", "p99", "goodput", "mixed",
+           "classes", "violated", "fault_fail", "scale_events"]
+
+
+def _horizon(scale: float) -> float:
+    """Simulated wall-clock per cell (us); scales the request count."""
+    return max(50_000.0, 100_000.0 * scale)
+
+
+def _shapes(horizon: float) -> Dict[str, TrafficShape]:
+    """The three traffic shapes, with windows placed inside ``horizon``
+    so every scale exercises the diurnal trough and the flash spike."""
+    return {
+        "steady": TrafficShape(base_qps=BASE_QPS),
+        "diurnal": TrafficShape(base_qps=BASE_QPS,
+                                diurnal_amplitude=0.35,
+                                diurnal_period_us=horizon / 2.0),
+        "flash": TrafficShape(base_qps=0.8 * BASE_QPS,
+                              flash_at_us=0.4 * horizon,
+                              flash_duration_us=0.2 * horizon,
+                              flash_mult=2.0),
+    }
+
+
+def _cells(scale: float) -> List[tuple]:
+    """Every (label, shape, fleet, faults, resilience, horizon) cell."""
+    horizon = _horizon(scale)
+    shapes = _shapes(horizon)
+    cells: List[tuple] = []
+    for r in REPLICAS:
+        for bal in BALANCERS:
+            for sname, shape in shapes.items():
+                cells.append((f"r{r}/{bal}/{sname}", shape,
+                              FleetConfig(replicas=r, balancer=bal),
+                              None, None, horizon))
+    # autoscaling pair: same diurnal offered load, fixed vs elastic
+    for suffix, auto in (("fixed", False), ("autoscale", True)):
+        cells.append((f"r4/diurnal/{suffix}", shapes["diurnal"],
+                      FleetConfig(replicas=4, balancer="batch_aware",
+                                  autoscale=auto),
+                      None, None, horizon))
+    # rack-outage pair: same policy and load, without/with outages
+    for suffix, faults in (("clean", None), ("outages", RACK_FAULTS)):
+        cells.append((f"r4/steady/{suffix}", shapes["steady"],
+                      FleetConfig(replicas=4, balancer="batch_aware"),
+                      faults, RETRY_POLICY, horizon))
+    return cells
+
+
+def _cell_tasks(cell: tuple) -> List[FleetShardTask]:
+    """The shard tasks one cell's :func:`run_fleet` call will execute
+    (constructed identically, so declared units dedup against it)."""
+    _label, shape, fleet, faults, resilience, horizon = cell
+    return [FleetShardTask(graph=GRAPH, fleet=fleet, shape=shape,
+                           horizon_us=horizon, shard=s, n_shards=SHARDS,
+                           seed=SEED, faults=faults,
+                           resilience=resilience)
+            for s in range(SHARDS)]
+
+
+def work_units(scale: float = 1.0) -> List[FleetUnit]:
+    """Declare every shard for ``run_all``'s cross-experiment dedup."""
+    units: List[FleetUnit] = []
+    for cell in _cells(scale):
+        shape, horizon = cell[1], cell[5]
+        cost = shape.mean_qps(horizon) * horizon * 1e-6 / SHARDS
+        units.extend(FleetUnit(task=t, cost=cost)
+                     for t in _cell_tasks(cell))
+    return units
+
+
+def _run_cell(cell: tuple) -> Tuple[str, dict]:
+    """Worker entry point: one fleet configuration (all its shards)."""
+    label, shape, fleet, faults, resilience, horizon = cell
+    r = run_fleet(shape, horizon, fleet=fleet, graph=GRAPH,
+                  shards=SHARDS, seed=SEED, faults=faults,
+                  resilience=resilience)
+    return label, {
+        "req_per_j": r.requests_per_joule,
+        "watts": r.avg_watts,
+        "p50": r.p50_us,
+        "p99": r.p99_us,
+        "goodput": r.goodput_frac,
+        "mixed": r.mixed_batch_frac,
+        "classes": r.mean_classes,
+        "violated": float(r.violated),
+        "fault_fail": float(r.fault_failures),
+        "scale_events": float(r.scale_ups + r.scale_downs),
+        "carbon_g": r.carbon_g,
+        "offered_qps": r.offered_qps,
+        "n_requests": float(r.n_requests),
+    }
+
+
+def run(scale: float = 1.0) -> Dict:
+    """Measure the sweep; returns structured rows."""
+    cells = _cells(scale)
+    results = parallel_map(_run_cell, cells)
+    rows = [Row(label=label, values=values) for label, values in results]
+    return {"rows": rows, "horizon_us": _horizon(scale),
+            "shards": SHARDS, "base_qps": BASE_QPS}
+
+
+def main(scale: float = 1.0) -> str:
+    """Render the experiment as the printable report."""
+    from ..report import fmt_si, grid_table
+
+    data = run(scale)
+    by_label = {r.label: r for r in data["rows"]}
+    shape_names = list(_shapes(data["horizon_us"]))
+    out = [f"Fleet sweep: replicas x balancer x traffic "
+           f"({fmt_si(data['base_qps'], 'QPS')} offered over "
+           f"{data['shards']} shards, "
+           f"{data['horizon_us'] / 1000:g}ms horizon)"]
+    for r in REPLICAS:
+        cells = {}
+        for bal in BALANCERS:
+            for sname in shape_names:
+                row = by_label[f"r{r}/{bal}/{sname}"]
+                cells[(bal, sname)] = (
+                    f"r/J {row['req_per_j']:6.2f} "
+                    f"p99 {row['p99']:6.0f}us "
+                    f"mix {row['mixed']:4.0%}")
+        out.append("")
+        out.append(grid_table(
+            list(BALANCERS), shape_names, cells,
+            title=f"[{r} replicas/tier] cluster "
+                  + fmt_si(by_label[f"r{r}/round_robin/steady"]["watts"],
+                           "W")))
+    out.append("")
+    out.append("autoscaling on the diurnal shape (4 replicas, "
+               "batch-aware):")
+    for suffix in ("fixed", "autoscale"):
+        row = by_label[f"r4/diurnal/{suffix}"]
+        out.append(f"  {suffix:9s} {fmt_si(row['watts'], 'W'):>8s} "
+                   f"r/J {row['req_per_j']:6.2f} "
+                   f"p99 {row['p99']:6.0f}us "
+                   f"scale-events {row['scale_events']:3.0f} "
+                   f"carbon {row['carbon_g']:.2f}g")
+    out.append("")
+    out.append("rack-scoped outages (4 replicas, 2 racks/shard, "
+               "retry x2):")
+    for suffix in ("clean", "outages"):
+        row = by_label[f"r4/steady/{suffix}"]
+        out.append(f"  {suffix:9s} goodput {row['goodput']:6.2%} "
+                   f"violated {row['violated']:4.0f} "
+                   f"killed {row['fault_fail']:4.0f} "
+                   f"p99 {row['p99']:6.0f}us "
+                   f"r/J {row['req_per_j']:6.2f}")
+    out.append("")
+    out.append(format_rows(data["rows"], COLUMNS,
+                           title="per-cell detail (latencies in us)",
+                           width=26))
+    return "\n".join(out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from .common import experiment_cli
+
+    raise SystemExit(experiment_cli(main, units_fn=work_units))

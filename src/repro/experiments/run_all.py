@@ -43,6 +43,7 @@ from . import (
     fig16_allocator,
     fig19_20_21_chip,
     fig22_end_to_end,
+    fleet_sweep,
     gpu_comparison,
     resilience_sweep,
     sensitivity,
@@ -64,6 +65,7 @@ EXPERIMENTS: Dict[str, Callable[[float], str]] = {
     "fig19_20_21": fig19_20_21_chip.main,
     "fig22": fig22_end_to_end.main,
     "resilience": resilience_sweep.main,
+    "fleet": fleet_sweep.main,
     "table04": table04_config.main,
     "table05": table05_area_power.main,
     "sensitivity": sensitivity.main,
@@ -107,6 +109,7 @@ EXPORTABLE = {
     "fig19_20_21": fig19_20_21_chip.run,
     "fig22": fig22_end_to_end.run,
     "resilience": resilience_sweep.run,
+    "fleet": fleet_sweep.run,
     "table05": table05_area_power.run,
     "sensitivity": sensitivity.run,
     "gpu": gpu_comparison.run,
@@ -138,6 +141,7 @@ WORK_UNITS: Dict[str, Callable[[float], List]] = {
     "fig16": fig16_allocator.work_units,
     "fig19_20_21": fig19_20_21_chip.work_units,
     "sensitivity": sensitivity.work_units,
+    "fleet": fleet_sweep.work_units,
     "gpu": gpu_comparison.work_units,
     "sec6a": sec6a_simd_alternative.work_units,
     "cycle_stacks": cycle_stacks.work_units,
@@ -146,6 +150,7 @@ WORK_UNITS: Dict[str, Callable[[float], List]] = {
 #: measured serial seconds per experiment at scale=1 (relative weights
 #: for longest-first submission; an unknown name sorts last)
 COSTS = {
+    "fleet": 40.0,
     "fig15": 23.0, "fig19_20_21": 23.0, "fig10": 10.0, "fig14": 8.5,
     "fig16": 5.0, "gpu": 4.2, "fig04_fig11": 2.5, "fig01": 2.3,
     "sensitivity": 2.1, "resilience": 1.7, "sec6a": 0.9,

@@ -15,7 +15,13 @@ For one spec the oracle runs the program
 * across policies: ``ipdom`` and ``predicated`` are architecturally
   identical by construction and must agree on *everything*; for
   race-free specs (no atomics / spin locks) every policy must reach the
-  same architectural state as solo execution.
+  same architectural state as solo execution;
+* through the batching layer: each request-batching policy
+  (:mod:`repro.batching.policies`) partitions the spec's threads into
+  lockstep batches; the partition must cover every request exactly
+  once, and for race-free specs the per-request architectural results
+  must be bit-identical to solo execution no matter how the policy
+  grouped them.
 
 A failing spec is greedily shrunk (drop constructs, fewer threads,
 smaller parameters) and written out as a standalone repro file.
@@ -29,12 +35,15 @@ import pprint
 import random
 from typing import Dict, List, Optional
 
+from ..batching.policies import POLICIES as BATCHING_POLICIES
+from ..batching.policies import form_batches
 from ..engine.events import StepSink
 from ..engine.lockstep import ExecutionError, make_executor
 from ..engine.memory import MemoryImage
 from ..engine.thread import ThreadState
 from ..memsys.alloc import SimrAwareAllocator
 from ..sanitize import SanitizerError
+from ..workloads.base import Request
 from .gen import (GeneratorError, build_program, spec_is_racy,
                   spec_reconv_override)
 
@@ -135,6 +144,80 @@ def _run_one(spec: Dict, policy: str, fastpath: bool,
     }
 
 
+def _spec_requests(threads: List[ThreadState]) -> List[Request]:
+    """The spec's threads as the server's batching layer would see
+    them: ``rid`` is the thread id, ``api_id``/``size`` mirror the
+    register draws of :func:`_setup_threads` (r1 = API selector,
+    r2 = argument length)."""
+    return [Request(rid=t.tid, service="fuzz", api=f"api{t.regs[1]}",
+                    api_id=t.regs[1], size=t.regs[2], key=t.regs[3])
+            for t in threads]
+
+
+def _run_batched(spec: Dict, batching: str,
+                 max_steps: int = DEFAULT_MAX_STEPS) -> Dict:
+    """Execute the spec the way a batched SIMR server would: partition
+    the requests with ``batching``, then run each batch in lockstep
+    (``minsp_pc``) over the shared memory image, in batch order."""
+    program = build_program(spec)
+    mem = MemoryImage(salt=spec["salt"])
+    threads = _setup_threads(spec, mem)
+    bs = max(2, spec["n_threads"] // 2)
+    batches = form_batches(_spec_requests(threads), bs, policy=batching)
+    for batch in batches:
+        # the executor's contract wants tid-sorted groups (execution
+        # order); a policy's ordering *within* a batch is a dispatch
+        # detail, its grouping is what is under test here
+        group = sorted((threads[r.rid] for r in batch),
+                       key=lambda t: t.tid)
+        # a fresh executor per batch: real dispatches never share
+        # divergence state across batches
+        ex = make_executor(program, "minsp_pc", fastpath=True,
+                           max_steps=max_steps)
+        ex.run(group, mem)
+    return {
+        "rids": sorted(r.rid for b in batches for r in b),
+        "snapshots": [t.snapshot() for t in threads],
+        "syscalls": [list(t.syscall_trace) for t in threads],
+        "call_stacks": [list(t.call_stack) for t in threads],
+        "memory": {a: mem.read(a) for a in sorted(mem.written_addresses())},
+    }
+
+
+def check_batching_spec(spec: Dict, solo_state: Optional[Dict] = None,
+                        max_steps: int = DEFAULT_MAX_STEPS) -> List[str]:
+    """The batching-layer oracle: every policy's partition must cover
+    each request exactly once, and (race-free specs only - batches
+    interleave threads differently, so racy programs may legitimately
+    diverge) per-request architectural state must match solo execution
+    bit for bit."""
+    mismatches: List[str] = []
+    if solo_state is None:
+        solo_state = _run_one(spec, "solo", fastpath=False,
+                              max_steps=max_steps)
+    racy = spec_is_racy(spec)
+    for batching in BATCHING_POLICIES:
+        try:
+            got = _run_batched(spec, batching, max_steps=max_steps)
+        except (ExecutionError, SanitizerError) as e:
+            mismatches.append(
+                f"batching {batching}: {type(e).__name__}: {e}")
+            continue
+        if got["rids"] != list(range(spec["n_threads"])):
+            mismatches.append(
+                f"batching {batching}: partition does not cover every "
+                f"request exactly once (got rids {got['rids']})")
+            continue
+        if racy:
+            continue
+        for fld in _ARCH_FIELDS:
+            if got[fld] != solo_state[fld]:
+                mismatches.append(
+                    f"batching {batching}: per-request {fld} diverges "
+                    f"from solo execution on a race-free program")
+    return mismatches
+
+
 def check_spec(spec: Dict,
                max_steps: int = DEFAULT_MAX_STEPS) -> List[str]:
     """Run the full differential matrix; returns mismatch descriptions
@@ -208,6 +291,13 @@ def check_spec(spec: Dict,
                         mismatches.append(
                             f"{policy} vs solo: {fld} differs on a "
                             f"race-free program")
+
+        # the batching layer on top: however a policy partitions the
+        # requests into lockstep batches, each request's architectural
+        # results must survive unchanged
+        mismatches.extend(
+            check_batching_spec(spec, solo_state=ref_states["solo"],
+                                max_steps=max_steps))
     except (ExecutionError, SanitizerError) as e:
         mismatches.append(f"{type(e).__name__}: {e}")
     return mismatches

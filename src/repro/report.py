@@ -19,6 +19,18 @@ def stats_line(title: str, stats: Dict[str, object]) -> str:
     return f"[{title}: {body}]" if body else f"[{title}]"
 
 
+_SI_STEPS = ((1e9, "G"), (1e6, "M"), (1e3, "k"))
+
+
+def fmt_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Engineering-notation scalar (``3.52kW``, ``120kQPS``) for cells
+    where fixed-point columns would drown the table in zeros."""
+    for thresh, suffix in _SI_STEPS:
+        if abs(value) >= thresh:
+            return f"{value / thresh:.{digits}g}{suffix}{unit}"
+    return f"{value:.{digits}g}{unit}"
+
+
 def bar_chart(items: Sequence[Tuple[str, float]], width: int = 48,
               title: str = "", fmt: str = "{:.2f}",
               reference: Optional[float] = None) -> str:

@@ -1,6 +1,18 @@
 """System-level microservice-interaction simulation (uqsim role)."""
 
+from .arrivals import TrafficShape, generate_arrivals
 from .faults import FaultConfig, FaultInjector, FaultStats
+from .fleet import (
+    BALANCERS,
+    FleetConfig,
+    FleetResult,
+    FleetShardTask,
+    FleetSimulation,
+    fleet_social_graph,
+    merge_shards,
+    run_fleet,
+    run_fleet_shard,
+)
 from .graph import (
     GraphConfig,
     GraphNode,
@@ -27,22 +39,38 @@ from .resilience import (
     run_resilient,
     system_energy_joules,
 )
+from .seeding import stream_exp, stream_key, stream_rng, stream_u
 
 __all__ = [
+    "BALANCERS",
     "CircuitBreaker",
     "EndToEndConfig",
     "FaultConfig",
     "FaultInjector",
     "FaultStats",
+    "FleetConfig",
+    "FleetResult",
+    "FleetShardTask",
+    "FleetSimulation",
     "GraphConfig",
     "GraphNode",
     "GraphSimulation",
     "ResilienceConfig",
     "ResilientEndToEnd",
     "ResilientResult",
+    "TrafficShape",
+    "fleet_social_graph",
+    "generate_arrivals",
+    "merge_shards",
+    "run_fleet",
+    "run_fleet_shard",
     "run_graph",
     "run_resilient",
     "social_network_graph",
+    "stream_exp",
+    "stream_key",
+    "stream_rng",
+    "stream_u",
     "system_energy_joules",
     "EndToEndResult",
     "Job",

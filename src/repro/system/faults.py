@@ -15,11 +15,18 @@ inject into microservice clusters:
   and fails fast.
 
 Every decision is a pure function of the injector seed plus stable
-identifiers (station name, job id, attempt number): outage windows are
-precomputed per station from a seeded Poisson process, and per-dispatch
-draws hash ``(kind, station, jid, attempt)``.  Nothing consumes RNG
-state during the simulation, so fault placement is independent of
+identifiers (station name, request id, attempt number): outage windows
+are precomputed per fault *domain* from a seeded Poisson process, and
+per-dispatch draws hash ``(kind, station, rid, attempt)`` (falling back
+to the job id when no logical request id is set).  Nothing consumes
+RNG state during the simulation, so fault placement is independent of
 event interleaving - the property the determinism tests pin.
+
+Fault domains generalize per-station outages to rack/zone-scoped ones:
+pass ``scope={station_name: domain}`` and every station mapped to the
+same domain shares one outage schedule (a rack power event takes down
+every replica in the rack at once), while unmapped stations keep their
+own independent windows.
 
 A ``FaultInjector`` with all rates at zero is a strict no-op, and a
 :class:`~repro.system.queueing.Station` with no injector attached never
@@ -30,12 +37,10 @@ pre-fault-layer simulator).
 from __future__ import annotations
 
 import bisect
-import random
-import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-_U32 = float(1 << 32)
+from .seeding import stream_rng, stream_u
 
 
 @dataclass(frozen=True)
@@ -106,43 +111,61 @@ class FaultStats:
 class FaultInjector:
     """Seeded fault oracle; attach to stations via :meth:`attach`."""
 
-    def __init__(self, cfg: FaultConfig):
+    def __init__(self, cfg: FaultConfig,
+                 scope: Optional[Mapping[str, str]] = None):
         self.cfg = cfg
         self.stats = FaultStats()
+        #: station name -> fault domain; stations sharing a domain share
+        #: one outage schedule (rack/zone-scoped outages).  Unmapped
+        #: stations form their own singleton domain.
+        self.scope: Dict[str, str] = dict(scope) if scope else {}
         #: per-station sorted outage windows, built lazily per name
         self._windows: Dict[str, Tuple[List[float], List[float]]] = {}
 
     # -- deterministic randomness --------------------------------------
     def _u(self, kind: str, name: str, jid: int, attempt: int) -> float:
         """Uniform [0, 1) from stable identifiers only."""
-        h = zlib.crc32(repr((self.cfg.seed, kind, name, jid,
-                             attempt)).encode("ascii"))
-        return h / _U32
+        return stream_u(self.cfg.seed, kind, name, jid, attempt)
+
+    def domain_of(self, name: str) -> str:
+        return self.scope.get(name, name)
 
     def _station_windows(self, name: str) -> Tuple[List[float], List[float]]:
         got = self._windows.get(name)
         if got is not None:
             return got
-        starts: List[float] = []
-        ends: List[float] = []
         cfg = self.cfg
-        if (cfg.outage_rate_per_s > 0
-                and (cfg.stations is None or name in cfg.stations)):
-            rng = random.Random(zlib.crc32(
-                repr((cfg.seed, "outages", name)).encode("ascii")))
-            mean_gap_us = 1e6 / cfg.outage_rate_per_s
-            t = rng.expovariate(1.0) * mean_gap_us
-            while t < cfg.horizon_us:
-                dur = rng.uniform(cfg.outage_min_us, cfg.outage_max_us)
-                if starts and t <= ends[-1]:
-                    ends[-1] = max(ends[-1], t + dur)  # merge overlap
-                else:
-                    starts.append(t)
-                    ends.append(t + dur)
-                t += rng.expovariate(1.0) * mean_gap_us
-        self._windows[name] = (starts, ends)
-        self.stats.windows[name] = len(starts)
-        return starts, ends
+        domain = self.scope.get(name, name)
+        active = (cfg.outage_rate_per_s > 0
+                  and (cfg.stations is None or name in cfg.stations
+                       or domain in cfg.stations))
+        got = None
+        if active:
+            got = self._windows.get(domain) if domain != name else None
+            if got is None:
+                starts: List[float] = []
+                ends: List[float] = []
+                rng = stream_rng(cfg.seed, "outages", domain)
+                mean_gap_us = 1e6 / cfg.outage_rate_per_s
+                t = rng.expovariate(1.0) * mean_gap_us
+                while t < cfg.horizon_us:
+                    dur = rng.uniform(cfg.outage_min_us, cfg.outage_max_us)
+                    if starts and t <= ends[-1]:
+                        ends[-1] = max(ends[-1], t + dur)  # merge overlap
+                    else:
+                        starts.append(t)
+                        ends.append(t + dur)
+                    t += rng.expovariate(1.0) * mean_gap_us
+                got = (starts, ends)
+                self._windows[domain] = got
+        else:
+            # filtered out (or outages disabled): this station has no
+            # windows of its own, and must not seed the domain cache
+            # with an empty schedule other domain members would share
+            got = ([], [])
+        self._windows[name] = got
+        self.stats.windows[name] = len(got[0])
+        return got
 
     # -- queries -------------------------------------------------------
     def outage_end(self, name: str, t: float) -> Optional[float]:
@@ -186,20 +209,25 @@ class FaultInjector:
             return end, (), 1.0, 0.0
         drops: list = ()
         if cfg.drop_prob > 0:
+            # key on the logical request id (attempt-Jobs of one request
+            # get fresh jids in interleaving-dependent order; rid/attempt
+            # are causally stable), falling back to jid when unset
             drops = [j for j in jobs
-                     if self._u("drop", name, j.jid, j.attempt)
-                     < cfg.drop_prob]
+                     if self._u("drop", name,
+                                j.rid if j.rid >= 0 else j.jid,
+                                j.attempt) < cfg.drop_prob]
             self.stats.drops += len(drops)
         mult = 1.0
         extra = 0.0
         lead = jobs[0]
+        lead_id = lead.rid if lead.rid >= 0 else lead.jid
         if cfg.straggler_prob > 0 and self._u(
-                "straggler", name, lead.jid, lead.attempt) \
+                "straggler", name, lead_id, lead.attempt) \
                 < cfg.straggler_prob:
             mult = cfg.straggler_mult
             self.stats.stragglers += 1
         if cfg.spike_prob > 0 and self._u(
-                "spike", name, lead.jid, lead.attempt) < cfg.spike_prob:
+                "spike", name, lead_id, lead.attempt) < cfg.spike_prob:
             extra = cfg.spike_us
             self.stats.spikes += 1
         return None, drops, mult, extra

@@ -1,0 +1,556 @@
+"""Fleet tier: replicated service graphs behind load balancers.
+
+SIMR's headline requests/joule is measured on one chip; the pitch is
+*data-center* efficiency.  This module turns one service graph
+(:mod:`repro.system.graph`) into a fleet cell: every tier gets N
+replica stations, requests are spread by a pluggable load balancer,
+an autoscaler grows/shrinks the active replica set on queue backlog,
+and per-replica busy/provisioned time rolls up through
+:mod:`repro.energy.cluster` to rack and cluster watts.
+
+The SIMT-specific piece is **batch-aware routing**: an RPU tier's
+efficiency comes from batching *same-API* requests (paper Fig. 4/11);
+a balancer that interleaves API classes onto one replica fills its
+batches with divergent work.  We model that cost with the
+:attr:`~repro.system.queueing.Station.batch_cost` hook - a dispatch
+serving ``k`` distinct API classes pays ``1 + penalty * (k - 1)`` on
+both latency and occupancy - and provide three balancers:
+
+* ``round_robin`` - classic, class-blind;
+* ``least_loaded`` - backlog-greedy, class-blind;
+* ``batch_aware`` - routes a request to replica ``api_id % active``
+  so each replica's batches stay single-class, spilling to the
+  least-loaded replica when the affinity target is backlogged.
+
+Determinism: a fleet shard is a pure function of its configuration.
+Arrival schedules come from keyed streams (:mod:`.arrivals`), routing
+and fault draws are keyed hashes (:mod:`.seeding`, :mod:`.faults`),
+and balancer state evolves inside one deterministic event loop - so
+serial and ``--jobs`` runs are bit-identical, and unchanged shards are
+persistent-store hits.
+
+Rack-scoped faults: replica ``r`` of every tier lives in rack
+``r // rack_size``; with faults enabled the injector's ``scope`` maps
+each replica station to its rack domain, so one outage takes down the
+whole rack's replicas at once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..energy.cluster import ClusterEnergy, ClusterPowerModel, rollup_cluster
+from ..sanitize import check, sanitizer_enabled
+from .arrivals import TrafficShape, generate_arrivals
+from .faults import FaultConfig, FaultInjector
+from .graph import GraphConfig, GraphSimulation, social_network_graph
+from .queueing import Job, Station, _percentile
+from .resilience import ResilienceConfig
+
+BALANCERS = ("round_robin", "least_loaded", "batch_aware")
+
+
+def fleet_social_graph(rpu: bool = True) -> GraphConfig:
+    """The Fig. 3 application sized for fleet experiments: the web
+    front tier does real work (template render + auth, ~80us) instead
+    of the 10us stub, so its batching efficiency - where all three API
+    classes mix - is a first-order term in cluster energy."""
+    cfg = social_network_graph(rpu=rpu)
+    cfg.nodes["web"].service_us = 80.0
+    return cfg
+
+
+#: named graph factories (fleet configs identify graphs by name so the
+#: whole shard task stays hashable/serializable for the store)
+GRAPHS: Dict[str, Callable[[], GraphConfig]] = {
+    "fleet_rpu": lambda: fleet_social_graph(rpu=True),
+    "fleet_cpu": lambda: fleet_social_graph(rpu=False),
+    "social_rpu": lambda: social_network_graph(rpu=True),
+    "social_cpu": lambda: social_network_graph(rpu=False),
+}
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One fleet cell's knobs (frozen: part of the store identity)."""
+
+    #: provisioned replicas per service tier
+    replicas: int = 3
+    balancer: str = "batch_aware"
+    #: batching at the replica stations (RPU-style tiers); the fleet
+    #: default window is wider than the single-graph 50us because a
+    #: balancer splits each tier's arrival stream ``replicas`` ways -
+    #: batches need a realistic chance to fill per replica
+    batch_size: int = 16
+    batch_timeout_us: float = 200.0
+    #: latency/occupancy multiplier per *extra* API class in a batch
+    divergence_penalty: float = 0.5
+    #: batch-aware routing spills off its affinity replica when that
+    #: replica's backlog exceeds this
+    affinity_spill_us: float = 200.0
+    #: replicas per rack (rack overhead power + rack-scoped outages)
+    rack_size: int = 2
+    # -- autoscaling ---------------------------------------------------
+    autoscale: bool = False
+    autoscale_interval_us: float = 2_000.0
+    scale_up_backlog_us: float = 300.0
+    scale_down_backlog_us: float = 40.0
+    min_active: int = 1
+
+
+class ReplicaSet:
+    """One tier's replicas + the active-prefix the balancer routes to.
+
+    ``active_server_us`` integrates (active replicas x servers each)
+    over time - the static-energy term autoscaling is able to shrink.
+    """
+
+    __slots__ = ("name", "stations", "servers_each", "active", "rr",
+                 "active_server_us", "_last_t", "infinite")
+
+    def __init__(self, name: str, stations: List[Station],
+                 servers_each: int, active: int, infinite: bool):
+        self.name = name
+        self.stations = stations
+        self.servers_each = servers_each
+        self.active = active
+        self.rr = 0
+        self.active_server_us = 0.0
+        self._last_t = 0.0
+        self.infinite = infinite
+
+    def note(self, now: float) -> None:
+        """Integrate provisioned-server time up to ``now``."""
+        if not self.infinite:
+            self.active_server_us += (self.active * self.servers_each
+                                      * (now - self._last_t))
+        self._last_t = now
+
+    def set_active(self, now: float, n: int) -> None:
+        if n != self.active:
+            self.note(now)
+            self.active = n
+
+
+class FleetSimulation(GraphSimulation):
+    """A single fleet cell (one shard of a sharded fleet run)."""
+
+    def __init__(self, graph_cfg: GraphConfig, fleet: FleetConfig,
+                 seed: int = 1, faults: Optional[FaultConfig] = None,
+                 resilience: Optional[ResilienceConfig] = None,
+                 shard: int = 0):
+        if fleet.balancer not in BALANCERS:
+            raise ValueError(f"unknown balancer {fleet.balancer!r}; "
+                             f"expected one of {BALANCERS}")
+        # the parent wires the simulator, continuation tables, retry
+        # machinery and singleton stations; the fleet replaces the
+        # station layer below with replica sets
+        super().__init__(graph_cfg, seed=seed, resilience=resilience)
+        self.fleet = fleet
+        self.shard = shard
+        self.replica_sets: Dict[str, ReplicaSet] = {}
+        self.batch_stats = {"batches": 0, "mixed": 0, "classes": 0}
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self._tick_until = 0.0
+        #: latest time a request actually resolved by violation (the
+        #: billing window must cover it; resolved requests' leftover
+        #: deadline timers must NOT extend it)
+        self._last_violation_us = 0.0
+        cost_hook = None
+        if fleet.divergence_penalty > 0.0:
+            cost_hook = self._make_batch_cost()
+        scope: Dict[str, str] = {}
+        start_active = fleet.replicas
+        if fleet.autoscale:
+            start_active = max(1, min(fleet.replicas, fleet.min_active))
+        for name, node in graph_cfg.nodes.items():
+            infinite = node.servers >= 1000
+            n_rep = 1 if infinite else fleet.replicas
+            stations: List[Station] = []
+            for r in range(n_rep):
+                st_name = f"{name}@{r}" if n_rep > 1 else name
+                if infinite:
+                    st = Station(self.sim, st_name, node.service_us,
+                                 node.servers, infinite=True)
+                elif graph_cfg.rpu:
+                    st = Station(
+                        self.sim, st_name,
+                        node.service_us * graph_cfg.rpu_latency_factor,
+                        node.servers,
+                        occupancy_us=(node.service_us
+                                      / graph_cfg.rpu_throughput_gain),
+                        batch_size=fleet.batch_size,
+                        batch_timeout_us=fleet.batch_timeout_us)
+                else:
+                    st = Station(self.sim, st_name, node.service_us,
+                                 node.servers)
+                if cost_hook is not None and st.batch_size > 1:
+                    st.batch_cost = cost_hook
+                scope[st_name] = f"s{shard}/rack{r // fleet.rack_size}"
+                stations.append(st)
+            self.replica_sets[name] = ReplicaSet(
+                name, stations, node.servers,
+                1 if infinite else start_active, infinite)
+        # replace the parent's singleton-station injector wiring with a
+        # rack-scoped one over the replica stations
+        self.injector = None
+        if faults is not None and faults.enabled:
+            self.injector = FaultInjector(faults, scope=scope)
+            for rs in self.replica_sets.values():
+                self.injector.attach(*rs.stations)
+        self._afters = {name: self._make_after(node)
+                        for name, node in graph_cfg.nodes.items()}
+
+    # -- SIMT divergence cost ------------------------------------------
+    def _make_batch_cost(self):
+        pen = self.fleet.divergence_penalty
+        stats = self.batch_stats
+
+        def cost(group: List[Job]) -> float:
+            k = len({j.api_id for j in group})
+            stats["batches"] += 1
+            stats["classes"] += k
+            if k > 1:
+                stats["mixed"] += 1
+            return 1.0 + pen * (k - 1)
+
+        return cost
+
+    # -- request classes -----------------------------------------------
+    def _entry_api(self, rid: int, attempt: int) -> int:
+        """The request's API class: the index of the entry tier's
+        routed child.  Computed with the *same* keyed draw the router
+        will make in ``_after_service``, so routing stays consistent
+        with the class the balancer saw."""
+        node = self.cfg.nodes[self.cfg.entry]
+        if not node.route:
+            return 0
+        from .seeding import stream_u
+
+        x = stream_u(self.seed, "route", node.name, rid, attempt) \
+            * sum(w for _c, w in node.route)
+        acc = 0.0
+        for k, (_child, w) in enumerate(node.route):
+            acc += w
+            if x < acc:
+                return k
+        return len(node.route) - 1
+
+    def _make_job(self, state: dict) -> Job:
+        job = super()._make_job(state)
+        job.api_id = self._entry_api(state["rid"], state["retries"])
+        return job
+
+    # -- load balancing ------------------------------------------------
+    def _least_loaded(self, rs: ReplicaSet, now: float) -> Station:
+        stations = rs.stations
+        best = stations[0]
+        best_key = (best.backlog_us(now), best.queue_depth)
+        for i in range(1, rs.active):
+            st = stations[i]
+            key = (st.backlog_us(now), st.queue_depth)
+            if key < best_key:
+                best = st
+                best_key = key
+        return best
+
+    def _pick(self, rs: ReplicaSet, now: float, job: Job) -> Station:
+        n = rs.active
+        if n <= 1:
+            return rs.stations[0]
+        balancer = self.fleet.balancer
+        if balancer == "round_robin":
+            st = rs.stations[rs.rr % n]
+            rs.rr += 1
+            return st
+        if balancer == "batch_aware":
+            st = rs.stations[job.api_id % n]
+            if st.backlog_us(now) <= self.fleet.affinity_spill_us:
+                return st
+            # affinity target is backlogged: spill (same-class traffic
+            # keeps downstream batches pure anyway)
+        return self._least_loaded(rs, now)
+
+    def _deadline(self, now: float, state: dict) -> None:
+        unresolved = not state["resolved"]
+        super()._deadline(now, state)
+        if unresolved:
+            self._last_violation_us = max(self._last_violation_us, now)
+
+    def _visit(self, now: float, node_name: str, job: Job,
+               done: Callable[[float], None]) -> None:
+        rs = self.replica_sets[node_name]
+        self._conts[(node_name, job.jid)] = done
+        self._pick(rs, now, job).arrive(now, job, self._afters[node_name])
+
+    # -- autoscaling ---------------------------------------------------
+    def _autoscale_tick(self, now: float) -> None:
+        fl = self.fleet
+        for rs in self.replica_sets.values():
+            if rs.infinite:
+                continue
+            backlog = sum(rs.stations[i].backlog_us(now)
+                          for i in range(rs.active)) / rs.active
+            if backlog > fl.scale_up_backlog_us \
+                    and rs.active < fl.replicas:
+                rs.set_active(now, rs.active + 1)
+                self.scale_ups += 1
+            elif backlog < fl.scale_down_backlog_us \
+                    and rs.active > fl.min_active:
+                rs.set_active(now, rs.active - 1)
+                self.scale_downs += 1
+        if now + fl.autoscale_interval_us <= self._tick_until:
+            self.sim.schedule(now + fl.autoscale_interval_us,
+                              self._autoscale_tick)
+
+    # -- driving -------------------------------------------------------
+    def run_arrivals(self, arrivals: Sequence[float],
+                     horizon_us: float) -> dict:
+        """Simulate this cell over a precomputed arrival schedule and
+        return the shard payload (mergeable, store-friendly)."""
+        fl = self.fleet
+        resilient = self.injector is not None or self.resilience is not None
+        n = len(arrivals)
+        for i, t in enumerate(arrivals):
+            if resilient:
+                state = {"rid": i, "arrival": t, "retries": 0,
+                         "resolved": False}
+                self._rstates[i] = state
+                res = self.resilience
+                if res is not None and res.deadline_us != math.inf:
+                    self.sim.schedule(t + res.deadline_us,
+                                      self._deadline, state)
+                self.sim.schedule(t, self._start_attempt, state)
+                continue
+            job = Job(jid=next(self._jidc), arrival_us=t,
+                      api_id=self._entry_api(i, 0))
+
+            def finish(tt: float, j: Job = job) -> None:
+                j.done_us = tt + self.cfg.network_us
+                self.finished.append(j)
+
+            self.sim.schedule(t, self._visit, self.cfg.entry, job, finish)
+        # note: with rid unset the entry draw keys on jid == i, so
+        # _entry_api(i, 0) above matches the router's own draw
+        self._tick_until = arrivals[-1] if arrivals else 0.0
+        if fl.autoscale and n > 0:
+            self.sim.schedule(fl.autoscale_interval_us,
+                              self._autoscale_tick)
+        self.sim.run()
+        # billing window: the horizon, extended by work that spills
+        # past it (late completions, requests abandoned at deadline) -
+        # but not by leftover deadline timers of resolved requests,
+        # which are bookkeeping events on an already-idle cluster
+        end = max(horizon_us, self._last_violation_us)
+        if self.finished:
+            end = max(end, max(j.done_us for j in self.finished))
+        busy_us = 0.0
+        storage_busy_us = 0.0
+        fault_failures = 0
+        for rs in self.replica_sets.values():
+            rs.note(end)
+            for st in rs.stations:
+                if rs.infinite:
+                    storage_busy_us += st.busy_us
+                else:
+                    busy_us += st.busy_us
+                fault_failures += st.failed_jobs + st.dropped_jobs
+        if sanitizer_enabled():
+            if resilient:
+                check(len(self.finished) + self.violated == n,
+                      "fleet: %d requests but %d finished + %d violated",
+                      n, len(self.finished), self.violated)
+            else:
+                check(len(self.finished) == n,
+                      "fleet: %d requests but %d finished",
+                      n, len(self.finished))
+            for rs in self.replica_sets.values():
+                for st in rs.stations:
+                    check(not st._pending,
+                          "fleet: station %s stranded %d jobs",
+                          st.name, len(st._pending))
+        active_server_us = sum(rs.active_server_us
+                               for rs in self.replica_sets.values())
+        n_racks = math.ceil(fl.replicas / max(1, fl.rack_size))
+        return {
+            "n": n,
+            "completed": len(self.finished),
+            "violated": self.violated,
+            "latencies": [j.latency_us for j in self.finished],
+            "busy_us": busy_us,
+            "storage_busy_us": storage_busy_us,
+            "active_server_us": active_server_us,
+            "n_racks": n_racks,
+            "horizon_us": end,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "batches": self.batch_stats["batches"],
+            "mixed_batches": self.batch_stats["mixed"],
+            "sum_classes": self.batch_stats["classes"],
+            "fault_failures": fault_failures,
+        }
+
+
+# ----------------------------------------------------------------------
+# sharded fleet engine
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FleetShardTask:
+    """Everything identifying one shard's simulation (store key)."""
+
+    graph: str
+    fleet: FleetConfig
+    shape: TrafficShape
+    horizon_us: float
+    shard: int
+    n_shards: int
+    seed: int
+    faults: Optional[FaultConfig] = None
+    resilience: Optional[ResilienceConfig] = None
+
+
+#: modules whose source participates in the shard-result fingerprint
+_FP_MODULES = (
+    "repro.system.fleet",
+    "repro.system.arrivals",
+    "repro.system.graph",
+    "repro.system.queueing",
+    "repro.system.faults",
+    "repro.system.resilience",
+    "repro.system.seeding",
+    "repro.energy.cluster",
+)
+
+
+def run_fleet_shard(task: FleetShardTask) -> dict:
+    """Simulate one shard (pure function of the task)."""
+    graph_cfg = GRAPHS[task.graph]()
+    arrivals = generate_arrivals(task.shape, task.horizon_us, task.seed,
+                                 shard=task.shard,
+                                 n_shards=task.n_shards)
+    sim = FleetSimulation(graph_cfg, task.fleet, seed=task.seed,
+                          faults=task.faults, resilience=task.resilience,
+                          shard=task.shard)
+    return sim.run_arrivals(arrivals, task.horizon_us)
+
+
+def shard_store_key(task: FleetShardTask) -> tuple:
+    """Logical store key of one shard (the task's full identity)."""
+    return (repr(task),)
+
+
+def _run_shard_cached(task: FleetShardTask) -> dict:
+    """Worker entry: shard simulation through the persistent store."""
+    from .. import store
+
+    fp = store.source_fingerprint(_FP_MODULES)
+    key = shard_store_key(task)
+    hit = store.lookup("fleet_shard", fp, key)
+    if hit is not store.MISS and not store.verify_enabled():
+        return hit
+    value = run_fleet_shard(task)
+    if hit is not store.MISS:  # REPRO_CACHE_VERIFY=1 hit
+        if hit != value:
+            raise store.CacheVerifyError(
+                f"stored fleet shard diverges from recompute for "
+                f"shard {task.shard}/{task.n_shards} "
+                f"({task.graph}, {task.fleet.balancer})")
+    else:
+        store.record("fleet_shard", fp, key, value)
+    return value
+
+
+@dataclass
+class FleetResult:
+    """Merged fleet run: request metrics + cluster power roll-up."""
+
+    n_requests: int
+    completed: int
+    violated: int
+    offered_qps: float
+    avg_latency_us: float
+    p50_us: float
+    p99_us: float
+    energy: ClusterEnergy
+    requests_per_joule: float
+    avg_watts: float
+    carbon_g: float
+    scale_ups: int
+    scale_downs: int
+    #: fraction of dispatched batches that mixed API classes
+    mixed_batch_frac: float
+    #: mean distinct API classes per dispatched batch
+    mean_classes: float
+    fault_failures: int
+    shards: int
+
+    @property
+    def goodput_frac(self) -> float:
+        return self.completed / self.n_requests if self.n_requests else 0.0
+
+
+def merge_shards(payloads: Sequence[dict], horizon_us: float,
+                 power: ClusterPowerModel = ClusterPowerModel()
+                 ) -> FleetResult:
+    """Roll shard payloads up to one cluster-level result."""
+    lats: List[float] = []
+    for p in payloads:
+        lats.extend(p["latencies"])
+    n = sum(p["n"] for p in payloads)
+    completed = sum(p["completed"] for p in payloads)
+    end = max([p["horizon_us"] for p in payloads] + [horizon_us])
+    energy = rollup_cluster(
+        busy_us=sum(p["busy_us"] for p in payloads),
+        storage_busy_us=sum(p["storage_busy_us"] for p in payloads),
+        active_server_us=sum(p["active_server_us"] for p in payloads),
+        n_racks=sum(p["n_racks"] for p in payloads),
+        horizon_us=end, model=power)
+    batches = sum(p["batches"] for p in payloads)
+    return FleetResult(
+        n_requests=n,
+        completed=completed,
+        violated=sum(p["violated"] for p in payloads),
+        offered_qps=n / end * 1e6 if end > 0 else 0.0,
+        avg_latency_us=sum(lats) / len(lats) if lats else 0.0,
+        p50_us=_percentile(lats, 0.50),
+        p99_us=_percentile(lats, 0.99),
+        energy=energy,
+        requests_per_joule=(completed / energy.facility_j
+                            if energy.facility_j > 0 else 0.0),
+        avg_watts=energy.avg_watts,
+        carbon_g=energy.carbon_g(power),
+        scale_ups=sum(p["scale_ups"] for p in payloads),
+        scale_downs=sum(p["scale_downs"] for p in payloads),
+        mixed_batch_frac=(sum(p["mixed_batches"] for p in payloads)
+                          / batches if batches else 0.0),
+        mean_classes=(sum(p["sum_classes"] for p in payloads)
+                      / batches if batches else 0.0),
+        fault_failures=sum(p["fault_failures"] for p in payloads),
+        shards=len(payloads),
+    )
+
+
+def run_fleet(shape: TrafficShape, horizon_us: float,
+              fleet: FleetConfig = FleetConfig(),
+              graph: str = "fleet_rpu", shards: int = 4, seed: int = 1,
+              faults: Optional[FaultConfig] = None,
+              resilience: Optional[ResilienceConfig] = None,
+              power: ClusterPowerModel = ClusterPowerModel(),
+              jobs: Optional[int] = None) -> FleetResult:
+    """Run a sharded fleet: ``shards`` independent cells each carrying
+    ``1/shards`` of the offered load, simulated through ``parallel_map``
+    (bit-identical serial vs ``--jobs``) with per-shard store caching.
+    """
+    from ..experiments.common import parallel_map
+
+    tasks = [FleetShardTask(graph=graph, fleet=fleet, shape=shape,
+                            horizon_us=horizon_us, shard=s,
+                            n_shards=shards, seed=seed, faults=faults,
+                            resilience=resilience)
+             for s in range(shards)]
+    payloads = parallel_map(_run_shard_cached, tasks, jobs=jobs)
+    return merge_shards(payloads, horizon_us, power=power)

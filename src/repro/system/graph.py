@@ -19,7 +19,6 @@ from __future__ import annotations
 import itertools
 import math
 import random
-import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -27,6 +26,7 @@ from ..sanitize import check, sanitizer_enabled
 from .faults import FaultConfig, FaultInjector
 from .queueing import EndToEndResult, Job, Simulator, Station, _percentile
 from .resilience import ResilienceConfig
+from .seeding import stream_u
 
 
 @dataclass
@@ -91,12 +91,27 @@ class GraphSimulation:
     request past its deadline, or out of retries, counts as violated).
     With both left at None the simulation is bit-identical to the
     pre-fault-layer behaviour.
+
+    Randomness: the arrival schedule is drawn from one seeded RNG
+    *before* the event loop starts (a fixed draw sequence), while every
+    in-simulation decision - routing, miss branches, retry jitter - is
+    a pure keyed-hash function of stable identifiers (request id,
+    attempt, node name) via :mod:`repro.system.seeding`.  No RNG state
+    is consumed inside event callbacks, so results are independent of
+    event interleaving: adding a replica, changing a batch timeout, or
+    one request retrying cannot perturb any other request's draws.
+    (Each attempt visits a node at most once - the continuation table
+    is keyed on ``(node, jid)`` - so ``(node, rid, attempt)`` uniquely
+    identifies a routing decision.)
     """
 
     def __init__(self, cfg: GraphConfig, seed: int = 1,
                  faults: Optional[FaultConfig] = None,
                  resilience: Optional[ResilienceConfig] = None):
         self.cfg = cfg
+        self.seed = seed
+        #: used only for the upfront arrival schedule (drawn before the
+        #: event loop runs), never inside event callbacks
         self.rng = random.Random(seed)
         self.sim = Simulator()
         self.injector: Optional[FaultInjector] = None
@@ -161,12 +176,18 @@ class GraphSimulation:
         state = self._rstates[job.rid]
         if state["resolved"]:
             return
+        if job.attempt < state["retries"]:
+            # a sibling fan-out leg of this attempt already triggered
+            # its retry (or this is a stale older attempt): one failed
+            # attempt, one retry - otherwise each failed leg would
+            # spawn its own duplicate attempt, and a stale leg could
+            # burn the retry budget out from under the live attempt
+            return
         res = self.resilience
         if res is not None and state["retries"] < res.max_retries:
             k = state["retries"]
             state["retries"] += 1
-            u = zlib.crc32(repr((res.seed, job.rid, k)).encode("ascii")) \
-                / float(1 << 32)
+            u = stream_u(res.seed, job.rid, k)
             back = (res.retry_backoff_us * res.backoff_mult ** k
                     * (1.0 + res.jitter_frac * u))
             self.sim.schedule(now + back, self._start_attempt, state)
@@ -174,11 +195,16 @@ class GraphSimulation:
         state["resolved"] = True
         self.violated += 1
 
+    def _make_job(self, state: dict) -> Job:
+        """Build one attempt-Job (subclass hook: the fleet tier stamps
+        the request's API class here for batch-aware routing)."""
+        return Job(jid=next(self._jidc), arrival_us=state["arrival"],
+                   rid=state["rid"], attempt=state["retries"])
+
     def _start_attempt(self, now: float, state: dict) -> None:
         if state["resolved"]:  # deadline fired while backing off
             return
-        job = Job(jid=next(self._jidc), arrival_us=state["arrival"],
-                  rid=state["rid"], attempt=state["retries"])
+        job = self._make_job(state)
 
         def finish(tt: float, j: Job = job, s: dict = state) -> None:
             if s["resolved"]:
@@ -202,9 +228,13 @@ class GraphSimulation:
 
     def _after_service(self, now: float, node: GraphNode, job: Job,
                        done: Callable[[float], None]) -> None:
+        rid = job.rid if job.rid >= 0 else job.jid
+
         def continue_downstream(t: float) -> None:
             if node.route:
-                x = self.rng.random() * sum(w for _c, w in node.route)
+                x = stream_u(self.seed, "route", node.name, rid,
+                             job.attempt) \
+                    * sum(w for _c, w in node.route)
                 acc = 0.0
                 for child, w in node.route:
                     acc += w
@@ -227,7 +257,8 @@ class GraphSimulation:
             else:
                 done(t)
 
-        if node.miss_to and self.rng.random() < node.miss_rate:
+        if node.miss_to and stream_u(self.seed, "miss", node.name, rid,
+                                     job.attempt) < node.miss_rate:
             self._visit(now + self.cfg.network_us, node.miss_to, job,
                         continue_downstream)
         else:

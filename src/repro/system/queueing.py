@@ -127,6 +127,9 @@ class Job:
     #: logical request id (several attempt-Jobs of one retried/hedged
     #: request share it); -1 means "same as jid"
     rid: int = -1
+    #: API/request class (drives batch-aware routing and the SIMT
+    #: divergence cost of mixed-class batches in the fleet tier)
+    api_id: int = 0
     #: attempt number of this Job for its logical request (0 = primary)
     attempt: int = 0
     #: True for a hedge duplicate launched by the resilience layer
@@ -154,6 +157,10 @@ class Station:
         #: initiation interval); a partially-filled batch only occupies
         #: the server for its actual fill
         self.occupancy_us = occupancy_us if occupancy_us is not None else latency_us
+        #: pipelined stations decouple occupancy from latency; on a
+        #: non-pipelined station the server is the request's execution
+        #: context, so serialized overheads (latency spikes) occupy it
+        self._pipelined = occupancy_us is not None
         self.servers = servers
         self.batch_size = batch_size
         self.batch_timeout_us = batch_timeout_us
@@ -178,6 +185,11 @@ class Station:
         #: None (the default) dispatching takes the exact pre-fault
         #: fast path
         self.faults = None
+        #: optional SIMT batch-cost hook ``fn(group) -> multiplier``
+        #: applied to both latency and occupancy of a dispatch (e.g.
+        #: the fleet tier's divergence penalty for mixed-API batches);
+        #: when None (the default) dispatch arithmetic is untouched
+        self.batch_cost: Optional[Callable[[List[Job]], float]] = None
         self._san = sanitizer_enabled()
         self._schedule = sim.schedule
 
@@ -246,11 +258,30 @@ class Station:
         if self.faults is not None:
             self._serve_group_faulty(now, [job], done)
             return
-        start = now if self.infinite else self._pick_server(now)
-        finish = start + self.latency_us
+        bc = self.batch_cost
+        if bc is None:
+            occ = self.occupancy_us
+            lat = self.latency_us
+        else:
+            m = bc([job])
+            occ = self.occupancy_us * m
+            lat = self.latency_us * m
+        if self.infinite:
+            start = now
+        else:
+            free = self._free_at
+            server = 0
+            best = free[0]
+            for s in range(1, len(free)):
+                if free[s] < best:
+                    best = free[s]
+                    server = s
+            start = best if best > now else now
+            free[server] = start + occ
+        finish = start + lat
         self.dispatched_batches += 1
         self.dispatched_jobs += 1
-        self.busy_us += self.occupancy_us
+        self.busy_us += occ
         self._schedule(finish, done, [job])
 
     def _arm_timeout(self, now: float) -> None:
@@ -292,6 +323,14 @@ class Station:
                 if n < bs:
                     break
                 continue
+            bc = self.batch_cost
+            if bc is None:
+                occ = self.occupancy_us
+                lat = self.latency_us
+            else:
+                m = bc(group)
+                occ = self.occupancy_us * m
+                lat = self.latency_us * m
             if self.infinite:
                 start = now
             else:
@@ -303,11 +342,11 @@ class Station:
                         best = free[s]
                         server = s
                 start = best if best > now else now
-                free[server] = start + self.occupancy_us * n
-            finish = start + self.latency_us
+                free[server] = start + occ * n
+            finish = start + lat
             self.dispatched_batches += 1
             self.dispatched_jobs += n
-            self.busy_us += self.occupancy_us * n
+            self.busy_us += occ * n
             self._schedule(finish, done, group)
             if n < bs:
                 break
@@ -347,9 +386,22 @@ class Station:
             self._schedule(detect, done, list(drops))
             if not group:
                 return
+        if self.batch_cost is not None:
+            mult *= self.batch_cost(group)
         occ = self.occupancy_us * mult
+        occ_total = occ * len(group)
+        if not self._pipelined:
+            # on a non-pipelined station the server *is* the execution
+            # context, so a latency spike (GC pause, CPU contention)
+            # stalls the server for its duration; only a pipelined
+            # station can absorb the spike outside its initiation
+            # interval.  Utilization/busy accounting must reflect this,
+            # or degraded runs under-report server-busy time.
+            occ_total += extra
         if self.infinite:
             start = now
+            server = -1
+            free = self._free_at
         else:
             free = self._free_at
             server = 0
@@ -359,13 +411,22 @@ class Station:
                     best = free[s]
                     server = s
             start = best if best > now else now
-            free[server] = start + occ * len(group)
+            free[server] = start + occ_total
         finish = start + self.latency_us * mult + extra
         # an outage beginning any time between the dispatch decision and
         # the would-be completion kills the (queued or in-flight) work
         onset = inj.outage_onset(self.name, now, finish) \
             if inj.cfg.outage_rate_per_s > 0 else None
         if onset is not None:
+            # the server worked up to the onset: charge the truncated
+            # busy time and release the rest of the reservation (the
+            # dead server's queue drains elsewhere after detection)
+            served = min(onset, start + occ_total) - start
+            if served < 0.0:
+                served = 0.0
+            if server >= 0:
+                free[server] = start + served
+            self.busy_us += served
             for j in group:
                 j.failed = True
                 j.fail_site = self.name
@@ -374,7 +435,7 @@ class Station:
             self._schedule(max(now, onset) + inj.cfg.detect_us, done,
                            group)
             return
-        self.busy_us += occ * len(group)
+        self.busy_us += occ_total
         self._schedule(finish, done, group)
 
     def backlog_us(self, now: float) -> float:

@@ -34,7 +34,7 @@ exactly once; per-request retries/hedges never exceed their budgets.
 from __future__ import annotations
 
 import math
-import zlib
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -47,8 +47,7 @@ from .queueing import (
     Station,
     _percentile,
 )
-
-_U32 = float(1 << 32)
+from .seeding import stream_u
 
 #: request outcomes (exactly one per injected request)
 DONE, SHED, VIOLATED = "done", "shed", "violated"
@@ -176,10 +175,12 @@ class ResilientEndToEnd:
     def __init__(self, cfg: EndToEndConfig, policy: ResilienceConfig,
                  faults: Optional[FaultConfig] = None, seed: int = 1,
                  max_events: Optional[int] = None):
-        import random
-
         self.cfg = cfg
         self.policy = policy
+        #: consumed only while precomputing the arrival schedule in
+        #: :meth:`run`, before the event loop starts; event callbacks
+        #: use keyed-hash draws (interleaving independence - the same
+        #: contract as :mod:`repro.system.faults`)
         self.rng = random.Random(seed)
         self.sim = Simulator(max_events=max_events)
         self.injector: Optional[FaultInjector] = None
@@ -232,8 +233,7 @@ class ResilientEndToEnd:
 
     # -- deterministic jitter ------------------------------------------
     def _u(self, rid: int, k: int) -> float:
-        h = zlib.crc32(repr((self.policy.seed, rid, k)).encode("ascii"))
-        return h / _U32
+        return stream_u(self.policy.seed, rid, k)
 
     # -- attempt lifecycle ---------------------------------------------
     def _launch(self, t: float, state: RequestState,
@@ -418,13 +418,11 @@ class ResilientEndToEnd:
     # -- driving --------------------------------------------------------
     def _inject(self, now: float, i: int) -> None:
         state = RequestState(rid=i, arrival_us=now,
-                             blocks=self._rnd() >= self._hit_rate)
+                             blocks=self._blocks[i])
         self.states.append(state)
         nxt = i + 1
         if nxt < self._n_requests:
-            self.sim.schedule(
-                now + self._expovariate(1.0) * self._inter_us,
-                self._inject, nxt)
+            self.sim.schedule(self._arrive_at[nxt], self._inject, nxt)
         pol = self.policy
         if (pol.shed_backlog_us > 0
                 and self.user_st.backlog_us(now) > pol.shed_backlog_us):
@@ -437,13 +435,27 @@ class ResilientEndToEnd:
     def run(self, qps: float, n_requests: int = 2000) -> ResilientResult:
         self._san = sanitizer_enabled()
         self._n_requests = n_requests
-        self._inter_us = 1e6 / qps
-        self._hit_rate = self.cfg.memcached_hit_rate
-        self._rnd = self.rng.random
-        self._expovariate = self.rng.expovariate
+        inter_us = 1e6 / qps
+        hit_rate = self.cfg.memcached_hit_rate
+        rnd = self.rng.random
+        expovariate = self.rng.expovariate
+        # the whole arrival schedule is drawn *before* the event loop,
+        # in the exact draw order the old in-event injector used (gap,
+        # then per-request [blocks, gap]), so results are bit-identical
+        # while no event callback ever consumes shared RNG state
+        arrive_at: List[float] = []
+        blocks: List[bool] = []
         if n_requests > 0:
-            self.sim.schedule(self._expovariate(1.0) * self._inter_us,
-                              self._inject, 0)
+            t = expovariate(1.0) * inter_us
+            for i in range(n_requests):
+                arrive_at.append(t)
+                blocks.append(rnd() >= hit_rate)
+                if i + 1 < n_requests:
+                    t += expovariate(1.0) * inter_us
+        self._arrive_at = arrive_at
+        self._blocks = blocks
+        if n_requests > 0:
+            self.sim.schedule(arrive_at[0], self._inject, 0)
         self.sim.run()
 
         states = self.states

@@ -1,0 +1,58 @@
+"""Stable keyed-hash randomness for the system-level simulators.
+
+The discrete-event simulators must stay deterministic not just for a
+fixed seed but *independently of event interleaving*: a shared
+``random.Random`` consumed inside event callbacks makes every draw
+depend on the global event order, so adding a station, changing a
+batch timeout, or retrying one request perturbs every *other*
+request's coin flips.  :mod:`repro.system.faults` solved this for
+fault placement by hashing stable identifiers; this module hoists that
+scheme into shared helpers so routing, miss, arrival and jitter draws
+across the graph/fleet layers all use one keyed construction:
+
+* :func:`stream_u` - uniform [0, 1) from a key tuple (CRC-32 based,
+  matching the injector's historical construction bit for bit);
+* :func:`stream_exp` - unit-mean exponential via the inverse CDF;
+* :func:`stream_rng` - a seeded ``random.Random`` whose seed is the
+  keyed hash, for places that legitimately need a *sequence* of draws
+  scoped to one stable identity (per-station outage schedules,
+  per-shard arrival streams).
+
+Keys must be built from stable identifiers only - request ids, attempt
+numbers, station/tier names, shard indices - never from object ids,
+wall-clock time, or anything order-dependent.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+
+_U32 = float(1 << 32)
+
+
+def stream_key(*parts) -> int:
+    """CRC-32 of the ``repr`` of the key tuple (stable across runs and
+    processes for ints/strings/floats/tuples)."""
+    return zlib.crc32(repr(parts).encode("ascii"))
+
+
+def stream_u(*parts) -> float:
+    """Uniform [0, 1) as a pure function of the key."""
+    return stream_key(*parts) / _U32
+
+
+def stream_exp(*parts) -> float:
+    """Unit-mean exponential variate as a pure function of the key.
+
+    ``1 - u`` lies in (0, 1], so the log is always finite.
+    """
+    return -math.log(1.0 - stream_u(*parts))
+
+
+def stream_rng(*parts) -> random.Random:
+    """A ``random.Random`` seeded by the keyed hash - for bounded,
+    identity-scoped draw sequences (e.g. one station's outage windows).
+    """
+    return random.Random(stream_key(*parts))

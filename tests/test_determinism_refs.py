@@ -70,3 +70,56 @@ def test_run_all_resilience_jobs_parity(capsys):
         assert capsys.readouterr().out == baseline
     finally:
         set_default_jobs(None)
+
+
+# ----------------------------------------------------------------------
+# interleaving independence (the seed-stream bugfix)
+# ----------------------------------------------------------------------
+
+def _graph_outcomes(backoff_us):
+    """Fault outcomes of a retried graph run, keyed observables only."""
+    from repro.system import (FaultConfig, GraphSimulation,
+                              ResilienceConfig, social_network_graph)
+
+    sim = GraphSimulation(
+        social_network_graph(rpu=True), seed=3,
+        faults=FaultConfig(drop_prob=0.05, detect_us=20.0),
+        resilience=ResilienceConfig(max_retries=4,
+                                    retry_backoff_us=backoff_us))
+    r = sim.run(qps=20_000.0, n_requests=400)
+    return {
+        "completed": r.completed,
+        "violated": sim.violated,
+        "attempts": {rid: s["retries"]
+                     for rid, s in sorted(sim._rstates.items())},
+        "arrivals": {name: st.arrived_jobs
+                     for name, st in sim.stations.items()},
+    }
+
+
+def test_graph_draws_are_independent_of_retry_timing():
+    """Routing, miss and drop draws are keyed on (request, attempt),
+    never on event order: stretching the retry backoff 40x reshuffles
+    every event interleaving but may not change any request's route,
+    drop fate or attempt count.  (Before the keyed streams, in-event
+    RNG consumption made each request's fate depend on every earlier
+    event.)"""
+    a = _graph_outcomes(50.0)
+    b = _graph_outcomes(2_000.0)
+    assert a == b
+    assert a["violated"] > 0 or max(a["attempts"].values()) > 0
+
+
+def test_fleet_sweep_cell_independent_of_jobs():
+    """One fleet configuration, serial vs fanned out over workers."""
+    from repro.experiments.fleet_sweep import _cells, _run_cell
+
+    cell = _cells(0.1)[0]
+    try:
+        set_default_jobs(1)
+        serial = _run_cell(cell)
+        set_default_jobs(3)
+        parallel = _run_cell(cell)
+    finally:
+        set_default_jobs(None)
+    assert serial == parallel

@@ -11,9 +11,11 @@ import repro.engine.interpreter as interpreter
 from repro.engine.lockstep import make_executor
 from repro.engine.memory import MemoryImage
 from repro.fuzz.gen import build_program, gen_spec, spec_is_racy
+from repro.batching import policies
 from repro.fuzz.oracle import (
     _run_one,
     _setup_threads,
+    check_batching_spec,
     check_spec,
     shrink_spec,
     write_repro,
@@ -121,6 +123,55 @@ class TestOracle:
                          with_mask=True)
         assert len(state["mask"]) == state["result"]["steps"]
         assert sum(state["mask"]) == state["result"]["scalar_instructions"]
+
+
+class TestBatchingOracle:
+    """check_batching_spec: the batching layer may regroup requests
+    but must not lose, duplicate, or architecturally perturb any."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_clean_specs_pass(self, seed):
+        assert check_batching_spec(_spec(seed)) == []
+
+    def test_detects_dropped_request(self, monkeypatch):
+        def lossy(requests, batch_size):
+            batches = policies.batch_naive(requests, batch_size)
+            batches[-1] = batches[-1][:-1]
+            return [b for b in batches if b]
+
+        monkeypatch.setitem(policies.POLICIES, "naive", lossy)
+        mismatches = check_batching_spec(_spec(24))
+        assert any("naive" in m and "partition" in m for m in mismatches)
+
+    def test_detects_duplicated_request(self, monkeypatch):
+        def doubling(requests, batch_size):
+            batches = policies.batch_naive(requests, batch_size)
+            return batches + [batches[0][:1]]
+
+        monkeypatch.setitem(policies.POLICIES, "naive", doubling)
+        mismatches = check_batching_spec(_spec(24))
+        assert any("naive" in m and "partition" in m for m in mismatches)
+
+    def test_detects_engine_corruption_under_batching(self, monkeypatch):
+        spec = _spec(25)
+        assert not spec_is_racy(spec)
+        assert check_batching_spec(spec) == []
+        # the batched runs lockstep the fast path while the solo
+        # reference interprets, so corrupting either side surfaces as
+        # a per-request architectural divergence through every
+        # policy's partition
+        monkeypatch.setitem(interpreter._COND, "ble",
+                            lambda a, b: a < b)
+        mismatches = check_batching_spec(spec)
+        assert any("diverges from solo" in m for m in mismatches)
+
+    def test_wired_into_check_spec(self, monkeypatch):
+        def lossy(requests, batch_size):
+            return policies.batch_naive(requests, batch_size)[:-1] or []
+
+        monkeypatch.setitem(policies.POLICIES, "naive", lossy)
+        mismatches = check_spec(_spec(24))
+        assert any("batching naive" in m for m in mismatches)
 
 
 class TestShrinker:

@@ -170,6 +170,67 @@ class TestStationFaults:
         (t, _js), = _drive(st, [Job(0, 0.0)])
         assert t == 510.0
 
+    def test_inflight_kill_truncates_busy_time(self):
+        """A killed attempt burned the server only until the onset -
+        charging the full occupancy would overstate dynamic energy."""
+        sim = Simulator()
+        st = Station(sim, "s", latency_us=100.0, servers=1)
+        inj = FaultInjector(FaultConfig(outage_rate_per_s=1.0,
+                                        detect_us=30.0)).attach(st)
+        _place_window(inj, "s", 40.0, 500.0)
+        _drive(st, [Job(0, 0.0)])
+        assert inj.stats.inflight_failures == 1
+        assert st.busy_us == 40.0  # onset - start, not the full 100
+
+    def test_inflight_kill_releases_the_server(self):
+        """The kill frees the server at the onset; the next job must
+        not wait behind the dead attempt's original reservation."""
+        sim = Simulator()
+        st = Station(sim, "s", latency_us=100.0, servers=1)
+        inj = FaultInjector(FaultConfig(outage_rate_per_s=1.0,
+                                        detect_us=30.0)).attach(st)
+        _place_window(inj, "s", 40.0, 45.0)  # kills job 0, then lifts
+        out = []
+
+        def done(t, js):
+            out.append((t, list(js)))
+
+        sim.schedule(0.0, lambda t: st.arrive(t, Job(0, 0.0), done))
+        sim.schedule(60.0, lambda t: st.arrive(t, Job(1, 60.0), done))
+        sim.run()
+        # job 0: onset 40 + detect 30; job 1: starts at its own
+        # arrival (server free since 40), not at 100
+        assert [t for t, _ in out] == [70.0, 160.0]
+        assert out[0][1][0].failed and not out[1][1][0].failed
+        assert st.busy_us == 140.0  # 40 truncated + 100 served
+
+    def test_spike_holds_the_server_on_unpipelined_stations(self):
+        """A queueing spike is served head-of-line: on a station whose
+        server is held for the whole service (no pipelining), the spike
+        occupies the server and is charged as busy time."""
+        sim = Simulator()
+        st = Station(sim, "s", latency_us=10.0, servers=1)
+        FaultInjector(FaultConfig(spike_prob=1.0,
+                                  spike_us=500.0)).attach(st)
+        out = _drive(st, [Job(0, 0.0), Job(1, 0.0)])
+        # each service is 10 + 500; the second starts after the first
+        # releases the server, not after its bare latency
+        assert [t for t, _ in out] == [510.0, 1020.0]
+        assert st.busy_us == 1020.0
+
+    def test_spike_does_not_hold_pipelined_stations(self):
+        """A pipelined (RPU-style) station's initiation interval is its
+        occupancy; the spike delays the stuck batch but the server
+        keeps accepting new batches underneath it."""
+        sim = Simulator()
+        st = Station(sim, "s", latency_us=10.0, servers=1,
+                     occupancy_us=2.0)
+        FaultInjector(FaultConfig(spike_prob=1.0,
+                                  spike_us=500.0)).attach(st)
+        out = _drive(st, [Job(0, 0.0), Job(1, 0.0)])
+        assert [t for t, _ in out] == [510.0, 512.0]
+        assert st.busy_us == 4.0  # occupancy only: 2 per dispatch
+
     def test_unattached_station_is_exact_fast_path(self):
         for faulty in (False, True):
             sim = Simulator()
