@@ -11,7 +11,8 @@ the keyed arrival draws), so the comparison is paired, not sampled.
 from conftest import run_once
 
 from repro.system.arrivals import TrafficShape
-from repro.system.fleet import FleetConfig, run_fleet
+from repro.system.fleet import (FleetConfig, FleetShardTask,
+                                run_fleet, run_fleet_shard)
 
 QPS = 100_000.0
 SHARDS = 2
@@ -43,3 +44,21 @@ def test_fleet_batch_aware_vs_round_robin(benchmark, scale):
     assert aware.n_requests == robin.n_requests
     assert aware.requests_per_joule > robin.requests_per_joule
     assert aware.mixed_batch_frac < robin.mixed_batch_frac
+
+
+def test_fleet_shard_rate(benchmark, monkeypatch):
+    """Raw fleet event-loop throughput (classic timing, no store).
+
+    One shard of the canonical batch-aware cell at 60k QPS over 30ms -
+    the simulator-speed gate for the fleet tier, pinned by
+    ``scripts/compare_bench.py --min-speedup-vs-base`` in CI against
+    the committed pre-event-wheel baseline.
+    """
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    task = FleetShardTask("fleet_rpu",
+                          FleetConfig(replicas=3, balancer="batch_aware"),
+                          TrafficShape(base_qps=60_000.0),
+                          30_000.0, 0, 1, SEED)
+    payload = benchmark.pedantic(lambda: run_fleet_shard(task),
+                                 rounds=20, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["completed"] = payload["completed"]

@@ -65,9 +65,9 @@ def main(argv=None) -> int:
                              "stay at least K times faster than the "
                              "baseline block); repeatable")
     parser.add_argument("--base-block", default="current",
-                        choices=("current", "baseline"),
                         help="which block of a committed-summary baseline "
-                             "file to compare against (default: current)")
+                             "file to compare against (default: current; "
+                             "e.g. 'baseline' or 'pre_event_wheel')")
     args = parser.parse_args(argv)
 
     base = load_means(args.baseline, block=args.base_block)

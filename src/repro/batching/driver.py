@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
 from ..sanitize import check, sanitizer_enabled
+from ..system.scheduler import EventWheel, wheel_enabled
 
 
 @dataclass(frozen=True)
@@ -95,15 +96,34 @@ class RpuDriver:
         san = sanitizer_enabled()
         last_pop = 0.0
 
-        #: batches ready to run: (ready_time, bid, task, phase_index)
-        ready: List[Tuple[float, int, BatchTask, int]] = []
-        for t in tasks:
-            heapq.heappush(ready, (0.0, t.bid, t, 0))
+        #: batches ready to run: (ready_time, bid, task, phase_index).
+        #: ``(ready_time, bid)`` is unique (a batch is queued at most
+        #: once), so the keyed event wheel and the raw heap order the
+        #: queue identically; ``REPRO_WHEEL=0`` keeps the heap as the
+        #: differential witness, as for the simulators.
+        entries: List[Tuple[float, int, BatchTask, int]] = \
+            [(0.0, t.bid, t, 0) for t in tasks]
+        if wheel_enabled():
+            wheel = EventWheel(fifo=False)
+            for e in entries:
+                wheel.push(e)
+            push, pop = wheel.push, wheel.pop
+        else:
+            heapq.heapify(entries)
+
+            def push(entry):
+                heapq.heappush(entries, entry)
+
+            def pop():
+                return heapq.heappop(entries) if entries else None
 
         running: Optional[int] = None  # last batch id on the core
 
-        while ready:
-            ready_time, bid, task, idx = heapq.heappop(ready)
+        while True:
+            nxt = pop()
+            if nxt is None:
+                break
+            ready_time, bid, task, idx = nxt
             if san:
                 # wake times are always pushed at or after `now`, so
                 # ready-queue pops must be time-monotonic
@@ -132,7 +152,7 @@ class RpuDriver:
                     # plus a single batched interrupt-handling slot
                     wake = now + phase.last_completion \
                         + self.interrupt_handling_us
-                    heapq.heappush(ready, (wake, bid, task, idx + 1))
+                    push((wake, bid, task, idx + 1))
                 else:
                     # eager: the batch is woken per interrupt to handle
                     # it; each wake costs a switch + handling time.
@@ -143,10 +163,7 @@ class RpuDriver:
                     extra = (len(phase.latencies_us) - 1)
                     per_wake = self.context_switch_us \
                         + self.interrupt_handling_us
-                    heapq.heappush(
-                        ready,
-                        (wake + extra * per_wake, bid, task, idx + 1),
-                    )
+                    push((wake + extra * per_wake, bid, task, idx + 1))
                     switches += extra
                 idx = -1  # mark blocked
                 break

@@ -40,7 +40,7 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from .seeding import stream_rng, stream_u
+from .seeding import PrefixStream, stream_rng, stream_u
 
 
 @dataclass(frozen=True)
@@ -121,8 +121,20 @@ class FaultInjector:
         self.scope: Dict[str, str] = dict(scope) if scope else {}
         #: per-station sorted outage windows, built lazily per name
         self._windows: Dict[str, Tuple[List[float], List[float]]] = {}
+        #: per-(kind, station) prefix-hashed draw streams, built lazily:
+        #: the per-dispatch draws in :meth:`plan` share a constant
+        #: ``(seed, kind, name)`` key prefix, so its CRC state is
+        #: computed once per station instead of once per event
+        self._streams: Dict[Tuple[str, str], PrefixStream] = {}
 
     # -- deterministic randomness --------------------------------------
+    def _stream(self, kind: str, name: str) -> PrefixStream:
+        got = self._streams.get((kind, name))
+        if got is None:
+            got = PrefixStream(self.cfg.seed, kind, name)
+            self._streams[(kind, name)] = got
+        return got
+
     def _u(self, kind: str, name: str, jid: int, attempt: int) -> float:
         """Uniform [0, 1) from stable identifiers only."""
         return stream_u(self.cfg.seed, kind, name, jid, attempt)
@@ -212,22 +224,22 @@ class FaultInjector:
             # key on the logical request id (attempt-Jobs of one request
             # get fresh jids in interleaving-dependent order; rid/attempt
             # are causally stable), falling back to jid when unset
+            du = self._stream("drop", name).u2
             drops = [j for j in jobs
-                     if self._u("drop", name,
-                                j.rid if j.rid >= 0 else j.jid,
-                                j.attempt) < cfg.drop_prob]
+                     if du(j.rid if j.rid >= 0 else j.jid,
+                           j.attempt) < cfg.drop_prob]
             self.stats.drops += len(drops)
         mult = 1.0
         extra = 0.0
         lead = jobs[0]
         lead_id = lead.rid if lead.rid >= 0 else lead.jid
-        if cfg.straggler_prob > 0 and self._u(
-                "straggler", name, lead_id, lead.attempt) \
+        if cfg.straggler_prob > 0 and self._stream(
+                "straggler", name).u2(lead_id, lead.attempt) \
                 < cfg.straggler_prob:
             mult = cfg.straggler_mult
             self.stats.stragglers += 1
-        if cfg.spike_prob > 0 and self._u(
-                "spike", name, lead_id, lead.attempt) < cfg.spike_prob:
+        if cfg.spike_prob > 0 and self._stream(
+                "spike", name).u2(lead_id, lead.attempt) < cfg.spike_prob:
             extra = cfg.spike_us
             self.stats.spikes += 1
         return None, drops, mult, extra

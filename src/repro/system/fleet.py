@@ -48,6 +48,7 @@ from .faults import FaultConfig, FaultInjector
 from .graph import GraphConfig, GraphSimulation, social_network_graph
 from .queueing import Job, Station, _percentile
 from .resilience import ResilienceConfig
+from .seeding import PrefixStream
 
 BALANCERS = ("round_robin", "least_loaded", "batch_aware")
 
@@ -137,6 +138,10 @@ class ReplicaSet:
 class FleetSimulation(GraphSimulation):
     """A single fleet cell (one shard of a sharded fleet run)."""
 
+    __slots__ = ("fleet", "shard", "replica_sets", "batch_stats",
+                 "scale_ups", "scale_downs", "_tick_until",
+                 "_last_violation_us", "_pick_fn", "_entry_route")
+
     def __init__(self, graph_cfg: GraphConfig, fleet: FleetConfig,
                  seed: int = 1, faults: Optional[FaultConfig] = None,
                  resilience: Optional[ResilienceConfig] = None,
@@ -146,9 +151,12 @@ class FleetSimulation(GraphSimulation):
                              f"expected one of {BALANCERS}")
         # the parent wires the simulator, continuation tables, retry
         # machinery and singleton stations; the fleet replaces the
-        # station layer below with replica sets
-        super().__init__(graph_cfg, seed=seed, resilience=resilience)
+        # station layer below with replica sets.  `fleet` must be set
+        # before super().__init__ because the parent's _make_after
+        # closures call self._visit, whose picker is built from it.
         self.fleet = fleet
+        self._pick_fn = self._make_picker(fleet)
+        super().__init__(graph_cfg, seed=seed, resilience=resilience)
         self.shard = shard
         self.replica_sets: Dict[str, ReplicaSet] = {}
         self.batch_stats = {"batches": 0, "mixed": 0, "classes": 0}
@@ -203,6 +211,35 @@ class FleetSimulation(GraphSimulation):
                 self.injector.attach(*rs.stations)
         self._afters = {name: self._make_after(node)
                         for name, node in graph_cfg.nodes.items()}
+        self._rebind_visits()
+        # precompiled entry-class table: children's cumulative weights
+        # + the entry node's keyed route stream (same draw the router
+        # makes, so routing stays consistent with the class the
+        # balancer saw)
+        entry = graph_cfg.nodes[graph_cfg.entry]
+        if entry.route:
+            cum: List[float] = []
+            acc = 0.0
+            for _c, w in entry.route:
+                acc += w
+                cum.append(acc)
+            total = sum(w for _c, w in entry.route)
+            self._entry_route = (
+                PrefixStream(seed, "route", entry.name).u2, cum, total)
+        else:
+            self._entry_route = None
+
+    def _rebind_visits(self) -> None:
+        try:
+            rsets = self.replica_sets
+        except AttributeError:
+            # parent __init__ runs before the replica layer exists; the
+            # real bundles are built at the end of our own __init__
+            self._vbund = {}
+            return
+        self._vbund = {name: (rsets[name], self._conts[name],
+                              self._afters[name])
+                       for name in self.cfg.nodes}
 
     # -- SIMT divergence cost ------------------------------------------
     def _make_batch_cost(self):
@@ -222,22 +259,17 @@ class FleetSimulation(GraphSimulation):
     # -- request classes -----------------------------------------------
     def _entry_api(self, rid: int, attempt: int) -> int:
         """The request's API class: the index of the entry tier's
-        routed child.  Computed with the *same* keyed draw the router
-        will make in ``_after_service``, so routing stays consistent
+        routed child.  Computed with the *same* keyed draw the entry
+        node's compiled router will make, so routing stays consistent
         with the class the balancer saw."""
-        node = self.cfg.nodes[self.cfg.entry]
-        if not node.route:
+        if self._entry_route is None:
             return 0
-        from .seeding import stream_u
-
-        x = stream_u(self.seed, "route", node.name, rid, attempt) \
-            * sum(w for _c, w in node.route)
-        acc = 0.0
-        for k, (_child, w) in enumerate(node.route):
-            acc += w
-            if x < acc:
+        route_u, cum, total = self._entry_route
+        x = route_u(rid, attempt) * total
+        for k in range(len(cum)):
+            if x < cum[k]:
                 return k
-        return len(node.route) - 1
+        return len(cum) - 1
 
     def _make_job(self, state: dict) -> Job:
         job = super()._make_job(state)
@@ -245,34 +277,69 @@ class FleetSimulation(GraphSimulation):
         return job
 
     # -- load balancing ------------------------------------------------
-    def _least_loaded(self, rs: ReplicaSet, now: float) -> Station:
+    @staticmethod
+    def _least_loaded(rs: ReplicaSet, now: float) -> Station:
         stations = rs.stations
         best = stations[0]
-        best_key = (best.backlog_us(now), best.queue_depth)
+        fa = best._free_at
+        b = min(fa) - now
+        best_key = (b if b > 0.0 else 0.0, len(best._pending))
         for i in range(1, rs.active):
             st = stations[i]
-            key = (st.backlog_us(now), st.queue_depth)
+            fa = st._free_at
+            b = min(fa) - now
+            key = (b if b > 0.0 else 0.0, len(st._pending))
             if key < best_key:
                 best = st
                 best_key = key
         return best
 
-    def _pick(self, rs: ReplicaSet, now: float, job: Job) -> Station:
-        n = rs.active
-        if n <= 1:
-            return rs.stations[0]
-        balancer = self.fleet.balancer
+    def _make_picker(self, fleet: FleetConfig):
+        """Compile the balancer into one closure (no per-job string
+        compares or method dispatch; backlog reads inlined)."""
+        balancer = fleet.balancer
         if balancer == "round_robin":
-            st = rs.stations[rs.rr % n]
-            rs.rr += 1
-            return st
-        if balancer == "batch_aware":
+            def pick(rs: ReplicaSet, now: float, job: Job) -> Station:
+                n = rs.active
+                if n <= 1:
+                    return rs.stations[0]
+                st = rs.stations[rs.rr % n]
+                rs.rr += 1
+                return st
+            return pick
+        least = self._least_loaded
+        if balancer == "least_loaded":
+            def pick(rs: ReplicaSet, now: float, job: Job) -> Station:
+                if rs.active <= 1:
+                    return rs.stations[0]
+                return least(rs, now)
+            return pick
+        spill = fleet.affinity_spill_us
+        if spill < 0.0:
+            # a clamped backlog can never be <= a negative threshold:
+            # the affinity target is always "backlogged"
+            def pick(rs: ReplicaSet, now: float, job: Job) -> Station:
+                if rs.active <= 1:
+                    return rs.stations[0]
+                return least(rs, now)
+            return pick
+
+        def pick(rs: ReplicaSet, now: float, job: Job) -> Station:
+            n = rs.active
+            if n <= 1:
+                return rs.stations[0]
             st = rs.stations[job.api_id % n]
-            if st.backlog_us(now) <= self.fleet.affinity_spill_us:
+            # backlog_us(st) <= spill, with the max(0, .) clamp folded
+            # into the comparison (spill >= 0 here)
+            if min(st._free_at) - now <= spill:
                 return st
             # affinity target is backlogged: spill (same-class traffic
             # keeps downstream batches pure anyway)
-        return self._least_loaded(rs, now)
+            return least(rs, now)
+        return pick
+
+    def _pick(self, rs: ReplicaSet, now: float, job: Job) -> Station:
+        return self._pick_fn(rs, now, job)
 
     def _deadline(self, now: float, state: dict) -> None:
         unresolved = not state["resolved"]
@@ -282,9 +349,9 @@ class FleetSimulation(GraphSimulation):
 
     def _visit(self, now: float, node_name: str, job: Job,
                done: Callable[[float], None]) -> None:
-        rs = self.replica_sets[node_name]
-        self._conts[(node_name, job.jid)] = done
-        self._pick(rs, now, job).arrive(now, job, self._afters[node_name])
+        rs, conts, after = self._vbund[node_name]
+        conts[job.jid] = done
+        self._pick_fn(rs, now, job).arrive(now, job, after)
 
     # -- autoscaling ---------------------------------------------------
     def _autoscale_tick(self, now: float) -> None:
@@ -321,9 +388,9 @@ class FleetSimulation(GraphSimulation):
                 self._rstates[i] = state
                 res = self.resilience
                 if res is not None and res.deadline_us != math.inf:
-                    self.sim.schedule(t + res.deadline_us,
-                                      self._deadline, state)
-                self.sim.schedule(t, self._start_attempt, state)
+                    self.sim.schedule1(t + res.deadline_us,
+                                       self._deadline, state)
+                self.sim.schedule1(t, self._start_attempt, state)
                 continue
             job = Job(jid=next(self._jidc), arrival_us=t,
                       api_id=self._entry_api(i, 0))
@@ -416,6 +483,7 @@ class FleetShardTask:
 #: modules whose source participates in the shard-result fingerprint
 _FP_MODULES = (
     "repro.system.fleet",
+    "repro.system.scheduler",
     "repro.system.arrivals",
     "repro.system.graph",
     "repro.system.queueing",

@@ -26,7 +26,7 @@ from ..sanitize import check, sanitizer_enabled
 from .faults import FaultConfig, FaultInjector
 from .queueing import EndToEndResult, Job, Simulator, Station, _percentile
 from .resilience import ResilienceConfig
-from .seeding import stream_u
+from .seeding import PrefixStream, stream_u
 
 
 @dataclass
@@ -101,9 +101,22 @@ class GraphSimulation:
     event interleaving: adding a replica, changing a batch timeout, or
     one request retrying cannot perturb any other request's draws.
     (Each attempt visits a node at most once - the continuation table
-    is keyed on ``(node, jid)`` - so ``(node, rid, attempt)`` uniquely
-    identifies a routing decision.)
+    is a per-node ``{jid: continuation}`` dict - so
+    ``(node, rid, attempt)`` uniquely identifies a routing decision.)
+
+    Hot-path layout: each node's completion callback is *compiled* in
+    :meth:`_make_after` - the routing table (children + cumulative
+    weights), the miss branch and the per-node
+    :class:`~repro.system.seeding.PrefixStream` draws are baked into
+    one closure per node, so serving a job does no routing-table
+    walks, repr-hashing or closure allocation on the common path (the
+    only per-job closure left is the miss continuation, taken at
+    ``miss_rate``).
     """
+
+    __slots__ = ("cfg", "seed", "rng", "sim", "injector", "resilience",
+                 "violated", "_rstates", "_jidc", "stations", "finished",
+                 "_conts", "_afters", "_vbund")
 
     def __init__(self, cfg: GraphConfig, seed: int = 1,
                  faults: Optional[FaultConfig] = None,
@@ -140,31 +153,117 @@ class GraphSimulation:
         if self.injector is not None:
             self.injector.attach(*self.stations.values())
         self.finished: List[Job] = []
-        #: per-(station, job) continuations: a Station fires one
+        #: per-node ``{jid: continuation}`` tables: a Station fires one
         #: callback per dispatched *batch*, so each job's onward path
         #: is looked up here rather than captured per-arrival
-        self._conts: Dict[Tuple[str, int], Callable[[float], None]] = {}
+        self._conts: Dict[str, Dict[int, Callable[[float], None]]] = \
+            {name: {} for name in cfg.nodes}
         #: one completion callback per station, shared by every arrival
         #: (a batch dispatches through a single callback; per-arrival
         #: closures would be both slower and wrong for batches)
         self._afters = {name: self._make_after(node)
                         for name, node in cfg.nodes.items()}
+        self._rebind_visits()
+
+    def _rebind_visits(self) -> None:
+        """Per-node ``(conts, arrive, after)`` bundles: one dict lookup
+        per visit instead of three (subclasses that replace the station
+        layer rebuild this after rewiring)."""
+        self._vbund = {name: (self._conts[name], st.arrive,
+                              self._afters[name])
+                       for name, st in self.stations.items()}
 
     def _make_after(self, node: GraphNode):
+        """Compile one node's completion callback.
+
+        Everything per-node-constant - the continuation table, the
+        routing children with their cumulative weights, the miss branch
+        and the keyed draw streams - is bound into the closure; the
+        draws themselves are bit-identical to the ``stream_u`` calls
+        they replace (:class:`~repro.system.seeding.PrefixStream`).
+        """
+        name = node.name
+        conts = self._conts[name]
+        visit = self._visit
+        net = self.cfg.network_us
+
+        if node.route:
+            children = [c for c, _w in node.route]
+            cum: List[float] = []
+            acc = 0.0
+            for _c, w in node.route:
+                acc += w
+                cum.append(acc)
+            total = sum(w for _c, w in node.route)
+            n_children = len(children)
+            last = children[-1]
+            route_u = PrefixStream(self.seed, "route", name).u2
+
+            def downstream(t: float, job: Job, rid: int, done) -> None:
+                x = route_u(rid, job.attempt) * total
+                for k in range(n_children):
+                    if x < cum[k]:
+                        visit(t + net, children[k], job, done)
+                        return
+                visit(t + net, last, job, done)
+        elif node.fanout:
+            fanout = list(node.fanout)
+            nf = len(fanout)
+
+            def downstream(t: float, job: Job, rid: int, done) -> None:
+                cell = [nf]
+
+                def join(tt: float) -> None:
+                    cell[0] -= 1
+                    if not cell[0]:
+                        done(tt)
+
+                for child in fanout:
+                    visit(t + net, child, job, join)
+        else:
+            def downstream(t: float, job: Job, rid: int, done) -> None:
+                done(t)
+
+        miss_to = node.miss_to
+        if miss_to:
+            miss_rate = node.miss_rate
+            miss_u = PrefixStream(self.seed, "miss", name).u2
+
+            def serve_one(t: float, job: Job) -> None:
+                done = conts.pop(job.jid)
+                rid = job.rid if job.rid >= 0 else job.jid
+                if miss_u(rid, job.attempt) < miss_rate:
+                    # the side branch resumes this node's downstream
+                    # path when it completes (the only remaining
+                    # per-job closure, taken at miss_rate)
+                    def cont(tt: float, job=job, rid=rid,
+                             done=done) -> None:
+                        downstream(tt, job, rid, done)
+
+                    visit(t + net, miss_to, job, cont)
+                else:
+                    downstream(t, job, rid, done)
+        else:
+            def serve_one(t: float, job: Job) -> None:
+                downstream(t, job,
+                           job.rid if job.rid >= 0 else job.jid,
+                           conts.pop(job.jid))
+
         if self.injector is None:
             def after(t: float, jobs: List[Job]) -> None:
                 for j in jobs:
-                    cont = self._conts.pop((node.name, j.jid))
-                    self._after_service(t, node, j, cont)
+                    serve_one(t, j)
             return after
+
+        attempt_failed = self._attempt_failed
 
         def after(t: float, jobs: List[Job]) -> None:
             for j in jobs:
-                cont = self._conts.pop((node.name, j.jid))
                 if j.failed:
-                    self._attempt_failed(t, j)
+                    conts.pop(j.jid)
+                    attempt_failed(t, j)
                 else:
-                    self._after_service(t, node, j, cont)
+                    serve_one(t, j)
         return after
 
     # -- fault/resilience request lifecycle ----------------------------
@@ -223,46 +322,9 @@ class GraphSimulation:
     # ------------------------------------------------------------------
     def _visit(self, now: float, node_name: str, job: Job,
                done: Callable[[float], None]) -> None:
-        self._conts[(node_name, job.jid)] = done
-        self.stations[node_name].arrive(now, job, self._afters[node_name])
-
-    def _after_service(self, now: float, node: GraphNode, job: Job,
-                       done: Callable[[float], None]) -> None:
-        rid = job.rid if job.rid >= 0 else job.jid
-
-        def continue_downstream(t: float) -> None:
-            if node.route:
-                x = stream_u(self.seed, "route", node.name, rid,
-                             job.attempt) \
-                    * sum(w for _c, w in node.route)
-                acc = 0.0
-                for child, w in node.route:
-                    acc += w
-                    if x < acc:
-                        self._visit(t + self.cfg.network_us, child, job,
-                                    done)
-                        return
-                self._visit(t + self.cfg.network_us,
-                            node.route[-1][0], job, done)
-            elif node.fanout:
-                remaining = {"n": len(node.fanout)}
-
-                def join(tt: float) -> None:
-                    remaining["n"] -= 1
-                    if remaining["n"] == 0:
-                        done(tt)
-
-                for child in node.fanout:
-                    self._visit(t + self.cfg.network_us, child, job, join)
-            else:
-                done(t)
-
-        if node.miss_to and stream_u(self.seed, "miss", node.name, rid,
-                                     job.attempt) < node.miss_rate:
-            self._visit(now + self.cfg.network_us, node.miss_to, job,
-                        continue_downstream)
-        else:
-            continue_downstream(now)
+        conts, arrive, after = self._vbund[node_name]
+        conts[job.jid] = done
+        arrive(now, job, after)
 
     # ------------------------------------------------------------------
     def run(self, qps: float, n_requests: int = 2000) -> EndToEndResult:

@@ -21,101 +21,19 @@ reconvergence point until their batch's misses return from storage
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import math
 import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence
 
 from ..sanitize import check, sanitizer_enabled
-
-
-class SimulationLimitError(RuntimeError):
-    """The event-count ceiling was hit: the simulation is (probably)
-    stuck in a self-rescheduling loop, e.g. an unbounded retry storm."""
-
-
-class Simulator:
-    """Minimal deterministic event loop.
-
-    ``schedule`` takes the callback's trailing arguments directly
-    (``schedule(when, fn, *args)`` fires ``fn(when, *args)``), so hot
-    callers pass bound methods plus data instead of allocating a
-    closure per event.  Ties break by insertion order; the argument
-    tuple is never compared.
-
-    ``max_events`` arms a bounded-progress guard: instead of spinning
-    forever on a pathological schedule (a retry storm, or a future
-    self-rescheduling callback bug), :meth:`run` raises a diagnosable
-    :class:`SimulationLimitError` naming the hottest callback owner.
-    The guard is off by default and the unguarded loop is untouched.
-    """
-
-    def __init__(self, max_events: Optional[int] = None):
-        self._events: List[Tuple[float, int, Callable, tuple]] = []
-        self._tie = itertools.count()
-        self.now = 0.0
-        self.max_events = max_events
-        self._san = sanitizer_enabled()
-
-    def schedule(self, when: float, fn: Callable, *args) -> None:
-        if self._san:
-            check(when >= self.now,
-                  "simulator: event scheduled into the past "
-                  "(%f before now=%f)", when, self.now)
-        heapq.heappush(self._events, (when, next(self._tie), fn, args))
-
-    @staticmethod
-    def _owner_name(fn: Callable) -> str:
-        owner = getattr(fn, "__self__", None)
-        name = getattr(owner, "name", None)
-        if isinstance(name, str):
-            return f"station {name!r}"
-        return getattr(fn, "__qualname__", repr(fn))
-
-    def _run_bounded(self, limit: int) -> None:
-        from collections import Counter
-
-        events = self._events
-        pop = heapq.heappop
-        san = self._san
-        fired: Counter = Counter()
-        n = 0
-        while events:
-            when, _t, fn, args = pop(events)
-            if san:
-                check(when >= self.now,
-                      "simulator: time ran backwards (%f after %f)",
-                      when, self.now)
-            n += 1
-            if n > limit:
-                hot, hits = fired.most_common(1)[0]
-                raise SimulationLimitError(
-                    f"simulation exceeded {limit} events at "
-                    f"t={self.now:.1f}us with {len(events)} still queued; "
-                    f"hottest callback: {hot} ({hits} of {limit} events). "
-                    f"Likely an unbounded retry/reschedule loop.")
-            fired[self._owner_name(fn)] += 1
-            self.now = when
-            fn(when, *args)
-
-    def run(self, max_events: Optional[int] = None) -> None:
-        limit = max_events if max_events is not None else self.max_events
-        if limit is not None:
-            self._run_bounded(limit)
-            return
-        events = self._events
-        pop = heapq.heappop
-        san = self._san
-        while events:
-            when, _t, fn, args = pop(events)
-            if san:
-                check(when >= self.now,
-                      "simulator: time ran backwards (%f after %f)",
-                      when, self.now)
-            self.now = when
-            fn(when, *args)
+from .scheduler import (  # noqa: F401  (re-exported compat names)
+    HeapSimulator,
+    SimulationLimitError,
+    Simulator,
+    WheelSimulator,
+    wheel_enabled,
+)
 
 
 @dataclass(slots=True)
@@ -145,6 +63,15 @@ class Job:
 
 class Station:
     """Multi-server station with optional request batching."""
+
+    __slots__ = (
+        "sim", "name", "latency_us", "occupancy_us", "_pipelined",
+        "servers", "batch_size", "batch_timeout_us", "infinite",
+        "_free_at", "_pending", "_pending_dones", "_timeout_at",
+        "dispatched_batches", "dispatched_jobs", "arrived_jobs",
+        "failed_jobs", "dropped_jobs", "busy_us", "faults",
+        "batch_cost", "_san", "_sched1",
+    )
 
     def __init__(self, sim: Simulator, name: str, latency_us: float,
                  servers: int, occupancy_us: Optional[float] = None,
@@ -191,13 +118,17 @@ class Station:
         #: when None (the default) dispatch arithmetic is untouched
         self.batch_cost: Optional[Callable[[List[Job]], float]] = None
         self._san = sanitizer_enabled()
-        self._schedule = sim.schedule
+        #: locally-bound scheduler fast paths: every Station event is
+        #: either ``fn(t)`` (flush timers) or ``fn(t, jobs)`` (batch
+        #: completions), so the variadic ``schedule`` never runs hot
+        self._sched1 = sim.schedule1
 
     def arrive(self, now: float, job: Job,
                done: Callable[[float, List[Job]], None]) -> None:
         """``done(t, jobs)`` fires once for the whole dispatched batch."""
         self.arrived_jobs += 1
-        if self.batch_size == 1:
+        bs = self.batch_size
+        if bs == 1:
             # unbatched stations never queue: dispatch straight through
             # without touching the pending list or the timeout machinery
             self._dispatch_one(now, job, done)
@@ -205,12 +136,19 @@ class Station:
         pending = self._pending
         pending.append(job)
         self._pending_dones.append(done)
-        if len(pending) >= self.batch_size:
-            self._dispatch(now)
+        if len(pending) < bs:
+            # the common case: the batch is still filling; it must
+            # always have a pending flush or it would be stranded
+            if self._timeout_at is None:
+                deadline = now + self.batch_timeout_us
+                self._timeout_at = deadline
+                self._sched1(deadline, self._flush, None)
+            return
+        self._dispatch(now)
         if pending and self._timeout_at is None:
             deadline = now + self.batch_timeout_us
             self._timeout_at = deadline
-            self._schedule(deadline, self._flush)
+            self._sched1(deadline, self._flush, None)
 
     def arrive_many(self, now: float, jobs: Sequence[Job],
                     done: Callable[[float, List[Job]], None]) -> None:
@@ -221,8 +159,21 @@ class Station:
         per-job call overhead - routing callbacks fan whole batches
         into the next tier, so this is the hot entry point.
         """
-        self.arrived_jobs += len(jobs)
+        n = len(jobs)
+        self.arrived_jobs += n
         if self.batch_size == 1:
+            if (n > 1 and self.infinite and self.faults is None
+                    and self.batch_cost is None):
+                # every job of an unbatched infinite station dispatched
+                # at the same instant starts now and finishes together:
+                # complete the whole group through one event (the jobs
+                # were consecutive events before, so firing order is
+                # unchanged), with per-job dispatch accounting
+                self.dispatched_batches += n
+                self.dispatched_jobs += n
+                self.busy_us += self.occupancy_us * n
+                self._sched1(now + self.latency_us, done, list(jobs))
+                return
             for job in jobs:
                 self._dispatch_one(now, job, done)
             return
@@ -230,7 +181,7 @@ class Station:
         dones = self._pending_dones
         bs = self.batch_size
         timeout = self.batch_timeout_us
-        schedule = self._schedule
+        schedule = self._sched1
         for job in jobs:
             pending.append(job)
             dones.append(done)
@@ -239,7 +190,7 @@ class Station:
             if pending and self._timeout_at is None:
                 deadline = now + timeout
                 self._timeout_at = deadline
-                schedule(deadline, self._flush)
+                schedule(deadline, self._flush, None)
 
     def _pick_server(self, now: float) -> float:
         """Reserve the earliest-free server; returns the start time."""
@@ -282,7 +233,7 @@ class Station:
         self.dispatched_batches += 1
         self.dispatched_jobs += 1
         self.busy_us += occ
-        self._schedule(finish, done, [job])
+        self._sched1(finish, done, [job])
 
     def _arm_timeout(self, now: float) -> None:
         """A partial batch must always have a pending flush, or its
@@ -291,9 +242,9 @@ class Station:
                 and self._timeout_at is None):
             deadline = now + self.batch_timeout_us
             self._timeout_at = deadline
-            self._schedule(deadline, self._flush)
+            self._sched1(deadline, self._flush, None)
 
-    def _flush(self, now: float) -> None:
+    def _flush(self, now: float, _arg=None) -> None:
         self._timeout_at = None
         if self._pending:
             self._dispatch(now)
@@ -304,20 +255,25 @@ class Station:
         dones = self._pending_dones
         bs = self.batch_size
         while pending:
-            if len(pending) < bs and self._timeout_at is not None:
-                break  # wait for more arrivals or the timeout
-            group = pending[:bs]
-            n = len(group)
-            del pending[:n]
-            done = dones[0]
-            if self._san:
-                # a batch completes through exactly one callback; mixed
-                # callbacks would silently drop the other jobs' routing
-                for d in dones[:n]:
-                    check(d is done,
-                          "station %s: mixed completion callbacks in "
-                          "one dispatched batch", self.name)
-            del dones[:n]
+            n = len(pending)
+            if n < bs:
+                if self._timeout_at is not None:
+                    break  # wait for more arrivals or the timeout
+                # timed-out partial batch: drain everything in place
+                group = pending[:]
+                pending.clear()
+                done = dones[0]
+                if self._san:
+                    self._check_dones(dones, n, done)
+                dones.clear()
+            else:
+                n = bs
+                group = pending[:bs]
+                del pending[:bs]
+                done = dones[0]
+                if self._san:
+                    self._check_dones(dones, n, done)
+                del dones[:bs]
             if self.faults is not None:
                 self._serve_group_faulty(now, group, done)
                 if n < bs:
@@ -347,9 +303,18 @@ class Station:
             self.dispatched_batches += 1
             self.dispatched_jobs += n
             self.busy_us += occ * n
-            self._schedule(finish, done, group)
+            self._sched1(finish, done, group)
             if n < bs:
                 break
+
+    def _check_dones(self, dones: List[Callable], n: int,
+                     done: Callable) -> None:
+        # a batch completes through exactly one callback; mixed
+        # callbacks would silently drop the other jobs' routing
+        for d in dones[:n]:
+            check(d is done,
+                  "station %s: mixed completion callbacks in "
+                  "one dispatched batch", self.name)
 
     def _serve_group_faulty(self, now: float, group: List[Job],
                             done: Callable) -> None:
@@ -374,7 +339,7 @@ class Station:
                 j.failed = True
                 j.fail_site = self.name
             self.failed_jobs += n
-            self._schedule(detect, done, group)
+            self._sched1(detect, done, group)
             return
         if drops:
             dropped = set(id(j) for j in drops)
@@ -383,7 +348,7 @@ class Station:
                 j.failed = True
                 j.fail_site = self.name
             self.dropped_jobs += len(drops)
-            self._schedule(detect, done, list(drops))
+            self._sched1(detect, done, list(drops))
             if not group:
                 return
         if self.batch_cost is not None:
@@ -432,11 +397,11 @@ class Station:
                 j.fail_site = self.name
             self.failed_jobs += len(group)
             inj.stats.inflight_failures += len(group)
-            self._schedule(max(now, onset) + inj.cfg.detect_us, done,
-                           group)
+            self._sched1(max(now, onset) + inj.cfg.detect_us, done,
+                         group)
             return
         self.busy_us += occ_total
-        self._schedule(finish, done, group)
+        self._sched1(finish, done, group)
 
     def backlog_us(self, now: float) -> float:
         """How far behind the earliest-free server is (the load-shedding
@@ -546,8 +511,10 @@ def run_end_to_end(cfg: EndToEndConfig, qps: float, n_requests: int = 4000,
             _append(j)
 
     def after_memcached(now: float, jobs: List[Job]) -> None:
-        hits = [j for j in jobs if not j.blocks]
-        misses = [j for j in jobs if j.blocks]
+        hits: List[Job] = []
+        misses: List[Job] = []
+        for j in jobs:
+            (misses if j.blocks else hits).append(j)
         if not misses:
             finish(now, hits)
             return
@@ -576,24 +543,34 @@ def run_end_to_end(cfg: EndToEndConfig, qps: float, n_requests: int = 4000,
     web_us = cfg.web_us
     inter_us = 1e6 / qps
     hit_rate = cfg.memcached_hit_rate
-    expovariate = rng.expovariate
     rnd = rng.random
-    schedule = sim.schedule
+    schedule = sim.schedule1
+
+    # precompute the per-request draws in one block, preserving the
+    # exact draw order of the original interleaved injector
+    # (expovariate, then per request: random, expovariate).  Each
+    # ``expovariate(1.0)`` is exactly ``-log(1 - random())`` (the
+    # division by lambd=1.0 is a float identity), so the whole
+    # sequence is one run of uniform draws: even indices are arrival
+    # gaps, odd indices are hit/miss draws.
+    log = math.log
+    raw = [rnd() for _ in range(2 * n_requests)]
+    gaps = [-log(1.0 - u) * inter_us for u in raw[0::2]]
+    blocks = [u >= hit_rate for u in raw[1::2]]
 
     # self-rescheduling injector: each arrival event creates the next
-    # one, so the heap only ever holds in-flight work (tens of events)
-    # instead of the entire open-loop arrival schedule - the RNG draw
-    # order (expovariate, random, expovariate, ...) is exactly the
-    # all-upfront loop's
+    # one, so the scheduler only ever holds in-flight work (tens of
+    # events) instead of the entire open-loop arrival schedule - the
+    # schedule-call order is exactly the original draw-inline loop's
     def inject(now: float, i: int, _arrive=user_st.arrive) -> None:
-        job = Job(jid=i, arrival_us=now, blocks=rnd() >= hit_rate)
+        job = Job(jid=i, arrival_us=now, blocks=blocks[i])
         nxt = i + 1
         if nxt < n_requests:
-            schedule(now + expovariate(1.0) * inter_us, inject, nxt)
+            schedule(now + gaps[nxt], inject, nxt)
         _arrive(now + web_us + network_us, job, after_user)
 
     if n_requests > 0:
-        schedule(expovariate(1.0) * inter_us, inject, 0)
+        schedule(gaps[0], inject, 0)
 
     sim.run()
 

@@ -246,8 +246,8 @@ class ResilientEndToEnd:
         self.attempts_launched += 1
         pol = self.policy
         if (not hedge and pol.hedge_after_us != math.inf):
-            self.sim.schedule(t + pol.hedge_after_us, self._maybe_hedge,
-                              state)
+            self.sim.schedule1(t + pol.hedge_after_us, self._maybe_hedge,
+                               state)
         self.user_st.arrive(t, job, self._cb_after_user)
 
     def _maybe_hedge(self, now: float, state: RequestState) -> None:
@@ -277,7 +277,7 @@ class ResilientEndToEnd:
                     * (1.0 + pol.jitter_frac * self._u(state.rid, k)))
             t = now + back
             if t < state.arrival_us + pol.deadline_us:
-                self.sim.schedule(t, self._relaunch, state)
+                self.sim.schedule1(t, self._relaunch, state)
                 return
         self._resolve(now, state, VIOLATED)
 
@@ -422,14 +422,14 @@ class ResilientEndToEnd:
         self.states.append(state)
         nxt = i + 1
         if nxt < self._n_requests:
-            self.sim.schedule(self._arrive_at[nxt], self._inject, nxt)
+            self.sim.schedule1(self._arrive_at[nxt], self._inject, nxt)
         pol = self.policy
         if (pol.shed_backlog_us > 0
                 and self.user_st.backlog_us(now) > pol.shed_backlog_us):
             self._resolve(now, state, SHED)
             return
         if pol.deadline_us != math.inf:
-            self.sim.schedule(now + pol.deadline_us, self._deadline, state)
+            self.sim.schedule1(now + pol.deadline_us, self._deadline, state)
         self._launch(now + self.cfg.web_us + self.cfg.network_us, state)
 
     def run(self, qps: float, n_requests: int = 2000) -> ResilientResult:
@@ -455,7 +455,7 @@ class ResilientEndToEnd:
         self._arrive_at = arrive_at
         self._blocks = blocks
         if n_requests > 0:
-            self.sim.schedule(arrive_at[0], self._inject, 0)
+            self.sim.schedule1(arrive_at[0], self._inject, 0)
         self.sim.run()
 
         states = self.states

@@ -16,7 +16,14 @@ across the graph/fleet layers all use one keyed construction:
 * :func:`stream_rng` - a seeded ``random.Random`` whose seed is the
   keyed hash, for places that legitimately need a *sequence* of draws
   scoped to one stable identity (per-station outage schedules,
-  per-shard arrival streams).
+  per-shard arrival streams);
+* :class:`PrefixStream` - the hot-path form of :func:`stream_u` for a
+  *fixed key prefix* (seed, kind, station name) and a varying integer
+  suffix (request id, attempt).  The prefix's CRC state is computed
+  once; each draw continues it over just the suffix bytes, so the
+  per-draw cost drops from repr-ing the whole tuple to formatting two
+  integers.  Bit-identical to ``stream_u(*prefix, *suffix)`` by
+  construction (CRC-32 is a streaming checksum over the same bytes).
 
 Keys must be built from stable identifiers only - request ids, attempt
 numbers, station/tier names, shard indices - never from object ids,
@@ -56,3 +63,48 @@ def stream_rng(*parts) -> random.Random:
     identity-scoped draw sequences (e.g. one station's outage windows).
     """
     return random.Random(stream_key(*parts))
+
+
+class PrefixStream:
+    """Keyed draws with a precomputed key prefix.
+
+    ``PrefixStream(seed, "route", name).u2(rid, attempt)`` returns the
+    exact bits of ``stream_u(seed, "route", name, rid, attempt)``:
+    ``repr((p0, ..., s0, s1))`` is the prefix tuple's repr up to its
+    closing parenthesis, then ``", "``-joined suffix reprs, then
+    ``")"`` - and CRC-32 over a byte stream equals CRC-32 of a prefix
+    continued over the remaining bytes.  The routers and the fault
+    injector draw millions of these with a per-node/per-kind constant
+    prefix; hashing only the two-integer suffix is the "batched keyed
+    draw" fast path.
+    """
+
+    __slots__ = ("_crc",)
+
+    def __init__(self, *prefix):
+        if not prefix:
+            raise ValueError("PrefixStream needs at least one key part")
+        head = repr(prefix)
+        # "(p0,)" -> "(p0, "; "(p0, p1)" -> "(p0, p1, "
+        head = (head[:-2] if len(prefix) == 1 else head[:-1]) + ", "
+        self._crc = zlib.crc32(head.encode("ascii"))
+
+    def key2(self, a: int, b: int) -> int:
+        """:func:`stream_key` of ``(*prefix, a, b)`` for plain ints."""
+        return zlib.crc32(b"%d, %d)" % (a, b), self._crc)
+
+    def u2(self, a: int, b: int) -> float:
+        """:func:`stream_u` of ``(*prefix, a, b)`` for plain ints."""
+        return zlib.crc32(b"%d, %d)" % (a, b), self._crc) / _U32
+
+    def key(self, *suffix) -> int:
+        """:func:`stream_key` of ``(*prefix, *suffix)`` (generic)."""
+        if not suffix:
+            raise ValueError("PrefixStream.key needs a suffix")
+        tail = repr(suffix)
+        tail = (tail[1:-2] if len(suffix) == 1 else tail[1:-1]) + ")"
+        return zlib.crc32(tail.encode("ascii"), self._crc)
+
+    def u(self, *suffix) -> float:
+        """:func:`stream_u` of ``(*prefix, *suffix)`` (generic)."""
+        return self.key(*suffix) / _U32

@@ -1,0 +1,283 @@
+"""Event-wheel scheduler tests: tie-break contract, wheel-vs-heap
+differential, rotation/overflow mechanics, sanitizer invariants and the
+keyed-draw fast path that rides along with it."""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sanitize import SanitizerError
+from repro.system.scheduler import (
+    EventWheel,
+    HeapSimulator,
+    SimulationLimitError,
+    Simulator,
+    WheelSimulator,
+    wheel_enabled,
+)
+from repro.system.seeding import PrefixStream, stream_key, stream_u
+
+IMPLS = [WheelSimulator, HeapSimulator]
+
+
+class TestFactory:
+    def test_default_is_wheel(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WHEEL", raising=False)
+        assert wheel_enabled()
+        assert type(Simulator()) is WheelSimulator
+
+    def test_env_selects_heap_witness(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WHEEL", "0")
+        assert not wheel_enabled()
+        assert type(Simulator()) is HeapSimulator
+
+    def test_direct_classes_ignore_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WHEEL", "0")
+        assert type(WheelSimulator()) is WheelSimulator
+
+
+class TestTieBreakContract:
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_equal_time_events_fire_in_insertion_order(self, impl):
+        sim = impl()
+        seen = []
+        for i in range(20):
+            sim.schedule1(10.0, lambda t, a: seen.append(a), i)
+        sim.run()
+        assert seen == list(range(20))
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_mid_callback_tie_joins_the_back_of_its_slot(self, impl):
+        sim = impl()
+        seen = []
+
+        def first(t, _arg):
+            seen.append("first")
+            # same-timestamp schedule from inside a firing event must
+            # run after every already-queued equal-time event
+            sim.schedule1(t, lambda tt, a: seen.append("late"), None)
+
+        sim.schedule1(5.0, first, None)
+        sim.schedule1(5.0, lambda t, a: seen.append("second"), None)
+        sim.run()
+        assert seen == ["first", "second", "late"]
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_multi_arg_and_zero_arg_events(self, impl):
+        sim = impl()
+        seen = []
+        sim.schedule(3.0, lambda t, a, b: seen.append((t, a, b)), 1, 2)
+        sim.schedule(1.0, lambda t: seen.append((t,)))
+        sim.schedule(2.0, lambda t, a: seen.append((t, a)), 9)
+        sim.run()
+        assert seen == [(1.0,), (2.0, 9), (3.0, 1, 2)]
+
+
+def _differential_workload(sim, seed, spawn_budget=400):
+    """A self-scheduling event storm whose spawn decisions are keyed
+    hashes of the event tag (identical across scheduler impls)."""
+    order = []
+    state = {"next_tag": 0, "left": spawn_budget}
+
+    def spawn(t, tag):
+        order.append((t, tag))
+        n = 1 + stream_key(seed, "fanout", tag) % 2
+        for k in range(n):
+            if state["left"] <= 0:
+                return
+            state["left"] -= 1
+            child = state["next_tag"] = state["next_tag"] + 1
+            # offsets cross bucket boundaries, land ties on the same
+            # timestamp, and reach past the wheel horizon (overflow)
+            dt = (0.0, 0.25, 1.0, 63.75, 64.0, 511.5, 40000.0)[
+                stream_key(seed, "dt", tag, k) % 7]
+            sim.schedule1(t + dt, spawn, child)
+
+    for i in range(10):
+        state["next_tag"] += 1
+        sim.schedule1(float(stream_key(seed, "t0", i) % 128),
+                      spawn, state["next_tag"])
+    sim.run()
+    return order
+
+
+class TestWheelHeapDifferential:
+    @pytest.mark.parametrize("seed", [1, 7, 13, 99])
+    def test_randomized_firing_order_matches(self, seed):
+        a = _differential_workload(WheelSimulator(), seed)
+        b = _differential_workload(HeapSimulator(), seed)
+        assert a == b
+        assert len(a) > 100  # the storm actually fanned out
+
+    @pytest.mark.parametrize("seed", [3, 21])
+    def test_sanitized_wheel_matches_plain(self, seed, monkeypatch):
+        plain = _differential_workload(WheelSimulator(), seed)
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        guarded = _differential_workload(WheelSimulator(), seed)
+        assert plain == guarded
+
+
+class TestEventWheelMechanics:
+    def test_rotation_across_many_buckets(self):
+        wheel = EventWheel(width_us=64.0, n_buckets=256)
+        times = [float(i * 97 % 5000) for i in range(300)]
+        for i, t in enumerate(times):
+            wheel.push((t, i))
+        got = [wheel.pop() for _ in range(len(times))]
+        assert got == sorted(zip(times, range(len(times))))
+        assert wheel.pop() is None
+        assert len(wheel) == 0
+
+    def test_overflow_beyond_horizon_migrates_in_order(self):
+        wheel = EventWheel(width_us=64.0, n_buckets=256)
+        horizon = 64.0 * 256
+        wheel.push((horizon * 3 + 1.0, "far"))
+        wheel.push((5.0, "near"))
+        wheel.push((horizon * 2 + 1.0, "mid"))
+        assert len(wheel) == 3
+        assert [e[1] for e in (wheel.pop(), wheel.pop(), wheel.pop())] \
+            == ["near", "mid", "far"]
+
+    def test_jump_ahead_over_empty_span(self):
+        wheel = EventWheel(width_us=64.0, n_buckets=256)
+        wheel.push((1e6, "only"))  # far past the horizon: overflow
+        assert wheel.pop() == (1e6, "only")
+        # the cursor jumped straight to the event's bucket
+        assert wheel.cursor >= int(1e6 / 64.0)
+
+    def test_fifo_ties_survive_overflow_migration(self):
+        wheel = EventWheel(width_us=64.0, n_buckets=256)
+        far = 64.0 * 256 * 2 + 3.0
+        for i in range(6):
+            wheel.push((far, i))
+        assert [wheel.pop()[1] for _ in range(6)] == list(range(6))
+
+    def test_geometry_must_be_powers_of_two(self):
+        with pytest.raises(ValueError):
+            EventWheel(width_us=64.0, n_buckets=100)
+        with pytest.raises(ValueError):
+            # 1/49 is not exactly invertible, so bucket indices would
+            # drift from the quantization the drain assertions assume
+            EventWheel(width_us=49.0, n_buckets=256)
+
+    def test_keyed_mode_matches_a_heap(self):
+        rng = random.Random(42)
+        wheel = EventWheel(width_us=64.0, n_buckets=256, fifo=False)
+        heap = []
+        used = set()
+        last_pop = 0.0  # pushes never go behind the drain point
+        for _ in range(400):
+            if heap and rng.random() < 0.4:
+                got = wheel.pop()
+                assert got == heapq.heappop(heap)
+                last_pop = got[0]
+                continue
+            t = last_pop + rng.randrange(0, 60000) / 4.0
+            key = (t, rng.randrange(1 << 20))
+            if key in used:  # keyed mode requires unique (time, id)
+                continue
+            used.add(key)
+            entry = (key[0], key[1], "payload")
+            wheel.push(entry)
+            heapq.heappush(heap, entry)
+        while heap:
+            assert wheel.pop() == heapq.heappop(heap)
+        assert wheel.pop() is None
+
+
+class TestSanitizerInvariants:
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_past_schedule_rejected_when_sanitized(self, impl,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        sim = impl()
+        sim.schedule1(100.0, lambda t, a: sim.schedule1(
+            50.0, lambda tt, aa: None, None), None)
+        with pytest.raises(SanitizerError):
+            sim.run()
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_past_schedule_clamped_to_fire_next_unsanitized(self, impl,
+                                                            monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        sim = impl()
+        seen = []
+
+        def boot(t, _a):
+            seen.append("boot")
+            sim.schedule1(t - 50.0, lambda tt, a: seen.append("past"),
+                          None)
+
+        sim.schedule1(100.0, boot, None)
+        sim.schedule1(100.0, lambda t, a: seen.append("peer"), None)
+        sim.schedule1(101.0, lambda t, a: seen.append("later"), None)
+        sim.run()
+        # both impls fire the invalid past event before moving on
+        assert seen.index("past") < seen.index("later")
+        assert seen[0] == "boot"
+
+    def test_wheel_push_into_past_bucket_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        wheel = EventWheel(width_us=64.0, n_buckets=256)
+        wheel.push((1000.0, "a"))
+        assert wheel.pop() == (1000.0, "a")
+        with pytest.raises(SanitizerError):
+            wheel.push((10.0, "stale"))  # bucket far behind the cursor
+
+    def test_bucket_rotation_invariant_holds_over_a_storm(self,
+                                                          monkeypatch):
+        # the sanitized drain asserts every fired entry belongs to the
+        # cursor's bucket; a randomized storm would trip it on any
+        # rotation/admission bug
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        order = _differential_workload(WheelSimulator(), seed=5)
+        assert order == sorted(order, key=lambda e: e[0])
+
+
+class TestEventLimit:
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_runaway_loop_raises_with_diagnostics(self, impl):
+        sim = impl(max_events=500)
+
+        def storm(t, a):
+            sim.schedule1(t + 1.0, storm, a)
+
+        sim.schedule1(0.0, storm, None)
+        with pytest.raises(SimulationLimitError) as exc:
+            sim.run()
+        assert "500" in str(exc.value)
+        assert "storm" in str(exc.value)
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_limit_passed_to_run_overrides_ctor(self, impl):
+        sim = impl()
+        fired = []
+        for i in range(10):
+            sim.schedule1(float(i), lambda t, a: fired.append(t), None)
+        with pytest.raises(SimulationLimitError):
+            sim.run(max_events=3)
+
+
+class TestPrefixStream:
+    def test_matches_stream_key_and_u(self):
+        rng = random.Random(7)
+        for _ in range(200):
+            prefix = (rng.randrange(-50, 50), "kind",
+                      f"st{rng.randrange(8)}")
+            ps = PrefixStream(*prefix)
+            a, b = rng.randrange(-10, 10**6), rng.randrange(0, 40)
+            assert ps.key2(a, b) == stream_key(*prefix, a, b)
+            assert ps.u2(a, b) == stream_u(*prefix, a, b)
+            assert ps.key(a) == stream_key(*prefix, a)
+            assert ps.u(a, b, 3) == stream_u(*prefix, a, b, 3)
+
+    def test_single_part_prefix(self):
+        ps = PrefixStream(11)
+        assert ps.key2(1, 2) == stream_key(11, 1, 2)
+
+    def test_empty_prefix_or_suffix_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixStream()
+        with pytest.raises(ValueError):
+            PrefixStream(1).key()
