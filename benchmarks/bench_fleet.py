@@ -13,6 +13,7 @@ from conftest import run_once
 from repro.system.arrivals import TrafficShape
 from repro.system.fleet import (FleetConfig, FleetShardTask,
                                 run_fleet, run_fleet_shard)
+from repro.system.zones import ZoneConfig
 
 QPS = 100_000.0
 SHARDS = 2
@@ -62,3 +63,32 @@ def test_fleet_shard_rate(benchmark, monkeypatch):
     payload = benchmark.pedantic(lambda: run_fleet_shard(task),
                                  rounds=20, iterations=1, warmup_rounds=1)
     benchmark.extra_info["completed"] = payload["completed"]
+
+
+def test_fleet_zone_failover_shard_rate(benchmark, monkeypatch):
+    """Zone/failover overhead on the same canonical shard.
+
+    Same cell as ``test_fleet_shard_rate`` but with a mid-horizon zone
+    kill, health-checked ejection and the retry path live - the price
+    of the fault-domain layer when it is actually exercising failover,
+    comparable side by side with the fault-free shard number.
+    """
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    horizon = 30_000.0
+    task = FleetShardTask("fleet_rpu",
+                          FleetConfig(replicas=4, rack_size=2,
+                                      balancer="batch_aware",
+                                      health_check=True,
+                                      unhealthy_after=2,
+                                      health_probe_us=2_000.0),
+                          TrafficShape(base_qps=60_000.0),
+                          horizon, 0, 1, SEED,
+                          zones=ZoneConfig(
+                              racks_per_zone=1, seed=SEED,
+                              planned=((0, 0.3 * horizon, 0.6 * horizon),),
+                              horizon_us=horizon))
+    payload = benchmark.pedantic(lambda: run_fleet_shard(task),
+                                 rounds=20, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["completed"] = payload["completed"]
+    benchmark.extra_info["killed"] = payload["fault_failures"]
+    assert payload["ejections"] > 0

@@ -23,6 +23,7 @@ from repro.experiments import (
     resilience_sweep,
     sensitivity,
     table05_area_power,
+    zone_failover,
 )
 from repro.energy import anticipated_gain_range
 
@@ -67,6 +68,12 @@ def main() -> None:
     f_auto = fleet["r4/diurnal/autoscale"]
     f_clean = fleet["r4/steady/clean"]
     f_outage = fleet["r4/steady/outages"]
+    zones = {r.label: r.values for r in
+             zone_failover.run(min(1.0, SCALE))["rows"]}
+    z_nofo = zones["zonekill/nofailover"]
+    z_fo = zones["zonekill/failover"]
+    z_fixed = zones["brownout/fixed"]
+    z_p99 = zones["brownout/p99scale"]
 
     leaf = mpki_rows["hdsearch-leaf"]
 
@@ -153,6 +160,16 @@ def main() -> None:
         ("Extension: fleet rack outages, goodput under retry "
          "(clean -> rack-scoped outages)", "fleet study",
          f"{f_clean['goodput']:.0%} -> {f_outage['goodput']:.0%}"),
+        ("Extension: zone kill, availability "
+         "(no failover -> health-checked failover)", "fault-domain study",
+         f"{z_nofo['avail']:.1%} -> {z_fo['avail']:.1%}"),
+        ("Extension: zone kill, p99 latency "
+         "(no failover -> health-checked failover)", "fault-domain study",
+         f"{z_nofo['p99']:.0f} -> {z_fo['p99']:.0f} us"),
+        ("Extension: zone brownout, requests/joule "
+         "(fixed fleet -> p99-signal autoscale)", "fault-domain study",
+         f"{z_fixed['req_per_j']:.2f} -> {z_p99['req_per_j']:.2f} req/J "
+         f"({z_p99['scale_events']:.0f} scale events)"),
     ]
 
     lines = [

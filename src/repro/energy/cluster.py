@@ -19,6 +19,9 @@ Accounting model (all energies in joules, times in us):
 * **rack overhead** - each provisioned rack (ToR switch, fans, PSU
   losses) draws ``rack_overhead_w`` for the whole run: racks stay
   powered even when their servers scale down;
+* **zone overhead** - each availability zone (spine switches, zone
+  cooling plant) draws ``zone_overhead_w`` for the whole run; zero by
+  default, so runs without a zone topology are unchanged;
 * **facility** - IT energy times ``pue``; carbon at a grid intensity
   of ``carbon_g_per_kwh``.
 """
@@ -42,6 +45,8 @@ class ClusterPowerModel:
     storage_dynamic_w: float = 4.0
     #: per-rack fixed overhead (ToR switch, fans, PSU losses)
     rack_overhead_w: float = 40.0
+    #: per-availability-zone fixed overhead (spine, zone cooling)
+    zone_overhead_w: float = 0.0
     #: facility power usage effectiveness (cooling, distribution)
     pue: float = 1.4
     #: grid carbon intensity (operational, location-based)
@@ -58,10 +63,13 @@ class ClusterEnergy:
     pue: float
     horizon_us: float
     n_racks: int
+    #: availability zones provisioned (0 = no zone topology)
+    n_zones: int = 0
+    zone_j: float = 0.0
 
     @property
     def it_j(self) -> float:
-        return self.dynamic_j + self.static_j + self.rack_j
+        return self.dynamic_j + self.static_j + self.rack_j + self.zone_j
 
     @property
     def facility_j(self) -> float:
@@ -82,19 +90,21 @@ class ClusterEnergy:
 def rollup_cluster(busy_us: float, storage_busy_us: float,
                    active_server_us: float, n_racks: int,
                    horizon_us: float,
-                   model: ClusterPowerModel = ClusterPowerModel()
-                   ) -> ClusterEnergy:
+                   model: ClusterPowerModel = ClusterPowerModel(),
+                   n_zones: int = 0) -> ClusterEnergy:
     """Aggregate per-replica accounting into a :class:`ClusterEnergy`.
 
     ``busy_us`` sums server-busy time over every tier replica,
     ``active_server_us`` integrates (active replicas x servers each)
-    over time, and ``n_racks`` counts provisioned racks.  Shard
-    roll-ups compose by summing the inputs before calling this once.
+    over time, and ``n_racks`` / ``n_zones`` count provisioned racks
+    and availability zones.  Shard roll-ups compose by summing the
+    inputs before calling this once.
     """
     dynamic = (busy_us * 1e-6 * model.dynamic_w
                + storage_busy_us * 1e-6 * model.storage_dynamic_w)
     static = active_server_us * 1e-6 * model.static_w
     rack = n_racks * horizon_us * 1e-6 * model.rack_overhead_w
+    zone = n_zones * horizon_us * 1e-6 * model.zone_overhead_w
     return ClusterEnergy(dynamic_j=dynamic, static_j=static, rack_j=rack,
                          pue=model.pue, horizon_us=horizon_us,
-                         n_racks=n_racks)
+                         n_racks=n_racks, n_zones=n_zones, zone_j=zone)

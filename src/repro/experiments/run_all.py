@@ -50,6 +50,7 @@ from . import (
     table04_config,
     table05_area_power,
     workload_table,
+    zone_failover,
 )
 
 EXPERIMENTS: Dict[str, Callable[[float], str]] = {
@@ -66,6 +67,7 @@ EXPERIMENTS: Dict[str, Callable[[float], str]] = {
     "fig22": fig22_end_to_end.main,
     "resilience": resilience_sweep.main,
     "fleet": fleet_sweep.main,
+    "zones": zone_failover.main,
     "table04": table04_config.main,
     "table05": table05_area_power.main,
     "sensitivity": sensitivity.main,
@@ -110,6 +112,7 @@ EXPORTABLE = {
     "fig22": fig22_end_to_end.run,
     "resilience": resilience_sweep.run,
     "fleet": fleet_sweep.run,
+    "zones": zone_failover.run,
     "table05": table05_area_power.run,
     "sensitivity": sensitivity.run,
     "gpu": gpu_comparison.run,
@@ -142,6 +145,7 @@ WORK_UNITS: Dict[str, Callable[[float], List]] = {
     "fig19_20_21": fig19_20_21_chip.work_units,
     "sensitivity": sensitivity.work_units,
     "fleet": fleet_sweep.work_units,
+    "zones": zone_failover.work_units,
     "gpu": gpu_comparison.work_units,
     "sec6a": sec6a_simd_alternative.work_units,
     "cycle_stacks": cycle_stacks.work_units,
@@ -150,7 +154,7 @@ WORK_UNITS: Dict[str, Callable[[float], List]] = {
 #: measured serial seconds per experiment at scale=1 (relative weights
 #: for longest-first submission; an unknown name sorts last)
 COSTS = {
-    "fleet": 40.0,
+    "fleet": 40.0, "zones": 1.5,
     "fig15": 23.0, "fig19_20_21": 23.0, "fig10": 10.0, "fig14": 8.5,
     "fig16": 5.0, "gpu": 4.2, "fig04_fig11": 2.5, "fig01": 2.3,
     "sensitivity": 2.1, "resilience": 1.7, "sec6a": 0.9,

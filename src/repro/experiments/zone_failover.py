@@ -1,0 +1,212 @@
+"""Zone failover sweep: one-zone loss, brownouts, and health-checked
+cross-zone failover.
+
+The fleet sweep prices balancers under rack-scoped noise; this sweep
+stages the *correlated* failure real capacity plans are written
+against: an availability zone (2 of 6 replicas per tier) going dark
+mid-run.  Cells compare
+
+* a clean baseline (same topology, no faults);
+* the zone kill with retries but **no failover** - the balancers keep
+  routing into the dead zone, so every third affinity pick burns a
+  detection round-trip and retries pile onto the deadline;
+* the same kill with **health-checked failover** - replicas are
+  ejected from the routable set after consecutive failures and traffic
+  re-spreads over the surviving zones (capacity headroom absorbs it);
+* the adaptive balancer under the same kill - its re-learned affinity
+  map keeps batches pure while the routable set shrinks and recovers;
+* a zone **brownout** (service times x8 inside the window, nothing
+  fails) against fixed provisioning vs tail-latency (p99) autoscaling
+  - the elastic fleet runs lean off-window and grows the active set
+  when the windowed p99 crosses target, landing better requests/joule
+  than fixed full provisioning at the same availability.
+
+Expected shape: failover holds availability >= 99% of offered load
+through the zone loss with bounded p99, while the no-failover baseline
+demonstrably sheds more; the brownout pair shows p99-signal scale-ups
+the queue signal cannot produce.
+
+Zone overhead watts price the zone level itself (spine + zone cooling)
+so the energy roll-up reflects the topology the failover relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..energy.cluster import ClusterPowerModel
+from ..system import (
+    FleetConfig,
+    FleetShardTask,
+    ResilienceConfig,
+    TrafficShape,
+    ZoneConfig,
+    run_fleet,
+)
+from .common import FleetUnit, Row, format_rows, parallel_map
+
+GRAPH = "fleet_rpu"
+SHARDS = 2
+#: offered load summed over the shards; ~50% utilization at 6 replicas,
+#: so two of three zones can absorb a full zone loss
+BASE_QPS = 60_000.0
+SEED = 21
+
+#: 6 replicas/tier in 3 racks of 2; one rack per zone -> 3 zones
+REPLICAS = 6
+RACK_SIZE = 2
+
+#: retry/deadline policy armed on every faulty cell
+RETRY_POLICY = ResilienceConfig(deadline_us=60_000.0, max_retries=3)
+
+#: per-zone fixed overhead (spine switches, zone cooling)
+POWER = ClusterPowerModel(zone_overhead_w=60.0)
+
+COLUMNS = ["avail", "violated", "fault_fail", "ejections", "p99",
+           "req_per_j", "watts", "scale_events"]
+
+
+def _horizon(scale: float) -> float:
+    return max(50_000.0, 100_000.0 * scale)
+
+
+def _fleet(balancer: str = "batch_aware", failover: bool = False,
+           autoscale_signal: str = "", replicas: int = REPLICAS
+           ) -> FleetConfig:
+    kw = dict(replicas=replicas, rack_size=RACK_SIZE, balancer=balancer)
+    if failover:
+        kw.update(health_check=True, unhealthy_after=2,
+                  health_probe_us=2_000.0)
+    if autoscale_signal:
+        kw.update(autoscale=True, autoscale_signal=autoscale_signal,
+                  autoscale_interval_us=2_000.0, min_active=4,
+                  p99_target_us=2_500.0)
+    return FleetConfig(**kw)
+
+
+def _zones(horizon: float, kill: bool = False,
+           brownout: bool = False) -> ZoneConfig:
+    """Zone topology: one rack per zone; optionally a planned kill of
+    zone 0 (or an 8x brownout of zone 1) across the middle of the run."""
+    return ZoneConfig(
+        racks_per_zone=1,
+        seed=SEED,
+        planned=(((0, 0.3 * horizon, 0.6 * horizon),) if kill else ()),
+        planned_brownout=(((1, 0.3 * horizon, 0.6 * horizon),)
+                          if brownout else ()),
+        brownout_mult=8.0,
+        horizon_us=horizon,
+    )
+
+
+def _cells(scale: float) -> List[tuple]:
+    """(label, shape, fleet, zones, resilience, horizon) cells."""
+    horizon = _horizon(scale)
+    shape = TrafficShape(base_qps=BASE_QPS)
+    kill = _zones(horizon, kill=True)
+    brown = _zones(horizon, brownout=True)
+    return [
+        ("clean/static", shape, _fleet(), _zones(horizon), None, horizon),
+        ("zonekill/nofailover", shape, _fleet(), kill,
+         RETRY_POLICY, horizon),
+        ("zonekill/failover", shape, _fleet(failover=True), kill,
+         RETRY_POLICY, horizon),
+        ("zonekill/adaptive", shape, _fleet("adaptive", failover=True),
+         kill, RETRY_POLICY, horizon),
+        ("brownout/fixed", shape, _fleet(), brown, RETRY_POLICY, horizon),
+        ("brownout/p99scale", shape, _fleet(autoscale_signal="p99"),
+         brown, RETRY_POLICY, horizon),
+    ]
+
+
+def _cell_tasks(cell: tuple) -> List[FleetShardTask]:
+    _label, shape, fleet, zones, resilience, horizon = cell
+    return [FleetShardTask(graph=GRAPH, fleet=fleet, shape=shape,
+                           horizon_us=horizon, shard=s, n_shards=SHARDS,
+                           seed=SEED, faults=None, resilience=resilience,
+                           zones=zones)
+            for s in range(SHARDS)]
+
+
+def work_units(scale: float = 1.0) -> List[FleetUnit]:
+    """Declare every shard for ``run_all``'s cross-experiment dedup."""
+    units: List[FleetUnit] = []
+    for cell in _cells(scale):
+        shape, horizon = cell[1], cell[5]
+        cost = shape.mean_qps(horizon) * horizon * 1e-6 / SHARDS
+        units.extend(FleetUnit(task=t, cost=cost)
+                     for t in _cell_tasks(cell))
+    return units
+
+
+def _run_cell(cell: tuple) -> Tuple[str, dict]:
+    label, shape, fleet, zones, resilience, horizon = cell
+    r = run_fleet(shape, horizon, fleet=fleet, graph=GRAPH,
+                  shards=SHARDS, seed=SEED, zones=zones,
+                  resilience=resilience, power=POWER)
+    return label, {
+        "avail": r.goodput_frac,
+        "violated": float(r.violated),
+        "fault_fail": float(r.fault_failures),
+        "ejections": float(r.ejections),
+        "p99": r.p99_us,
+        "req_per_j": r.requests_per_joule,
+        "watts": r.avg_watts,
+        "scale_events": float(r.scale_ups + r.scale_downs),
+        "n_zones": float(r.n_zones),
+        "offered_qps": r.offered_qps,
+        "n_requests": float(r.n_requests),
+    }
+
+
+def run(scale: float = 1.0) -> Dict:
+    cells = _cells(scale)
+    results = parallel_map(_run_cell, cells)
+    rows = [Row(label=label, values=values) for label, values in results]
+    return {"rows": rows, "horizon_us": _horizon(scale),
+            "shards": SHARDS, "base_qps": BASE_QPS}
+
+
+def main(scale: float = 1.0) -> str:
+    from ..report import fmt_si
+
+    data = run(scale)
+    by_label = {r.label: r for r in data["rows"]}
+    horizon = data["horizon_us"]
+    out = [f"Zone failover: {REPLICAS} replicas/tier in 3 zones "
+           f"({fmt_si(data['base_qps'], 'QPS')} offered over "
+           f"{data['shards']} shards, {horizon / 1000:g}ms horizon, "
+           f"zone 0 dark {0.3 * horizon / 1000:g}-"
+           f"{0.6 * horizon / 1000:g}ms)"]
+    out.append("")
+    out.append("one-zone loss (retry x3, 60ms deadline):")
+    for label in ("clean/static", "zonekill/nofailover",
+                  "zonekill/failover", "zonekill/adaptive"):
+        row = by_label[label]
+        out.append(f"  {label:20s} avail {row['avail']:7.3%} "
+                   f"violated {row['violated']:4.0f} "
+                   f"killed {row['fault_fail']:4.0f} "
+                   f"ejected {row['ejections']:3.0f} "
+                   f"p99 {row['p99']:6.0f}us "
+                   f"r/J {row['req_per_j']:6.2f}")
+    out.append("")
+    out.append("zone brownout (service x8 in window), fixed vs "
+               "p99-signal autoscaling:")
+    for label in ("brownout/fixed", "brownout/p99scale"):
+        row = by_label[label]
+        out.append(f"  {label:20s} avail {row['avail']:7.3%} "
+                   f"p99 {row['p99']:6.0f}us "
+                   f"scale-events {row['scale_events']:3.0f} "
+                   f"{fmt_si(row['watts'], 'W'):>8s} "
+                   f"r/J {row['req_per_j']:6.2f}")
+    out.append("")
+    out.append(format_rows(data["rows"], COLUMNS,
+                           title="per-cell detail (latencies in us)",
+                           width=22))
+    return "\n".join(out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from .common import experiment_cli
+
+    raise SystemExit(experiment_cli(main, units_fn=work_units))

@@ -7,15 +7,38 @@ fast path, and cross-checks all observable state.  Mismatching specs are
 greedily shrunk and emitted as standalone repro files.
 
 Run a campaign with ``python -m repro.fuzz --iters N --seed S``.
+
+``repro.fuzz.chaos`` is the fleet-tier sibling: seeded *fault
+schedules* swept against every balancer x resilience policy, checking
+the conservation invariants instead of architectural state.  Run it
+with ``python -m repro.fuzz.chaos --seeds N``.
 """
 
 from .gen import GeneratorError, build_program, gen_spec, spec_is_racy
 from .oracle import check_spec, shrink_spec, write_repro
 
+#: chaos-suite names re-exported lazily (PEP 562) so that running
+#: ``python -m repro.fuzz.chaos`` does not import the submodule twice
+_CHAOS_EXPORTS = ("ChaosCase", "ChaosError", "case_digest",
+                  "gen_fault_schedule", "run_campaign", "run_case")
+
+
+def __getattr__(name):
+    if name in _CHAOS_EXPORTS:
+        from . import chaos
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
+    "ChaosCase",
+    "ChaosError",
     "GeneratorError",
     "build_program",
+    "case_digest",
+    "gen_fault_schedule",
     "gen_spec",
+    "run_campaign",
+    "run_case",
     "spec_is_racy",
     "check_spec",
     "shrink_spec",

@@ -40,6 +40,12 @@ from .resilience import (
     system_energy_joules,
 )
 from .seeding import stream_exp, stream_key, stream_rng, stream_u
+from .zones import (
+    ZoneConfig,
+    zone_brownout_windows,
+    zone_domain,
+    zone_outage_windows,
+)
 
 __all__ = [
     "BALANCERS",
@@ -59,6 +65,7 @@ __all__ = [
     "ResilientEndToEnd",
     "ResilientResult",
     "TrafficShape",
+    "ZoneConfig",
     "fleet_social_graph",
     "generate_arrivals",
     "merge_shards",
@@ -72,6 +79,9 @@ __all__ = [
     "stream_rng",
     "stream_u",
     "system_energy_joules",
+    "zone_brownout_windows",
+    "zone_domain",
+    "zone_outage_windows",
     "EndToEndResult",
     "Job",
     "SimulationLimitError",

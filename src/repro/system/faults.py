@@ -28,6 +28,16 @@ same domain shares one outage schedule (a rack power event takes down
 every replica in the rack at once), while unmapped stations keep their
 own independent windows.
 
+On top of the rack scope, an optional **zone layer**
+(:mod:`repro.system.zones`) adds correlated zone-wide fail-stop
+windows - merged into each station's own window list at build time, so
+the hot queries stay single-path - and zone **brownouts**: partial
+degradation windows that multiply every dispatch's service latency and
+occupancy by ``brownout_mult`` instead of killing the work.  A station
+outside the zone scope, or a zone config with zero rates and no
+planned windows, leaves the schedules bit-identical to the zone-less
+injector.
+
 A ``FaultInjector`` with all rates at zero is a strict no-op, and a
 :class:`~repro.system.queueing.Station` with no injector attached never
 touches this module (the fault-free fast path is bit-identical to the
@@ -41,6 +51,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .seeding import PrefixStream, stream_rng, stream_u
+from .zones import (
+    ZoneConfig,
+    merge_windows,
+    zone_brownout_windows,
+    zone_outage_windows,
+)
 
 
 @dataclass(frozen=True)
@@ -101,6 +117,9 @@ class FaultStats:
     drops: int = 0
     stragglers: int = 0
     spikes: int = 0
+    #: dispatches served inside a zone brownout window (degraded, not
+    #: failed)
+    brownouts: int = 0
     windows: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -112,15 +131,36 @@ class FaultInjector:
     """Seeded fault oracle; attach to stations via :meth:`attach`."""
 
     def __init__(self, cfg: FaultConfig,
-                 scope: Optional[Mapping[str, str]] = None):
+                 scope: Optional[Mapping[str, str]] = None,
+                 zones: Optional[ZoneConfig] = None,
+                 zone_scope: Optional[Mapping[str, str]] = None):
         self.cfg = cfg
         self.stats = FaultStats()
         #: station name -> fault domain; stations sharing a domain share
         #: one outage schedule (rack/zone-scoped outages).  Unmapped
         #: stations form their own singleton domain.
         self.scope: Dict[str, str] = dict(scope) if scope else {}
-        #: per-station sorted outage windows, built lazily per name
+        #: optional zone layer: station name -> zone domain; a zone's
+        #: fail-stop windows are merged into each member station's own
+        #: windows, its brownout windows degrade their dispatches
+        self.zones = zones if zones is not None and zones.enabled else None
+        self.zone_scope: Dict[str, str] = \
+            dict(zone_scope) if zone_scope and self.zones else {}
+        #: per-station/domain sorted outage windows, built lazily per
+        #: name (the zone-less schedules; zone windows merge in below)
         self._windows: Dict[str, Tuple[List[float], List[float]]] = {}
+        #: per-station *effective* windows (station/rack + zone merged)
+        self._eff: Dict[str, Tuple[List[float], List[float]]] = {}
+        #: per-zone-domain window caches
+        self._zone_windows: Dict[str, Tuple[List[float], List[float]]] = {}
+        self._zone_brownouts: Dict[str, Tuple[List[float], List[float]]] = {}
+        #: whether any fail-stop schedule can be non-empty (gates the
+        #: outage queries on the hot dispatch path)
+        self.has_outages = (cfg.outage_rate_per_s > 0
+                            or (self.zones is not None
+                                and self.zones.has_outages))
+        self._has_brownouts = (self.zones is not None
+                               and self.zones.has_brownouts)
         #: per-(kind, station) prefix-hashed draw streams, built lazily:
         #: the per-dispatch draws in :meth:`plan` share a constant
         #: ``(seed, kind, name)`` key prefix, so its CRC state is
@@ -143,6 +183,30 @@ class FaultInjector:
         return self.scope.get(name, name)
 
     def _station_windows(self, name: str) -> Tuple[List[float], List[float]]:
+        """Effective fail-stop windows of one station: its own (or its
+        rack domain's) schedule, merged with its zone's windows when a
+        zone layer is armed.  Merging happens once at build time, so
+        the bisect queries below stay single-path."""
+        got = self._eff.get(name)
+        if got is not None:
+            return got
+        got = self._base_windows(name)
+        zdom = self.zone_scope.get(name)
+        if zdom is not None:
+            got = merge_windows(got, self._zone_fail_windows(zdom))
+        self._eff[name] = got
+        self.stats.windows[name] = len(got[0])
+        return got
+
+    def _zone_fail_windows(self, domain: str) \
+            -> Tuple[List[float], List[float]]:
+        got = self._zone_windows.get(domain)
+        if got is None:
+            got = zone_outage_windows(self.zones, domain)
+            self._zone_windows[domain] = got
+        return got
+
+    def _base_windows(self, name: str) -> Tuple[List[float], List[float]]:
         got = self._windows.get(name)
         if got is not None:
             return got
@@ -176,7 +240,6 @@ class FaultInjector:
             # with an empty schedule other domain members would share
             got = ([], [])
         self._windows[name] = got
-        self.stats.windows[name] = len(got[0])
         return got
 
     # -- queries -------------------------------------------------------
@@ -200,6 +263,22 @@ class FaultInjector:
         starts, ends = self._station_windows(name)
         return list(zip(starts, ends))
 
+    def brownout_mult(self, name: str, t: float) -> float:
+        """Service-latency multiplier at ``t``: ``brownout_mult`` when
+        the station's zone is browned out, else 1.0."""
+        zdom = self.zone_scope.get(name)
+        if zdom is None:
+            return 1.0
+        got = self._zone_brownouts.get(zdom)
+        if got is None:
+            got = zone_brownout_windows(self.zones, zdom)
+            self._zone_brownouts[zdom] = got
+        starts, ends = got
+        i = bisect.bisect_right(starts, t) - 1
+        if i >= 0 and t < ends[i]:
+            return self.zones.brownout_mult
+        return 1.0
+
     # -- the per-dispatch plan ----------------------------------------
     def plan(self, name: str, now: float, jobs: Sequence) -> Tuple[
             Optional[float], list, float, float]:
@@ -214,8 +293,7 @@ class FaultInjector:
         cfg = self.cfg
         if cfg.stations is not None and name not in cfg.stations:
             return None, (), 1.0, 0.0
-        end = self.outage_end(name, now) if cfg.outage_rate_per_s > 0 \
-            else None
+        end = self.outage_end(name, now) if self.has_outages else None
         if end is not None:
             self.stats.outage_failures += len(jobs)
             return end, (), 1.0, 0.0
@@ -242,6 +320,11 @@ class FaultInjector:
                 "spike", name).u2(lead_id, lead.attempt) < cfg.spike_prob:
             extra = cfg.spike_us
             self.stats.spikes += 1
+        if self._has_brownouts:
+            bm = self.brownout_mult(name, now)
+            if bm != 1.0:
+                mult *= bm
+                self.stats.brownouts += 1
         return None, drops, mult, extra
 
     # -- wiring --------------------------------------------------------

@@ -20,7 +20,12 @@ both latency and occupancy - and provide three balancers:
 * ``least_loaded`` - backlog-greedy, class-blind;
 * ``batch_aware`` - routes a request to replica ``api_id % active``
   so each replica's batches stay single-class, spilling to the
-  least-loaded replica when the affinity target is backlogged.
+  least-loaded replica when the affinity target is backlogged;
+* ``adaptive`` - batch-aware with an *online-learned* affinity map:
+  it counts API classes per adaptation window and re-ranks classes by
+  observed popularity, so the hottest class always owns replica 0 even
+  as the request mix drifts (a static ``api_id % n`` map goes stale
+  when the mix shifts mid-run).
 
 Determinism: a fleet shard is a pure function of its configuration.
 Arrival schedules come from keyed streams (:mod:`.arrivals`), routing
@@ -33,6 +38,17 @@ Rack-scoped faults: replica ``r`` of every tier lives in rack
 ``r // rack_size``; with faults enabled the injector's ``scope`` maps
 each replica station to its rack domain, so one outage takes down the
 whole rack's replicas at once.
+
+Zones and failover: an optional :class:`~repro.system.zones.ZoneConfig`
+groups racks into availability zones - correlated fail-stop windows
+and brownouts per zone (:mod:`.zones`).  With ``health_check`` on, the
+balancers route around unhealthy replicas: ``unhealthy_after``
+consecutive attempt failures eject a replica from the routable set
+until its outage ends (or a probe interval passes), and re-admission
+is probational.  Tail-latency autoscaling
+(``autoscale_signal="p99"``) grows/shrinks the active set on the
+windowed p99 instead of queue backlog - brownouts inflate service
+times without queue growth, which the backlog signal cannot see.
 """
 
 from __future__ import annotations
@@ -49,8 +65,9 @@ from .graph import GraphConfig, GraphSimulation, social_network_graph
 from .queueing import Job, Station, _percentile
 from .resilience import ResilienceConfig
 from .seeding import PrefixStream
+from .zones import ZoneConfig, zone_domain
 
-BALANCERS = ("round_robin", "least_loaded", "batch_aware")
+BALANCERS = ("round_robin", "least_loaded", "batch_aware", "adaptive")
 
 
 def fleet_social_graph(rpu: bool = True) -> GraphConfig:
@@ -99,6 +116,22 @@ class FleetConfig:
     scale_up_backlog_us: float = 300.0
     scale_down_backlog_us: float = 40.0
     min_active: int = 1
+    #: autoscaling signal: ``"queue"`` (mean backlog of the active
+    #: replicas) or ``"p99"`` (windowed tail latency of requests that
+    #: finished since the last tick - sees brownout degradation that
+    #: never shows up as queue growth)
+    autoscale_signal: str = "queue"
+    p99_target_us: float = 2_500.0
+    # -- health-checked failover ---------------------------------------
+    #: eject replicas from the routable set after consecutive failures
+    health_check: bool = False
+    #: consecutive attempt failures before a replica is marked unhealthy
+    unhealthy_after: int = 3
+    #: failure-streak decay window, minimum ejection span, and the
+    #: probation probe interval, all in one knob
+    health_probe_us: float = 2_000.0
+    #: adaptive balancer: re-rank the API-affinity map every window
+    adapt_interval_us: float = 2_000.0
 
 
 class ReplicaSet:
@@ -109,7 +142,9 @@ class ReplicaSet:
     """
 
     __slots__ = ("name", "stations", "servers_each", "active", "rr",
-                 "active_server_us", "_last_t", "infinite")
+                 "active_server_us", "_last_t", "infinite",
+                 "routable", "fail_streak", "last_fail_us", "down_until",
+                 "ejections", "api_counts", "api_map", "next_adapt_us")
 
     def __init__(self, name: str, stations: List[Station],
                  servers_each: int, active: int, infinite: bool):
@@ -121,6 +156,21 @@ class ReplicaSet:
         self.active_server_us = 0.0
         self._last_t = 0.0
         self.infinite = infinite
+        # -- health-checked failover state (inert unless health_check) --
+        #: the stations the balancer may route to: the active prefix
+        #: minus replicas currently marked unhealthy
+        self.routable: List[Station] = stations[:active]
+        self.fail_streak = [0] * len(stations)
+        self.last_fail_us = [-1e18] * len(stations)
+        #: per-replica ejection horizon; 0.0 = healthy
+        self.down_until = [0.0] * len(stations)
+        self.ejections = 0
+        # -- adaptive-balancer state ------------------------------------
+        self.api_counts: Dict[int, int] = {}
+        #: API class -> popularity rank (0 = hottest); identity before
+        #: the first adaptation window closes
+        self.api_map: Dict[int, int] = {}
+        self.next_adapt_us = 0.0
 
     def note(self, now: float) -> None:
         """Integrate provisioned-server time up to ``now``."""
@@ -133,6 +183,12 @@ class ReplicaSet:
         if n != self.active:
             self.note(now)
             self.active = n
+            self.rebuild_routable(now)
+
+    def rebuild_routable(self, now: float) -> None:
+        down = self.down_until
+        self.routable = [st for i, st in enumerate(self.stations)
+                         if i < self.active and down[i] <= now]
 
 
 class FleetSimulation(GraphSimulation):
@@ -140,12 +196,13 @@ class FleetSimulation(GraphSimulation):
 
     __slots__ = ("fleet", "shard", "replica_sets", "batch_stats",
                  "scale_ups", "scale_downs", "_tick_until",
-                 "_last_violation_us", "_pick_fn", "_entry_route")
+                 "_last_violation_us", "_pick_fn", "_entry_route",
+                 "zones", "_sites", "_p99_seen")
 
     def __init__(self, graph_cfg: GraphConfig, fleet: FleetConfig,
                  seed: int = 1, faults: Optional[FaultConfig] = None,
                  resilience: Optional[ResilienceConfig] = None,
-                 shard: int = 0):
+                 shard: int = 0, zones: Optional[ZoneConfig] = None):
         if fleet.balancer not in BALANCERS:
             raise ValueError(f"unknown balancer {fleet.balancer!r}; "
                              f"expected one of {BALANCERS}")
@@ -167,10 +224,13 @@ class FleetSimulation(GraphSimulation):
         #: billing window must cover it; resolved requests' leftover
         #: deadline timers must NOT extend it)
         self._last_violation_us = 0.0
+        self.zones = zones if zones is not None and zones.enabled else None
+        self._p99_seen = 0
         cost_hook = None
         if fleet.divergence_penalty > 0.0:
             cost_hook = self._make_batch_cost()
         scope: Dict[str, str] = {}
+        zone_scope: Dict[str, str] = {}
         start_active = fleet.replicas
         if fleet.autoscale:
             start_active = max(1, min(fleet.replicas, fleet.min_active))
@@ -197,18 +257,35 @@ class FleetSimulation(GraphSimulation):
                                  node.servers)
                 if cost_hook is not None and st.batch_size > 1:
                     st.batch_cost = cost_hook
-                scope[st_name] = f"s{shard}/rack{r // fleet.rack_size}"
+                rack = r // fleet.rack_size
+                scope[st_name] = f"s{shard}/rack{rack}"
+                if self.zones is not None:
+                    zone_scope[st_name] = zone_domain(
+                        shard, self.zones.zone_of_rack(rack))
                 stations.append(st)
             self.replica_sets[name] = ReplicaSet(
                 name, stations, node.servers,
                 1 if infinite else start_active, infinite)
         # replace the parent's singleton-station injector wiring with a
-        # rack-scoped one over the replica stations
+        # rack-scoped (and optionally zone-scoped) one over the replicas
         self.injector = None
-        if faults is not None and faults.enabled:
-            self.injector = FaultInjector(faults, scope=scope)
+        if (faults is not None and faults.enabled) \
+                or self.zones is not None:
+            # a zone-only run still needs an injector; the default
+            # FaultConfig has every rate at zero, so only the merged
+            # zone windows / brownouts act
+            self.injector = FaultInjector(
+                faults if faults is not None else FaultConfig(),
+                scope=scope, zones=self.zones,
+                zone_scope=zone_scope or None)
             for rs in self.replica_sets.values():
                 self.injector.attach(*rs.stations)
+        #: station name -> (replica set, index) for failure attribution
+        self._sites: Dict[str, tuple] = {}
+        if fleet.health_check:
+            for rs in self.replica_sets.values():
+                for i, st in enumerate(rs.stations):
+                    self._sites[st.name] = (rs, i)
         self._afters = {name: self._make_after(node)
                         for name, node in graph_cfg.nodes.items()}
         self._rebind_visits()
@@ -294,9 +371,27 @@ class FleetSimulation(GraphSimulation):
                 best_key = key
         return best
 
+    @staticmethod
+    def _least_of(lst: List[Station], n: int, now: float) -> Station:
+        """Least-loaded of ``lst[:n]`` (list-generic twin of
+        :meth:`_least_loaded` for the health-aware routable subsets)."""
+        best = lst[0]
+        b = min(best._free_at) - now
+        best_key = (b if b > 0.0 else 0.0, len(best._pending))
+        for i in range(1, n):
+            st = lst[i]
+            b = min(st._free_at) - now
+            key = (b if b > 0.0 else 0.0, len(st._pending))
+            if key < best_key:
+                best = st
+                best_key = key
+        return best
+
     def _make_picker(self, fleet: FleetConfig):
         """Compile the balancer into one closure (no per-job string
         compares or method dispatch; backlog reads inlined)."""
+        if fleet.health_check:
+            return self._make_health_picker(fleet)
         balancer = fleet.balancer
         if balancer == "round_robin":
             def pick(rs: ReplicaSet, now: float, job: Job) -> Station:
@@ -315,6 +410,30 @@ class FleetSimulation(GraphSimulation):
                 return least(rs, now)
             return pick
         spill = fleet.affinity_spill_us
+        if balancer == "adaptive":
+            adapt = fleet.adapt_interval_us
+
+            def pick(rs: ReplicaSet, now: float, job: Job) -> Station:
+                c = job.api_id
+                counts = rs.api_counts
+                counts[c] = counts.get(c, 0) + 1
+                if now >= rs.next_adapt_us:
+                    # close the window: re-rank classes by observed
+                    # popularity (count desc, class id tie-break) so
+                    # the affinity map tracks the drifting mix
+                    ranked = sorted(counts,
+                                    key=lambda k: (-counts[k], k))
+                    rs.api_map = {k: i for i, k in enumerate(ranked)}
+                    counts.clear()
+                    rs.next_adapt_us = now + adapt
+                n = rs.active
+                if n <= 1:
+                    return rs.stations[0]
+                st = rs.stations[rs.api_map.get(c, c) % n]
+                if spill >= 0.0 and min(st._free_at) - now <= spill:
+                    return st
+                return least(rs, now)
+            return pick
         if spill < 0.0:
             # a clamped backlog can never be <= a negative threshold:
             # the affinity target is always "backlogged"
@@ -338,8 +457,126 @@ class FleetSimulation(GraphSimulation):
             return least(rs, now)
         return pick
 
+    def _make_health_picker(self, fleet: FleetConfig):
+        """The balancers again, routing over ``rs.routable`` - the
+        active prefix minus ejected replicas.  When every replica is
+        ejected the full active prefix is used: traffic fails fast
+        there and the retry layer keeps probing for recovery."""
+        balancer = fleet.balancer
+        least_of = self._least_of
+        spill = fleet.affinity_spill_us
+        adapt = fleet.adapt_interval_us
+
+        if balancer == "round_robin":
+            def pick(rs: ReplicaSet, now: float, job: Job) -> Station:
+                lst = rs.routable
+                n = len(lst)
+                if n == 0:
+                    lst = rs.stations
+                    n = rs.active
+                if n <= 1:
+                    return lst[0]
+                st = lst[rs.rr % n]
+                rs.rr += 1
+                return st
+            return pick
+        if balancer == "least_loaded":
+            def pick(rs: ReplicaSet, now: float, job: Job) -> Station:
+                lst = rs.routable
+                n = len(lst)
+                if n == 0:
+                    lst = rs.stations
+                    n = rs.active
+                if n <= 1:
+                    return lst[0]
+                return least_of(lst, n, now)
+            return pick
+        if balancer == "batch_aware":
+            def pick(rs: ReplicaSet, now: float, job: Job) -> Station:
+                lst = rs.routable
+                n = len(lst)
+                if n == 0:
+                    lst = rs.stations
+                    n = rs.active
+                if n <= 1:
+                    return lst[0]
+                st = lst[job.api_id % n]
+                if spill >= 0.0 and min(st._free_at) - now <= spill:
+                    return st
+                return least_of(lst, n, now)
+            return pick
+
+        def pick(rs: ReplicaSet, now: float, job: Job) -> Station:
+            # adaptive
+            c = job.api_id
+            counts = rs.api_counts
+            counts[c] = counts.get(c, 0) + 1
+            if now >= rs.next_adapt_us:
+                ranked = sorted(counts, key=lambda k: (-counts[k], k))
+                rs.api_map = {k: i for i, k in enumerate(ranked)}
+                counts.clear()
+                rs.next_adapt_us = now + adapt
+            lst = rs.routable
+            n = len(lst)
+            if n == 0:
+                lst = rs.stations
+                n = rs.active
+            if n <= 1:
+                return lst[0]
+            st = lst[rs.api_map.get(c, c) % n]
+            if spill >= 0.0 and min(st._free_at) - now <= spill:
+                return st
+            return least_of(lst, n, now)
+        return pick
+
     def _pick(self, rs: ReplicaSet, now: float, job: Job) -> Station:
         return self._pick_fn(rs, now, job)
+
+    # -- health-checked failover ---------------------------------------
+    def _attempt_failed(self, now: float, job: Job) -> None:
+        if self._sites:
+            self._note_failure(now, job.fail_site)
+        super()._attempt_failed(now, job)
+
+    def _note_failure(self, now: float, site: str) -> None:
+        """One attempt failed at ``site``: advance the replica's
+        failure streak (decayed if it was quiet for a probe interval)
+        and eject it from the routable set at the threshold.  Ejection
+        lasts a probe interval - or until the replica's known outage
+        window ends, when the injector can say - and re-admission is
+        probational: the streak restarts from zero, so a still-sick
+        replica is re-ejected after ``unhealthy_after`` more failures.
+        """
+        hit = self._sites.get(site)
+        if hit is None:
+            return
+        rs, idx = hit
+        fl = self.fleet
+        if now - rs.last_fail_us[idx] > fl.health_probe_us:
+            rs.fail_streak[idx] = 0
+        rs.fail_streak[idx] += 1
+        rs.last_fail_us[idx] = now
+        if rs.fail_streak[idx] < fl.unhealthy_after \
+                or rs.down_until[idx] > now:
+            return
+        until = now + fl.health_probe_us
+        inj = self.injector
+        if inj is not None:
+            end = inj.outage_end(site, now)
+            if end is not None and end > until:
+                until = end
+        rs.down_until[idx] = until
+        rs.ejections += 1
+        rs.rebuild_routable(now)
+        self.sim.schedule1(until, self._readmit, (rs, idx))
+
+    def _readmit(self, now: float, arg: tuple) -> None:
+        rs, idx = arg
+        if rs.down_until[idx] > now:
+            return  # re-ejected with a later horizon; that event readmits
+        rs.down_until[idx] = 0.0
+        rs.fail_streak[idx] = 0
+        rs.rebuild_routable(now)
 
     def _deadline(self, now: float, state: dict) -> None:
         unresolved = not state["resolved"]
@@ -356,22 +593,47 @@ class FleetSimulation(GraphSimulation):
     # -- autoscaling ---------------------------------------------------
     def _autoscale_tick(self, now: float) -> None:
         fl = self.fleet
-        for rs in self.replica_sets.values():
-            if rs.infinite:
-                continue
-            backlog = sum(rs.stations[i].backlog_us(now)
-                          for i in range(rs.active)) / rs.active
-            if backlog > fl.scale_up_backlog_us \
-                    and rs.active < fl.replicas:
-                rs.set_active(now, rs.active + 1)
-                self.scale_ups += 1
-            elif backlog < fl.scale_down_backlog_us \
-                    and rs.active > fl.min_active:
-                rs.set_active(now, rs.active - 1)
-                self.scale_downs += 1
+        if fl.autoscale_signal == "p99":
+            self._p99_scale(now, fl)
+        else:
+            for rs in self.replica_sets.values():
+                if rs.infinite:
+                    continue
+                backlog = sum(rs.stations[i].backlog_us(now)
+                              for i in range(rs.active)) / rs.active
+                if backlog > fl.scale_up_backlog_us \
+                        and rs.active < fl.replicas:
+                    rs.set_active(now, rs.active + 1)
+                    self.scale_ups += 1
+                elif backlog < fl.scale_down_backlog_us \
+                        and rs.active > fl.min_active:
+                    rs.set_active(now, rs.active - 1)
+                    self.scale_downs += 1
         if now + fl.autoscale_interval_us <= self._tick_until:
             self.sim.schedule(now + fl.autoscale_interval_us,
                               self._autoscale_tick)
+
+    def _p99_scale(self, now: float, fl: FleetConfig) -> None:
+        """Tail-latency autoscaling: p99 of the requests that finished
+        since the last tick.  Catches brownout degradation - inflated
+        service times with no queue growth - which the backlog signal
+        is structurally blind to."""
+        fin = self.finished
+        lats = [j.latency_us for j in fin[self._p99_seen:]]
+        self._p99_seen = len(fin)
+        if not lats:
+            return
+        p99 = _percentile(lats, 0.99)
+        if p99 > fl.p99_target_us:
+            for rs in self.replica_sets.values():
+                if not rs.infinite and rs.active < fl.replicas:
+                    rs.set_active(now, rs.active + 1)
+                    self.scale_ups += 1
+        elif p99 < 0.5 * fl.p99_target_us:
+            for rs in self.replica_sets.values():
+                if not rs.infinite and rs.active > fl.min_active:
+                    rs.set_active(now, rs.active - 1)
+                    self.scale_downs += 1
 
     # -- driving -------------------------------------------------------
     def run_arrivals(self, arrivals: Sequence[float],
@@ -439,9 +701,17 @@ class FleetSimulation(GraphSimulation):
                     check(not st._pending,
                           "fleet: station %s stranded %d jobs",
                           st.name, len(st._pending))
+                    check(st.open_jobs == 0 and st.open_groups == 0,
+                          "fleet: station %s drained with %d jobs / %d "
+                          "groups still in flight", st.name,
+                          st.open_jobs, st.open_groups)
         active_server_us = sum(rs.active_server_us
                                for rs in self.replica_sets.values())
         n_racks = math.ceil(fl.replicas / max(1, fl.rack_size))
+        n_zones = 0
+        if self.zones is not None:
+            n_zones = math.ceil(n_racks
+                                / max(1, self.zones.racks_per_zone))
         return {
             "n": n,
             "completed": len(self.finished),
@@ -458,6 +728,9 @@ class FleetSimulation(GraphSimulation):
             "mixed_batches": self.batch_stats["mixed"],
             "sum_classes": self.batch_stats["classes"],
             "fault_failures": fault_failures,
+            "n_zones": n_zones,
+            "ejections": sum(rs.ejections
+                             for rs in self.replica_sets.values()),
         }
 
 
@@ -478,6 +751,7 @@ class FleetShardTask:
     seed: int
     faults: Optional[FaultConfig] = None
     resilience: Optional[ResilienceConfig] = None
+    zones: Optional[ZoneConfig] = None
 
 
 #: modules whose source participates in the shard-result fingerprint
@@ -490,6 +764,7 @@ _FP_MODULES = (
     "repro.system.faults",
     "repro.system.resilience",
     "repro.system.seeding",
+    "repro.system.zones",
     "repro.energy.cluster",
 )
 
@@ -502,7 +777,7 @@ def run_fleet_shard(task: FleetShardTask) -> dict:
                                  n_shards=task.n_shards)
     sim = FleetSimulation(graph_cfg, task.fleet, seed=task.seed,
                           faults=task.faults, resilience=task.resilience,
-                          shard=task.shard)
+                          shard=task.shard, zones=task.zones)
     return sim.run_arrivals(arrivals, task.horizon_us)
 
 
@@ -554,6 +829,10 @@ class FleetResult:
     #: mean distinct API classes per dispatched batch
     mean_classes: float
     fault_failures: int
+    #: replicas ejected by health checks (0 without health_check)
+    ejections: int
+    #: availability zones across all shards (0 without a zone layer)
+    n_zones: int
     shards: int
 
     @property
@@ -571,12 +850,13 @@ def merge_shards(payloads: Sequence[dict], horizon_us: float,
     n = sum(p["n"] for p in payloads)
     completed = sum(p["completed"] for p in payloads)
     end = max([p["horizon_us"] for p in payloads] + [horizon_us])
+    n_zones = sum(p.get("n_zones", 0) for p in payloads)
     energy = rollup_cluster(
         busy_us=sum(p["busy_us"] for p in payloads),
         storage_busy_us=sum(p["storage_busy_us"] for p in payloads),
         active_server_us=sum(p["active_server_us"] for p in payloads),
         n_racks=sum(p["n_racks"] for p in payloads),
-        horizon_us=end, model=power)
+        horizon_us=end, model=power, n_zones=n_zones)
     batches = sum(p["batches"] for p in payloads)
     return FleetResult(
         n_requests=n,
@@ -598,6 +878,8 @@ def merge_shards(payloads: Sequence[dict], horizon_us: float,
         mean_classes=(sum(p["sum_classes"] for p in payloads)
                       / batches if batches else 0.0),
         fault_failures=sum(p["fault_failures"] for p in payloads),
+        ejections=sum(p.get("ejections", 0) for p in payloads),
+        n_zones=n_zones,
         shards=len(payloads),
     )
 
@@ -607,6 +889,7 @@ def run_fleet(shape: TrafficShape, horizon_us: float,
               graph: str = "fleet_rpu", shards: int = 4, seed: int = 1,
               faults: Optional[FaultConfig] = None,
               resilience: Optional[ResilienceConfig] = None,
+              zones: Optional[ZoneConfig] = None,
               power: ClusterPowerModel = ClusterPowerModel(),
               jobs: Optional[int] = None) -> FleetResult:
     """Run a sharded fleet: ``shards`` independent cells each carrying
@@ -618,7 +901,7 @@ def run_fleet(shape: TrafficShape, horizon_us: float,
     tasks = [FleetShardTask(graph=graph, fleet=fleet, shape=shape,
                             horizon_us=horizon_us, shard=s,
                             n_shards=shards, seed=seed, faults=faults,
-                            resilience=resilience)
+                            resilience=resilience, zones=zones)
              for s in range(shards)]
     payloads = parallel_map(_run_shard_cached, tasks, jobs=jobs)
     return merge_shards(payloads, horizon_us, power=power)

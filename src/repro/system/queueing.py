@@ -70,7 +70,8 @@ class Station:
         "_free_at", "_pending", "_pending_dones", "_timeout_at",
         "dispatched_batches", "dispatched_jobs", "arrived_jobs",
         "failed_jobs", "dropped_jobs", "busy_us", "faults",
-        "batch_cost", "_san", "_sched1",
+        "batch_cost", "_san", "_sched1", "_schedc",
+        "open_jobs", "open_groups",
     )
 
     def __init__(self, sim: Simulator, name: str, latency_us: float,
@@ -122,6 +123,13 @@ class Station:
         #: either ``fn(t)`` (flush timers) or ``fn(t, jobs)`` (batch
         #: completions), so the variadic ``schedule`` never runs hot
         self._sched1 = sim.schedule1
+        #: sanitize-only occupancy conservation: dispatched jobs /
+        #: groups whose completion event has not fired yet.  Completion
+        #: scheduling goes through ``_schedc``, which is the plain
+        #: scheduler fast path unless the sanitizer is armed.
+        self.open_jobs = 0
+        self.open_groups = 0
+        self._schedc = self._sched_done if self._san else sim.schedule1
 
     def arrive(self, now: float, job: Job,
                done: Callable[[float, List[Job]], None]) -> None:
@@ -172,7 +180,7 @@ class Station:
                 self.dispatched_batches += n
                 self.dispatched_jobs += n
                 self.busy_us += self.occupancy_us * n
-                self._sched1(now + self.latency_us, done, list(jobs))
+                self._schedc(now + self.latency_us, done, list(jobs))
                 return
             for job in jobs:
                 self._dispatch_one(now, job, done)
@@ -233,7 +241,7 @@ class Station:
         self.dispatched_batches += 1
         self.dispatched_jobs += 1
         self.busy_us += occ
-        self._sched1(finish, done, [job])
+        self._schedc(finish, done, [job])
 
     def _arm_timeout(self, now: float) -> None:
         """A partial batch must always have a pending flush, or its
@@ -303,7 +311,7 @@ class Station:
             self.dispatched_batches += 1
             self.dispatched_jobs += n
             self.busy_us += occ * n
-            self._sched1(finish, done, group)
+            self._schedc(finish, done, group)
             if n < bs:
                 break
 
@@ -315,6 +323,48 @@ class Station:
             check(d is done,
                   "station %s: mixed completion callbacks in "
                   "one dispatched batch", self.name)
+
+    def _sched_done(self, when: float, done: Callable,
+                    group: List[Job]) -> None:
+        """Sanitized completion scheduling (``_schedc`` when
+        ``REPRO_SANITIZE=1``): every dispatched group stays *open* until
+        its callback fires exactly once, so occupancy conservation can
+        be audited - the busy-server census of a sequential unbatched
+        station can never exceed its open dispatches, including across
+        outage kill/restore boundaries, and a drained station must end
+        with zero open work.  The wrapper changes no event time or
+        ordering, so sanitized runs stay byte-identical."""
+        self.open_jobs += len(group)
+        self.open_groups += 1
+
+        def fire(t: float, jobs: List[Job], _done=done) -> None:
+            n = len(jobs)
+            check(self.open_jobs >= n and self.open_groups >= 1,
+                  "station %s: completion of %d jobs fired with only "
+                  "%d jobs / %d groups open (double completion?)",
+                  self.name, n, self.open_jobs, self.open_groups)
+            self.open_jobs -= n
+            self.open_groups -= 1
+            if (not self.infinite and not self._pipelined
+                    and self.batch_size == 1):
+                # sequential unbatched stations release each server
+                # reservation no later than the group completes (killed
+                # in-flight work frees it at the onset), so any server
+                # still busy past ``t`` belongs to an open dispatch
+                busy = 0
+                for f in self._free_at:
+                    if f > t:
+                        busy += 1
+                check(busy <= self.open_groups,
+                      "station %s: %d busy servers exceed %d open "
+                      "dispatches at t=%.3f", self.name, busy,
+                      self.open_groups, t)
+            _done(t, jobs)
+
+        # the event-limit diagnostics must keep naming the wrapped
+        # callback (or its owning station), not this sanitize shim
+        fire.__wrapped__ = done
+        self._sched1(when, fire, group)
 
     def _serve_group_faulty(self, now: float, group: List[Job],
                             done: Callable) -> None:
@@ -339,7 +389,7 @@ class Station:
                 j.failed = True
                 j.fail_site = self.name
             self.failed_jobs += n
-            self._sched1(detect, done, group)
+            self._schedc(detect, done, group)
             return
         if drops:
             dropped = set(id(j) for j in drops)
@@ -348,7 +398,7 @@ class Station:
                 j.failed = True
                 j.fail_site = self.name
             self.dropped_jobs += len(drops)
-            self._sched1(detect, done, list(drops))
+            self._schedc(detect, done, list(drops))
             if not group:
                 return
         if self.batch_cost is not None:
@@ -381,7 +431,7 @@ class Station:
         # an outage beginning any time between the dispatch decision and
         # the would-be completion kills the (queued or in-flight) work
         onset = inj.outage_onset(self.name, now, finish) \
-            if inj.cfg.outage_rate_per_s > 0 else None
+            if inj.has_outages else None
         if onset is not None:
             # the server worked up to the onset: charge the truncated
             # busy time and release the rest of the reservation (the
@@ -397,11 +447,11 @@ class Station:
                 j.fail_site = self.name
             self.failed_jobs += len(group)
             inj.stats.inflight_failures += len(group)
-            self._sched1(max(now, onset) + inj.cfg.detect_us, done,
+            self._schedc(max(now, onset) + inj.cfg.detect_us, done,
                          group)
             return
         self.busy_us += occ_total
-        self._sched1(finish, done, group)
+        self._schedc(finish, done, group)
 
     def backlog_us(self, now: float) -> float:
         """How far behind the earliest-free server is (the load-shedding
@@ -589,6 +639,10 @@ def run_end_to_end(cfg: EndToEndConfig, qps: float, n_requests: int = 4000,
             check(st.dispatched_jobs == st.arrived_jobs,
                   "queueing: station %s dispatched %d of %d arrivals",
                   st.name, st.dispatched_jobs, st.arrived_jobs)
+            check(st.open_jobs == 0 and st.open_groups == 0,
+                  "queueing: station %s drained with %d jobs / %d "
+                  "groups still open", st.name, st.open_jobs,
+                  st.open_groups)
         for j in finished:
             check(j.done_us >= j.arrival_us,
                   "queueing: job %d finished at %f before arriving at %f",

@@ -99,6 +99,12 @@ class RequestState:
     retries: int = 0
     hedges: int = 0
     won_by_hedge: bool = False
+    #: attempts currently in the pipeline (primary + live hedges); a
+    #: request may only resolve VIOLATED once this reaches zero
+    inflight: int = 0
+    #: retry relaunches scheduled but not yet fired; while one is
+    #: pending, further attempt failures must not burn more budget
+    backoffs: int = 0
 
 
 class CircuitBreaker:
@@ -243,6 +249,7 @@ class ResilientEndToEnd:
                   blocks=state.blocks, rid=state.rid,
                   attempt=state.attempts, hedge=hedge)
         state.attempts += 1
+        state.inflight += 1
         self.attempts_launched += 1
         pol = self.policy
         if (not hedge and pol.hedge_after_us != math.inf):
@@ -256,6 +263,7 @@ class ResilientEndToEnd:
             self._launch(now, state, hedge=True)
 
     def _relaunch(self, now: float, state: RequestState) -> None:
+        state.backoffs -= 1
         # the request may have been resolved (deadline) while backing off
         if state.outcome is None:
             self._launch(now, state)
@@ -267,7 +275,13 @@ class ResilientEndToEnd:
         if ":" not in site:  # breaker fail-fasts don't re-feed the breaker
             self.breaker.failure(site, now)
         state = self.states[job.rid]
+        state.inflight -= 1
         if state.outcome is not None:
+            return
+        if state.backoffs:
+            # a retry is already scheduled for this request: an outage
+            # onset that killed the primary and its hedge in one batch
+            # must not burn a second slice of the retry budget
             return
         pol = self.policy
         if state.retries < pol.max_retries:
@@ -277,9 +291,14 @@ class ResilientEndToEnd:
                     * (1.0 + pol.jitter_frac * self._u(state.rid, k)))
             t = now + back
             if t < state.arrival_us + pol.deadline_us:
+                state.backoffs += 1
                 self.sim.schedule1(t, self._relaunch, state)
                 return
-        self._resolve(now, state, VIOLATED)
+        if state.inflight == 0:
+            # budget exhausted and nothing else racing: give up now.
+            # With a sibling attempt still in the pipeline (a hedge),
+            # the request stays open - that attempt may yet complete.
+            self._resolve(now, state, VIOLATED)
 
     def _attempt_done(self, t: float, job: Job,
                       degraded: bool = False) -> None:
@@ -291,6 +310,7 @@ class ResilientEndToEnd:
         if job.blocks and not degraded:
             br.success("storage")
         state = self.states[job.rid]
+        state.inflight -= 1
         if state.outcome is not None:
             return  # hedge loser / post-deadline straggler
         state.done_us = t
@@ -527,6 +547,12 @@ class ResilientEndToEnd:
             check(s.hedges <= pol.max_hedges,
                   "resilience: request %d used %d hedges (budget %d)",
                   s.rid, s.hedges, pol.max_hedges)
+            check(s.inflight == 0,
+                  "resilience: request %d drained with %d attempts "
+                  "still in flight", s.rid, s.inflight)
+            check(s.backoffs == 0,
+                  "resilience: request %d drained with %d backoff "
+                  "relaunches still pending", s.rid, s.backoffs)
             if s.outcome == DONE:
                 check(s.done_us >= s.arrival_us,
                       "resilience: request %d finished at %f before "

@@ -324,6 +324,7 @@ class Simulator:
     # -- shared diagnostics --------------------------------------------
     @staticmethod
     def _owner_name(fn: Callable) -> str:
+        fn = getattr(fn, "__wrapped__", fn)
         owner = getattr(fn, "__self__", None)
         name = getattr(owner, "name", None)
         if isinstance(name, str):

@@ -1,0 +1,170 @@
+"""Zone fault domains: a topology level above racks for the fleet tier.
+
+Real data centers group racks into *availability zones* that fail
+together - a zone's power feed, cooling loop or spine switch is one
+blast radius.  DeathStarBench-style studies show a single zone loss
+cascading through fan-out tiers; the paper's fleet-level requests/joule
+claim is only credible if the simulated fleet survives that.  This
+module adds the zone layer on top of the rack scoping that
+:mod:`repro.system.fleet` already gives the fault injector:
+
+* **zone fail-stop outages** - every station whose rack belongs to a
+  down zone goes dark together.  Windows come from a seeded Poisson
+  process per zone domain (exactly the rack-outage mechanism of
+  :mod:`repro.system.faults`) *plus* optional **planned windows** -
+  deterministic ``(zone, start, end)`` kills the failover experiment
+  uses to stage a controlled one-zone loss;
+* **zone brownouts** - partial degradation: inside a brownout window
+  every dispatch in the zone is served at ``brownout_mult`` times its
+  service latency (power capping, a thermal event, a degraded spine)
+  instead of failing outright.  Brownouts inflate latency and
+  occupancy but never kill work - the failure mode health checks and
+  tail-latency autoscaling exist for.
+
+Determinism contract (same as the rest of the fault layer): windows
+are a pure function of ``(seed, domain)`` - never of event
+interleaving - and a ``ZoneConfig`` with zero rates and no planned
+windows is inert: the injector's schedules are bit-identical to the
+zone-less ones.
+
+Topology: replica ``r`` of every tier lives in rack
+``r // rack_size`` (see :mod:`.fleet`); rack ``k`` lives in zone
+``k // racks_per_zone``.  Zone domains are named ``s{shard}/zone{z}``,
+so zones in different shards never share schedules, mirroring the rack
+domain naming.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .seeding import stream_rng
+
+Windows = Tuple[List[float], List[float]]
+
+
+@dataclass(frozen=True)
+class ZoneConfig:
+    """Zone topology + zone-scoped fault schedule (frozen: part of a
+    fleet shard's store identity)."""
+
+    #: racks per zone (replica ``r`` is in rack ``r // rack_size``,
+    #: rack ``k`` is in zone ``k // racks_per_zone``)
+    racks_per_zone: int = 1
+    seed: int = 17
+    #: expected fail-stop zone outages per simulated second per zone
+    outage_rate_per_s: float = 0.0
+    outage_min_us: float = 5_000.0
+    outage_max_us: float = 20_000.0
+    #: expected brownout windows per simulated second per zone
+    brownout_rate_per_s: float = 0.0
+    brownout_min_us: float = 5_000.0
+    brownout_max_us: float = 20_000.0
+    #: latency/occupancy multiplier inside a brownout window
+    brownout_mult: float = 2.5
+    #: deterministic fail-stop windows: ``((zone, start_us, end_us), ...)``
+    planned: Tuple[Tuple[int, float, float], ...] = ()
+    #: deterministic brownout windows, same shape
+    planned_brownout: Tuple[Tuple[int, float, float], ...] = ()
+    #: seeded schedules are drawn over this horizon
+    horizon_us: float = 2_000_000.0
+
+    @property
+    def enabled(self) -> bool:
+        """False for an all-zero config (the zone layer is inert)."""
+        return (self.outage_rate_per_s > 0 or self.brownout_rate_per_s > 0
+                or bool(self.planned) or bool(self.planned_brownout))
+
+    @property
+    def has_outages(self) -> bool:
+        return self.outage_rate_per_s > 0 or bool(self.planned)
+
+    @property
+    def has_brownouts(self) -> bool:
+        return self.brownout_rate_per_s > 0 or bool(self.planned_brownout)
+
+    def zone_of_rack(self, rack: int) -> int:
+        return rack // max(1, self.racks_per_zone)
+
+
+def zone_domain(shard: int, zone: int) -> str:
+    """The fault-domain name of one zone (scoped per shard, like the
+    rack domains ``s{shard}/rack{k}``)."""
+    return f"s{shard}/zone{zone}"
+
+
+def zone_index(domain: str) -> int:
+    """Parse the zone index back out of a :func:`zone_domain` name."""
+    return int(domain.rsplit("zone", 1)[1])
+
+
+def _poisson_windows(seed: int, kind: str, domain: str,
+                     rate_per_s: float, min_us: float, max_us: float,
+                     horizon_us: float) -> List[Tuple[float, float]]:
+    """Seeded Poisson window process (same construction as the rack
+    outage schedules in :mod:`.faults`): a pure function of
+    ``(seed, kind, domain)``."""
+    if rate_per_s <= 0:
+        return []
+    out: List[Tuple[float, float]] = []
+    rng = stream_rng(seed, kind, domain)
+    mean_gap_us = 1e6 / rate_per_s
+    t = rng.expovariate(1.0) * mean_gap_us
+    while t < horizon_us:
+        dur = rng.uniform(min_us, max_us)
+        out.append((t, t + dur))
+        t += rng.expovariate(1.0) * mean_gap_us
+    return out
+
+
+def _merged(pairs: List[Tuple[float, float]]) -> Windows:
+    """Sort and merge overlapping ``(start, end)`` pairs into the
+    parallel ``(starts, ends)`` lists the injector queries bisect."""
+    starts: List[float] = []
+    ends: List[float] = []
+    for a, b in sorted(pairs):
+        if starts and a <= ends[-1]:
+            if b > ends[-1]:
+                ends[-1] = b
+        else:
+            starts.append(a)
+            ends.append(b)
+    return starts, ends
+
+
+def zone_outage_windows(cfg: ZoneConfig, domain: str) -> Windows:
+    """Merged fail-stop windows of one zone domain (seeded + planned)."""
+    z = zone_index(domain)
+    pairs = _poisson_windows(cfg.seed, "zone_outages", domain,
+                             cfg.outage_rate_per_s, cfg.outage_min_us,
+                             cfg.outage_max_us, cfg.horizon_us)
+    pairs.extend((a, b) for zz, a, b in cfg.planned if zz == z)
+    return _merged(pairs)
+
+
+def zone_brownout_windows(cfg: ZoneConfig, domain: str) -> Windows:
+    """Merged brownout windows of one zone domain (seeded + planned)."""
+    z = zone_index(domain)
+    pairs = _poisson_windows(cfg.seed, "zone_brownouts", domain,
+                             cfg.brownout_rate_per_s, cfg.brownout_min_us,
+                             cfg.brownout_max_us, cfg.horizon_us)
+    pairs.extend((a, b) for zz, a, b in cfg.planned_brownout if zz == z)
+    return _merged(pairs)
+
+
+def merge_windows(a: Windows, b: Windows) -> Windows:
+    """Union of two merged window lists, re-merged."""
+    if not a[0]:
+        return b
+    if not b[0]:
+        return a
+    return _merged(list(zip(a[0], a[1])) + list(zip(b[0], b[1])))
+
+
+def in_window(windows: Windows, t: float) -> bool:
+    """Whether ``t`` falls inside any window (bisect on starts)."""
+    starts, ends = windows
+    i = bisect.bisect_right(starts, t) - 1
+    return i >= 0 and t < ends[i]

@@ -18,10 +18,12 @@ from repro.experiments import (
     fig07_minpc,
     fig13_stack_interleaving,
     fig22_end_to_end,
+    fleet_sweep,
     resilience_sweep,
     run_all,
     table04_config,
     table05_area_power,
+    zone_failover,
 )
 from repro.experiments.common import set_default_jobs
 
@@ -35,6 +37,9 @@ REFERENCES = [
     ("fig22", fig22_end_to_end.main, 0.25),
     ("table04", table04_config.main, 1.0),
     ("table05", table05_area_power.main, 1.0),
+    # captured before the zone/failover layer: pins that layer (and
+    # the adaptive balancer) as strictly opt-in for fleet sweeps
+    ("fleet", fleet_sweep.main, 0.1),
 ]
 
 
@@ -123,3 +128,20 @@ def test_fleet_sweep_cell_independent_of_jobs():
     finally:
         set_default_jobs(None)
     assert serial == parallel
+
+
+# ----------------------------------------------------------------------
+# zone failover sweep determinism
+# ----------------------------------------------------------------------
+
+def test_zone_failover_repeats_byte_identically():
+    assert zone_failover.main(0.1) == zone_failover.main(0.1)
+
+
+def test_zone_failover_independent_of_jobs():
+    try:
+        set_default_jobs(4)
+        fanned = zone_failover.main(0.1)
+    finally:
+        set_default_jobs(None)
+    assert fanned == zone_failover.main(0.1)  # vs the serial rendering

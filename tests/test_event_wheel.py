@@ -281,3 +281,112 @@ class TestPrefixStream:
             PrefixStream()
         with pytest.raises(ValueError):
             PrefixStream(1).key()
+
+
+class TestBoundaryTimestamps:
+    """Zone-kill schedules put events *exactly* on bucket boundaries
+    (a planned onset at ``k * width``) and exactly one wheel horizon
+    ahead (the restore at outage end).  The wheel must agree with the
+    heap on every such edge, including mid-drain same-timestamp
+    inserts and the unsanitized past-time clamp."""
+
+    WIDTH = 64.0
+    HORIZON = 64.0 * 512  # the default wheel span
+
+    def _boundary_storm(self, sim):
+        """An arrival chain marching one bucket per step past the
+        wheel horizon; every step schedules a same-timestamp kill
+        (mid-drain, boundary-aligned) and a restore exactly one
+        horizon ahead (lands in the overflow heap on the wheel)."""
+        order = []
+        width, span = self.WIDTH, self.HORIZON
+
+        def restore(t, k):
+            order.append(("restore", t, k))
+
+        def kill(t, k):
+            order.append(("kill", t, k))
+
+        def arrive(t, k):
+            order.append(("arrive", t, k))
+            if k < 600:  # crosses the 512-bucket horizon
+                sim.schedule1(t + width, arrive, k + 1)
+            sim.schedule1(t, kill, k)
+            sim.schedule1(t + span, restore, k)
+
+        sim.schedule1(0.0, arrive, 0)
+        sim.run()
+        return order
+
+    def test_boundary_storm_wheel_matches_heap(self):
+        a = self._boundary_storm(WheelSimulator())
+        b = self._boundary_storm(HeapSimulator())
+        assert a == b
+        assert len(a) == 601 * 3
+        # timestamps never regress and ties keep insertion order
+        times = [t for _tag, t, _k in a]
+        assert times == sorted(times)
+
+    def test_boundary_storm_survives_the_sanitizer(self, monkeypatch):
+        plain = self._boundary_storm(WheelSimulator())
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert self._boundary_storm(WheelSimulator()) == plain
+
+    def test_same_timestamp_insert_at_boundary_fires_last_in_slot(self):
+        # an onset event at an exact boundary scheduling its kill at
+        # the same (boundary) timestamp joins the back of that slot
+        for impl in IMPLS:
+            sim = impl()
+            seen = []
+            t0 = self.WIDTH * 3
+            sim.schedule1(t0, lambda t, a: (
+                seen.append("onset"),
+                sim.schedule1(t, lambda tt, aa: seen.append("kill"),
+                              None)), None)
+            sim.schedule1(t0, lambda t, a: seen.append("peer"), None)
+            sim.schedule1(t0 + self.WIDTH,
+                          lambda t, a: seen.append("next"), None)
+            sim.run()
+            assert seen == ["onset", "peer", "kill", "next"], impl
+
+    def test_past_boundary_clamp_matches_across_impls(self, monkeypatch):
+        # unsanitized: an onset computed one full bucket behind the
+        # drain point clamps to "fire next" identically on both impls
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+
+        def run(impl):
+            sim = impl()
+            seen = []
+
+            def boot(t, _a):
+                seen.append(("boot", t))
+                sim.schedule1(t - self.WIDTH,
+                              lambda tt, a: seen.append(("stale", tt)),
+                              None)
+
+            sim.schedule1(self.WIDTH * 2, boot, None)
+            sim.schedule1(self.WIDTH * 2,
+                          lambda t, a: seen.append(("peer", t)), None)
+            sim.schedule1(self.WIDTH * 2 + 1.0,
+                          lambda t, a: seen.append(("later", t)), None)
+            sim.run()
+            return seen
+
+        # the clamp contract: the stale event fires before anything
+        # strictly later (its order among equal-time peers is impl-
+        # defined, like the pre-existing clamp test pins it)
+        for impl in IMPLS:
+            tags = [tag for tag, _t in run(impl)]
+            assert tags[0] == "boot", impl
+            assert tags.index("stale") < tags.index("later"), impl
+            assert sorted(tags) == ["boot", "later", "peer", "stale"]
+
+    def test_exact_horizon_event_is_overflow_then_migrates(self):
+        wheel = EventWheel(width_us=self.WIDTH, n_buckets=512)
+        wheel.push((0.0, "now"))
+        wheel.push((self.HORIZON, "at-horizon"))      # first overflow slot
+        wheel.push((self.HORIZON - self.WIDTH, "last-bucket"))
+        assert len(wheel.overflow) == 1  # only the at-horizon entry
+        assert [wheel.pop()[1] for _ in range(3)] \
+            == ["now", "last-bucket", "at-horizon"]
+        assert wheel.pop() is None

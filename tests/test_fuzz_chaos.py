@@ -1,0 +1,115 @@
+"""Chaos-conformance suite: schedule generation determinism, the
+conservation invariants under injected faults, and byte-identical
+replay/campaign output."""
+
+import pytest
+
+from repro.fuzz.chaos import (
+    ChaosCase,
+    ChaosError,
+    campaign_cases,
+    case_digest,
+    case_line,
+    gen_fault_schedule,
+    main,
+    run_campaign,
+    run_case,
+)
+from repro.system.fleet import BALANCERS
+
+
+class TestScheduleGenerator:
+    def test_same_seed_same_schedule(self):
+        assert gen_fault_schedule(7) == gen_fault_schedule(7)
+
+    def test_different_seeds_differ(self):
+        assert gen_fault_schedule(1) != gen_fault_schedule(2)
+
+    def test_schedules_are_frozen_configs(self):
+        shape, faults, zones = gen_fault_schedule(0)
+        assert hash((shape, faults, zones)) == hash(gen_fault_schedule(0))
+
+    def test_fault_seeds_never_collide_across_layers(self):
+        # rack and zone schedules draw from disjoint seeds per case
+        seen = set()
+        for s in range(20):
+            _shape, faults, zones = gen_fault_schedule(s)
+            assert faults.seed not in seen
+            assert zones.seed not in seen
+            seen.update((faults.seed, zones.seed))
+
+
+class TestRunCase:
+    def test_case_passes_invariants_and_pins_digest(self):
+        case = ChaosCase(seed=3, balancer="round_robin", resilient=True)
+        p = run_case(case)
+        assert p["completed"] + p["violated"] == p["n"]
+        assert p["digest"] == case_digest(p)
+        assert run_case(case)["digest"] == p["digest"]
+
+    def test_bare_vs_resilient_differ(self):
+        bare = run_case(ChaosCase(3, "round_robin", False))
+        res = run_case(ChaosCase(3, "round_robin", True))
+        assert bare["digest"] != res["digest"]
+        assert res["violated"] <= bare["violated"]
+
+    def test_digest_ignores_its_own_key_only(self):
+        p = run_case(ChaosCase(0, "least_loaded", False))
+        q = dict(p)
+        q["completed"] += 1
+        assert case_digest(q) != case_digest(p)
+
+    def test_case_line_is_deterministic(self):
+        case = ChaosCase(5, "batch_aware", True)
+        p = run_case(case)
+        assert case_line(case, p) == case_line(case, p)
+        assert f"{p['digest']:08x}" in case_line(case, p)
+
+
+class TestCampaign:
+    def test_matrix_covers_every_cell(self):
+        cases = campaign_cases(range(3), ("round_robin", "adaptive"))
+        assert len(cases) == 3 * 2 * 2
+        assert len(set(cases)) == len(cases)
+
+    def test_campaign_serial_vs_jobs_identical(self):
+        serial = run_campaign(range(2), ("round_robin",), jobs=1)
+        fanned = run_campaign(range(2), ("round_robin",), jobs=4)
+        assert [(c, p["digest"]) for c, p in serial] \
+            == [(c, p["digest"]) for c, p in fanned]
+
+    def test_every_balancer_survives_a_zone_kill_seed(self):
+        # seed 3 draws a planned zone kill; all four balancers must
+        # keep exactly-once resolution through it
+        for bal in BALANCERS:
+            p = run_case(ChaosCase(3, bal, True))
+            assert p["completed"] + p["violated"] == p["n"]
+
+    def test_broken_invariant_raises_chaos_error(self, monkeypatch):
+        import repro.fuzz.chaos as chaos
+
+        real = chaos.run_case
+        calls = []
+
+        def flaky(case):
+            p = real(case)
+            calls.append(case)
+            p = dict(p)
+            p["digest"] += len(calls)  # replay digests diverge
+            return p
+
+        monkeypatch.setattr(chaos, "run_case", flaky)
+        with pytest.raises(ChaosError, match="replay diverged"):
+            chaos._case_worker(ChaosCase(0, "round_robin", False))
+
+
+class TestChaosCLI:
+    def test_main_prints_one_line_per_case(self, capsys):
+        assert main(["--seeds", "2", "--balancers", "round_robin"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert len(out) == 2 * 1 * 2 + 1
+        assert out[-1].startswith("chaos: 4 cases")
+
+    def test_main_rejects_unknown_balancer(self):
+        with pytest.raises(SystemExit):
+            main(["--balancers", "nope"])

@@ -304,3 +304,160 @@ class TestFleetWorkUnits:
         for cell in fleet_sweep._cells(0.1):
             for t in fleet_sweep._cell_tasks(cell):
                 assert t in tasks
+
+
+class TestHealthCheckedFailover:
+    """Replica ejection / probational readmission and the failover
+    pickers (the zone integration itself is in test_system_zones)."""
+
+    def _sim(self, balancer="batch_aware", **fleet_kw):
+        from repro.system import ZoneConfig
+        from repro.system.fleet import GRAPHS
+
+        fleet = FleetConfig(replicas=4, rack_size=2, balancer=balancer,
+                            health_check=True, unhealthy_after=2,
+                            health_probe_us=1_000.0, **fleet_kw)
+        zones = ZoneConfig(racks_per_zone=1,
+                           planned=((0, 10_000.0, 20_000.0),),
+                           horizon_us=HORIZON)
+        sim = FleetSimulation(GRAPHS["fleet_rpu"](), fleet, seed=5,
+                              resilience=ResilienceConfig(
+                                  deadline_us=60_000.0, max_retries=2),
+                              shard=0, zones=zones)
+        return sim
+
+    def test_streak_ejects_at_threshold_and_extends_to_outage_end(self):
+        sim = self._sim()
+        rs = next(iter(sim.replica_sets.values()))
+        site = rs.stations[0].name
+        sim._note_failure(11_000.0, site)
+        assert rs.fail_streak[0] == 1
+        assert rs.down_until[0] == 0.0  # below threshold: still in
+        sim._note_failure(11_010.0, site)
+        # ejected until the *outage end*, not just one probe interval
+        assert rs.down_until[0] == 20_000.0
+        assert rs.ejections == 1
+        assert rs.stations[0] not in rs.routable
+        assert len(rs.routable) == rs.active - 1
+
+    def test_quiet_period_decays_the_streak(self):
+        sim = self._sim()
+        rs = next(iter(sim.replica_sets.values()))
+        site = rs.stations[0].name
+        sim._note_failure(1_000.0, site)
+        sim._note_failure(5_000.0, site)  # > probe interval later
+        assert rs.fail_streak[0] == 1  # decayed, restarted
+        assert rs.down_until[0] == 0.0
+
+    def test_readmission_is_probational(self):
+        sim = self._sim()
+        rs = next(iter(sim.replica_sets.values()))
+        site = rs.stations[0].name
+        sim._note_failure(11_000.0, site)
+        sim._note_failure(11_010.0, site)
+        sim._readmit(20_000.0, (rs, 0))
+        assert rs.down_until[0] == 0.0
+        assert rs.fail_streak[0] == 0
+        assert rs.stations[0] in rs.routable
+
+    def test_stale_readmit_event_is_ignored(self):
+        sim = self._sim()
+        rs = next(iter(sim.replica_sets.values()))
+        rs.down_until[0] = 30_000.0
+        rs.rebuild_routable(25_000.0)
+        sim._readmit(25_000.0, (rs, 0))  # an older event firing early
+        assert rs.down_until[0] == 30_000.0
+        assert rs.stations[0] not in rs.routable
+
+    @pytest.mark.parametrize("balancer", BALANCERS)
+    def test_no_picker_routes_to_an_ejected_replica(self, balancer):
+        from repro.system.queueing import Job
+
+        sim = self._sim(balancer=balancer)
+        rs = next(iter(sim.replica_sets.values()))
+        rs.down_until[0] = 1e18
+        rs.rebuild_routable(0.0)
+        dead = rs.stations[0]
+        for i in range(60):
+            job = Job(jid=i, arrival_us=float(i), api_id=i % 3)
+            assert sim._pick(rs, float(i), job) is not dead
+
+    @pytest.mark.parametrize("balancer", BALANCERS)
+    def test_all_ejected_falls_back_to_active_prefix(self, balancer):
+        from repro.system.queueing import Job
+
+        sim = self._sim(balancer=balancer)
+        rs = next(iter(sim.replica_sets.values()))
+        for i in range(len(rs.stations)):
+            rs.down_until[i] = 1e18
+        rs.rebuild_routable(0.0)
+        assert rs.routable == []
+        job = Job(jid=1, arrival_us=0.0, api_id=1)
+        st = sim._pick(rs, 0.0, job)
+        assert st in rs.stations[:rs.active]
+
+
+class TestAdaptiveBalancer:
+    def test_relearns_the_affinity_map_as_the_mix_drifts(self):
+        from repro.system.fleet import GRAPHS
+        from repro.system.queueing import Job
+
+        fleet = FleetConfig(replicas=4, balancer="adaptive",
+                            adapt_interval_us=100.0,
+                            affinity_spill_us=1e9)
+        sim = FleetSimulation(GRAPHS["fleet_rpu"](), fleet, seed=5)
+        rs = next(iter(sim.replica_sets.values()))
+        # window 1: class 7 dominates -> it should map to rank 0
+        for i in range(20):
+            sim._pick(rs, 1.0 + i * 0.01, Job(jid=i, arrival_us=0.0,
+                                              api_id=7 if i else 3))
+        sim._pick(rs, 200.0, Job(jid=99, arrival_us=0.0, api_id=3))
+        assert rs.api_map[7] == 0 and rs.api_map[3] == 1
+        # window 2: the mix flips to class 3 -> ranks swap at the next
+        # boundary
+        for i in range(20):
+            sim._pick(rs, 210.0 + i * 0.01, Job(jid=200 + i,
+                                                arrival_us=0.0,
+                                                api_id=3 if i else 7))
+        sim._pick(rs, 400.0, Job(jid=300, arrival_us=0.0, api_id=7))
+        assert rs.api_map[3] == 0 and rs.api_map[7] == 1
+
+    def test_adaptive_keeps_fleet_batches_pure_on_steady_mix(self):
+        shape = TrafficShape(base_qps=40_000.0)
+        adaptive = run_fleet(shape, HORIZON, graph="fleet_rpu",
+                             fleet=FleetConfig(replicas=3,
+                                               balancer="adaptive"),
+                             shards=2, seed=5)
+        blind = run_fleet(shape, HORIZON, graph="fleet_rpu",
+                          fleet=FleetConfig(replicas=3,
+                                            balancer="round_robin"),
+                          shards=2, seed=5)
+        assert adaptive.mixed_batch_frac < blind.mixed_batch_frac
+        assert adaptive.completed == adaptive.n_requests
+
+
+class TestP99Autoscale:
+    def test_p99_signal_scales_up_under_a_brownout(self):
+        from repro.system import ZoneConfig
+
+        zones = ZoneConfig(racks_per_zone=1,
+                           planned_brownout=((1, 10_000.0, 30_000.0),),
+                           brownout_mult=8.0, horizon_us=HORIZON)
+        fleet = FleetConfig(replicas=6, rack_size=2, autoscale=True,
+                            autoscale_signal="p99", min_active=4,
+                            autoscale_interval_us=2_000.0,
+                            p99_target_us=2_500.0)
+        r = run_fleet(TrafficShape(base_qps=30_000.0), HORIZON,
+                      graph="fleet_rpu", fleet=fleet, shards=1, seed=5,
+                      zones=zones)
+        assert r.scale_ups > 0
+        assert r.completed == r.n_requests
+
+    def test_p99_signal_idles_without_pressure(self):
+        fleet = FleetConfig(replicas=6, rack_size=2, autoscale=True,
+                            autoscale_signal="p99", min_active=4,
+                            autoscale_interval_us=2_000.0,
+                            p99_target_us=1e9)
+        r = run_fleet(TrafficShape(base_qps=30_000.0), HORIZON,
+                      graph="fleet_rpu", fleet=fleet, shards=1, seed=5)
+        assert r.scale_ups == 0

@@ -209,3 +209,48 @@ class TestCircuitBreaker:
         for _ in range(100):
             br.failure("s", 0.0)
         assert br.opened == 0 and br.allow("s", 0.0)
+
+
+class TestConcurrentKillAccounting:
+    """Regression pin: an outage onset killing the primary *and* its
+    hedge in the same event batch must burn exactly one retry.  The
+    old ``_attempt_failed`` charged the retry budget per failure, so
+    the second concurrent kill either double-spent the budget or
+    resolved the request VIOLATED while a backoff (or a live sibling
+    attempt) was still pending."""
+
+    def _race(self, monkeypatch):
+        import random
+
+        from repro.system.resilience import ResilientEndToEnd
+
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        cfg = EndToEndConfig(rpu=False)  # user tier: 100us, 2 servers
+        pol = ResilienceConfig(deadline_us=60_000.0, max_retries=1,
+                               hedge_after_us=50.0, max_hedges=1,
+                               retry_backoff_us=500.0, jitter_frac=0.0)
+        qps = 1_000.0
+        seed = 4
+        # arm the injector, then pin its windows by hand: one outage
+        # on the user tier that catches the primary (in service
+        # launch..launch+100) and the hedge (launch+50..launch+150)
+        # together, killing both in the same detection batch
+        sim = ResilientEndToEnd(cfg, pol, FaultConfig(
+            seed=seed, outage_rate_per_s=1e-9), seed=seed)
+        t0 = random.Random(seed).expovariate(1.0) * (1e6 / qps)
+        launch = t0 + cfg.web_us + cfg.network_us
+        win = ([launch + 80.0], [launch + 250.0])
+        for st in sim.stations:
+            sim.injector._eff[st.name] = ([], [])
+        sim.injector._eff["user"] = win
+        return sim.run(qps, n_requests=1)
+
+    def test_double_kill_burns_one_retry_and_completes(self, monkeypatch):
+        res = self._race(monkeypatch)
+        assert res.completed == 1
+        assert res.violated == 0
+        assert res.retries == 1
+        assert res.hedges == 1
+        # primary + hedge (both killed) + the single retry
+        assert res.failed_attempts == 2
+        assert res.fault_stats["inflight_failures"] == 2

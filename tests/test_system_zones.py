@@ -1,0 +1,230 @@
+"""Zone fault domains: window generation, injector merging, brownout
+multipliers, inertness, and health-checked cross-zone failover."""
+
+import pytest
+
+from repro.system import (
+    FaultConfig,
+    FleetConfig,
+    FleetSimulation,
+    ResilienceConfig,
+    TrafficShape,
+    ZoneConfig,
+    generate_arrivals,
+    run_fleet,
+    zone_brownout_windows,
+    zone_domain,
+    zone_outage_windows,
+)
+from repro.system.faults import FaultInjector
+from repro.system.fleet import GRAPHS
+from repro.system.zones import in_window, merge_windows, zone_index
+
+HORIZON = 40_000.0
+
+
+def _fleet_payload(fleet, zones=None, resilience=None, seed=5,
+                   qps=30_000.0, horizon=HORIZON):
+    arrivals = generate_arrivals(TrafficShape(base_qps=qps), horizon,
+                                 seed, shard=0, n_shards=1)
+    sim = FleetSimulation(GRAPHS["fleet_rpu"](), fleet, seed=seed,
+                          resilience=resilience, shard=0, zones=zones)
+    return sim, sim.run_arrivals(arrivals, horizon)
+
+
+class TestZoneConfig:
+    def test_all_zero_config_is_inert(self):
+        z = ZoneConfig()
+        assert not z.enabled
+        assert not z.has_outages
+        assert not z.has_brownouts
+
+    def test_planned_windows_enable_the_layer(self):
+        z = ZoneConfig(planned=((0, 1e3, 2e3),))
+        assert z.enabled and z.has_outages and not z.has_brownouts
+        z = ZoneConfig(planned_brownout=((0, 1e3, 2e3),))
+        assert z.enabled and z.has_brownouts and not z.has_outages
+
+    def test_rack_to_zone_mapping(self):
+        z = ZoneConfig(racks_per_zone=2)
+        assert [z.zone_of_rack(r) for r in range(6)] == [0, 0, 1, 1, 2, 2]
+
+    def test_domain_naming_roundtrip(self):
+        dom = zone_domain(3, 7)
+        assert dom == "s3/zone7"
+        assert zone_index(dom) == 7
+
+
+class TestZoneWindows:
+    def test_planned_windows_are_exact(self):
+        z = ZoneConfig(planned=((0, 1_000.0, 2_000.0),
+                                (1, 5_000.0, 6_000.0)))
+        starts, ends = zone_outage_windows(z, zone_domain(0, 0))
+        assert (starts, ends) == ([1_000.0], [2_000.0])
+        starts, ends = zone_outage_windows(z, zone_domain(0, 1))
+        assert (starts, ends) == ([5_000.0], [6_000.0])
+        assert zone_outage_windows(z, zone_domain(0, 2)) == ([], [])
+
+    def test_seeded_windows_are_pure_functions_of_seed_and_domain(self):
+        z = ZoneConfig(outage_rate_per_s=50.0, outage_min_us=500.0,
+                       outage_max_us=2_000.0, horizon_us=100_000.0)
+        a = zone_outage_windows(z, zone_domain(0, 0))
+        b = zone_outage_windows(z, zone_domain(0, 0))
+        assert a == b and a[0]
+        assert a != zone_outage_windows(z, zone_domain(0, 1))
+        assert a != zone_outage_windows(z, zone_domain(1, 0))
+        z2 = ZoneConfig(seed=z.seed + 1, outage_rate_per_s=50.0,
+                        outage_min_us=500.0, outage_max_us=2_000.0,
+                        horizon_us=100_000.0)
+        assert a != zone_outage_windows(z2, zone_domain(0, 0))
+
+    def test_outage_and_brownout_streams_are_independent(self):
+        z = ZoneConfig(outage_rate_per_s=30.0, brownout_rate_per_s=30.0,
+                       horizon_us=200_000.0)
+        assert (zone_outage_windows(z, zone_domain(0, 0))
+                != zone_brownout_windows(z, zone_domain(0, 0)))
+
+    def test_overlapping_windows_merge(self):
+        z = ZoneConfig(planned=((0, 1_000.0, 3_000.0),
+                                (0, 2_000.0, 4_000.0),
+                                (0, 9_000.0, 9_500.0)))
+        starts, ends = zone_outage_windows(z, zone_domain(0, 0))
+        assert starts == [1_000.0, 9_000.0]
+        assert ends == [4_000.0, 9_500.0]
+
+    def test_merge_windows_union(self):
+        a = ([1_000.0], [2_000.0])
+        b = ([1_500.0, 5_000.0], [3_000.0, 6_000.0])
+        starts, ends = merge_windows(a, b)
+        assert starts == [1_000.0, 5_000.0]
+        assert ends == [3_000.0, 6_000.0]
+        assert merge_windows(([], []), a) == a
+        assert merge_windows(a, ([], [])) == a
+
+    def test_in_window_half_open(self):
+        w = ([1_000.0], [2_000.0])
+        assert not in_window(w, 999.9)
+        assert in_window(w, 1_000.0)
+        assert in_window(w, 1_999.9)
+        assert not in_window(w, 2_000.0)
+
+
+class TestInjectorZoneMerge:
+    def test_zone_windows_reach_every_station_in_the_zone(self):
+        zones = ZoneConfig(planned=((0, 1_000.0, 2_000.0),))
+        inj = FaultInjector(FaultConfig(), zones=zones,
+                            zone_scope={"a@0": zone_domain(0, 0),
+                                        "a@1": zone_domain(0, 1)})
+        assert inj.has_outages
+        assert inj.windows_for("a@0") == [(1_000.0, 2_000.0)]
+        assert inj.windows_for("a@1") == []
+        assert inj.outage_end("a@0", 1_500.0) == 2_000.0
+        assert inj.outage_end("a@0", 2_500.0) is None
+        assert inj.outage_onset("a@0", 0.0, 5_000.0) == 1_000.0
+
+    def test_zone_windows_merge_with_rack_windows(self):
+        cfg = FaultConfig(seed=3, outage_rate_per_s=20.0,
+                          outage_min_us=500.0, outage_max_us=1_000.0,
+                          horizon_us=50_000.0)
+        base = FaultInjector(cfg).windows_for("a@0")
+        zones = ZoneConfig(planned=((0, 1e9, 2e9),))
+        merged = FaultInjector(cfg, zones=zones,
+                               zone_scope={"a@0": zone_domain(0, 0)}
+                               ).windows_for("a@0")
+        assert merged == base + [(1e9, 2e9)]
+
+    def test_brownout_mult_inside_window_only(self):
+        zones = ZoneConfig(planned_brownout=((0, 1_000.0, 2_000.0),),
+                           brownout_mult=3.0)
+        inj = FaultInjector(FaultConfig(), zones=zones,
+                            zone_scope={"a@0": zone_domain(0, 0),
+                                        "b@0": zone_domain(0, 1)})
+        assert inj.brownout_mult("a@0", 1_500.0) == 3.0
+        assert inj.brownout_mult("a@0", 500.0) == 1.0
+        assert inj.brownout_mult("a@0", 2_000.0) == 1.0
+        assert inj.brownout_mult("b@0", 1_500.0) == 1.0
+        # brownout-only zones never produce fail-stop windows
+        assert not inj.has_outages
+        assert inj.windows_for("a@0") == []
+
+
+class TestFleetZoneBehavior:
+    def test_inert_zone_config_is_byte_identical_to_no_zones(self):
+        fleet = FleetConfig(replicas=4, rack_size=2)
+        _sim, base = _fleet_payload(fleet, zones=None)
+        _sim, inert = _fleet_payload(fleet, zones=ZoneConfig())
+        assert base == inert
+
+    def test_zone_kill_downs_whole_zone_and_failover_recovers(self):
+        res = ResilienceConfig(deadline_us=60_000.0, max_retries=3)
+        zones = ZoneConfig(racks_per_zone=1,
+                           planned=((0, 0.3 * HORIZON, 0.6 * HORIZON),),
+                           horizon_us=HORIZON)
+        static = FleetConfig(replicas=6, rack_size=2)
+        failover = FleetConfig(replicas=6, rack_size=2,
+                               health_check=True, unhealthy_after=2,
+                               health_probe_us=2_000.0)
+        sim_n, no_fo = _fleet_payload(static, zones=zones, resilience=res)
+        sim_f, fo = _fleet_payload(failover, zones=zones, resilience=res)
+        assert no_fo["fault_failures"] > 0
+        # failover sheds strictly less and keeps goodput near-complete
+        assert fo["violated"] < no_fo["violated"]
+        assert fo["fault_failures"] < no_fo["fault_failures"]
+        assert fo["completed"] >= 0.99 * fo["n"]
+        assert fo["ejections"] > 0 and no_fo["ejections"] == 0
+        # every ejected replica is back in the routable set at the end
+        for rs in sim_f.replica_sets.values():
+            assert len(rs.routable) == rs.active
+
+    def test_brownout_inflates_latency_but_kills_nothing(self):
+        zones = ZoneConfig(racks_per_zone=1,
+                           planned_brownout=(
+                               (1, 0.2 * HORIZON, 0.8 * HORIZON),),
+                           brownout_mult=8.0, horizon_us=HORIZON)
+        fleet = FleetConfig(replicas=6, rack_size=2)
+        sim_c, clean = _fleet_payload(fleet, zones=None)
+        sim_b, brown = _fleet_payload(fleet, zones=zones)
+        assert brown["fault_failures"] == 0
+        assert brown["completed"] == brown["n"] == clean["n"]
+
+        def p99(payload):
+            lats = sorted(payload["latencies"])
+            return lats[int(0.99 * (len(lats) - 1))]
+
+        assert p99(brown) > p99(clean)
+        assert sim_b.injector.stats.brownouts > 0
+
+    def test_zone_energy_overhead_rolls_up(self):
+        from repro.energy.cluster import ClusterPowerModel
+
+        zones = ZoneConfig(racks_per_zone=1,
+                           planned=((0, 1_000.0, 2_000.0),),
+                           horizon_us=HORIZON)
+        shape = TrafficShape(base_qps=20_000.0)
+        power = ClusterPowerModel(zone_overhead_w=100.0)
+        base = run_fleet(shape, HORIZON, graph="fleet_rpu",
+                         fleet=FleetConfig(replicas=4, rack_size=2),
+                         shards=2, seed=5, zones=zones)
+        priced = run_fleet(shape, HORIZON, graph="fleet_rpu",
+                           fleet=FleetConfig(replicas=4, rack_size=2),
+                           shards=2, seed=5, zones=zones, power=power)
+        assert base.n_zones == priced.n_zones == 4  # 2 zones x 2 shards
+        assert priced.energy.zone_j == pytest.approx(
+            4 * priced.energy.horizon_us * 1e-6 * 100.0)
+        assert base.energy.zone_j == 0.0
+        assert priced.energy.it_j > base.energy.it_j
+
+
+class TestZoneFailoverExperiment:
+    def test_sweep_meets_availability_targets(self):
+        from repro.experiments.zone_failover import run
+
+        rows = {r.label: r for r in run(0.1)["rows"]}
+        assert rows["clean/static"]["avail"] == 1.0
+        assert rows["zonekill/failover"]["avail"] >= 0.99
+        assert (rows["zonekill/nofailover"]["avail"]
+                < rows["zonekill/failover"]["avail"] - 0.05)
+        assert (rows["zonekill/failover"]["p99"]
+                < rows["zonekill/nofailover"]["p99"])
+        assert rows["brownout/p99scale"]["scale_events"] > 0
+        assert rows["brownout/fixed"]["scale_events"] == 0
