@@ -11,6 +11,13 @@ bug into each engine and confirming the oracle detects both:
 * batching layer only: a policy that silently drops one request from
   its partition (the engines are untouched).
 
+It also proves the ``spin_unbounded`` construct's policy restriction
+is *load-bearing*: a spec built around an unbounded-retry spin lock
+must run clean under its allowed policies (``solo``, ``minsp_pc``) and
+must livelock-truncate under MinSP-PC when the spin-escape hatch is
+disabled (``spin_k`` pushed beyond the step budget) - demonstrating
+the escape hatch, not luck, is what terminates it.
+
 Every generated program contains a fused ``sub`` and a ``ble`` loop
 branch in its prologue precisely so these two mutations are detectable
 on any spec.  The script also exercises the shrinker and repro-file
@@ -32,8 +39,12 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 import repro.engine.decode as decode
 import repro.engine.interpreter as interpreter
 from repro.batching import policies
-from repro.fuzz.gen import gen_spec
-from repro.fuzz.oracle import check_spec, shrink_spec, write_repro
+from repro.engine.lockstep import ExecutionError, MinSpPcExecutor
+from repro.engine.memory import MemoryImage
+from repro.fuzz.gen import build_program, gen_spec, spec_policies
+from repro.fuzz.oracle import (_setup_threads, check_spec, shrink_spec,
+                               write_repro)
+from repro.sanitize import SanitizerError
 
 
 def _lossy_naive(requests, batch_size):
@@ -96,6 +107,38 @@ def main() -> int:
           f"{detected}/{N_SPECS} specs (want {N_SPECS})")
     if detected != N_SPECS:
         failures.append("reference mutation escaped the oracle")
+
+    # spin-escape leg: the unbounded-retry spin construct is (a)
+    # restricted to the policies that can terminate it, (b) clean under
+    # those policies with the escape hatch at its defaults, and (c)
+    # truncated without the hatch - proving the hatch is necessary
+    spin_spec = {"seed": 77, "n_threads": 6, "salt": 0,
+                 "constructs": [{"kind": "spin_unbounded",
+                                 "crit_ops": 2}]}
+    if spec_policies(spin_spec) != ("solo", "minsp_pc"):
+        failures.append(
+            f"spin_unbounded not restricted to solo+minsp_pc "
+            f"(got {spec_policies(spin_spec)})")
+    spin_mismatches = check_spec(spin_spec)
+    if spin_mismatches:
+        failures.append(
+            f"spin_unbounded spec mismatches under its allowed "
+            f"policies: {spin_mismatches}")
+    program = build_program(spin_spec)
+    mem = MemoryImage(salt=spin_spec["salt"])
+    threads = _setup_threads(spin_spec, mem)
+    ex = MinSpPcExecutor(program, max_steps=60_000, spin_k=10**9)
+    try:
+        res = ex.run(threads, mem)
+        livelocked = res.truncated and any(not t.halted for t in threads)
+    except (ExecutionError, SanitizerError):
+        livelocked = True  # step budget blown without global progress
+    print(f"spin-escape leg: clean={not spin_mismatches}, "
+          f"livelocks without the hatch={livelocked} (want both)")
+    if not livelocked:
+        failures.append(
+            "unbounded spin terminated with the escape hatch disabled "
+            "- the spin_unbounded construct no longer needs it")
 
     with mutated(policies.POLICIES, "naive", _lossy_naive):
         detected = sum(bool(check_spec(s)) for s in specs)

@@ -54,9 +54,10 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from ..sanitize import sanitizer_enabled
+from . import memo
 from .decode import RK_BRANCH, RK_CALL, RK_FALL, RK_HALT, RK_JUMP, RK_RET
 from .events import LockstepResult
-from .lanes import LaneState
+from .lanes import LaneState, bounded_call, bounded_enabled
 from .lockstep import ExecutionError, _san_result
 
 
@@ -144,6 +145,8 @@ def run_minsp(ex, threads, mem) -> LockstepResult:
     store = mem._store
     salt = mem.salt
     n_lanes = ls.n
+    mt = memo.table_for(vdec) if memo.memo_enabled() else None
+    bnd = bounded_enabled()
 
     steps = 0
     scalar = 0
@@ -196,6 +199,8 @@ def run_minsp(ex, threads, mem) -> LockstepResult:
         k = 0
         dd = 0
         fall = -1
+        meta = None
+        bt = None
         chl = vchains[pc]
         if chl is not None:
             if not groups:
@@ -205,6 +210,7 @@ def run_minsp(ex, threads, mem) -> LockstepResult:
                     if steps + ch[0] <= max_steps:
                         k, fn, rkc, tgt, fall, _bpc, has_at, lat, dd \
                             = ch[:9]
+                        meta = ch[12]
                         break
             elif (steps + 1 - last_atomic_step > spin_b
                     and min_sel and boost_remaining == 0):
@@ -227,13 +233,15 @@ def run_minsp(ex, threads, mem) -> LockstepResult:
                     if ok:
                         k, fn, rkc, tgt, fall, _bpc, has_at, lat, dd \
                             = ch[:9]
+                        meta = ch[12]
                         break
         if k == 0:
             vb = vblocks[pc]
             if vb is not None:
                 if not groups:
                     if steps + vb[0] <= max_steps:
-                        k, fn, rkc, tgt, has_at, lat = vb
+                        k, fn, rkc, tgt, has_at, lat = vb[:6]
+                        meta, bt = vb[6], vb[7]
                 elif (not vb[4]
                         and steps + vb[0] <= max_steps
                         and steps + 1 - last_atomic_step > spin_b
@@ -242,7 +250,8 @@ def run_minsp(ex, threads, mem) -> LockstepResult:
                         # preempt us at an interior re-key
                         and min_sel and boost_remaining == 0
                         and _interior_clear(groups, depth, pc, pc + vb[0])):
-                    k, fn, rkc, tgt, has_at, lat = vb
+                    k, fn, rkc, tgt, has_at, lat = vb[:6]
+                    meta, bt = vb[6], vb[7]
         if k == 0:
             vr = vruns[pc]
             if (vr is not None
@@ -250,7 +259,7 @@ def run_minsp(ex, threads, mem) -> LockstepResult:
                     and steps + 1 - last_atomic_step > spin_b
                     and (boost_remaining == 0 or not groups)
                     and _interior_clear(groups, depth, pc, pc + vr[0])):
-                k, fn = vr
+                k, fn, meta, bt = vr
                 rkc, tgt, has_at, lat = RK_FALL, 0, False, -1
             else:
                 k = 1
@@ -258,10 +267,18 @@ def run_minsp(ex, threads, mem) -> LockstepResult:
                 rkc, tgt = rekey[pc]
                 has_at = is_atomic[pc]
                 lat = 0
+
         if fall < 0:  # single-block grains: covered pcs are contiguous
             fall = pc + k
 
-        res = fn(idx, R, cs, sy, pcv, hv, store, salt)
+        if mt is not None and meta is not None:
+            res = mt.invoke(meta, fn, bt if bnd else None, idx, R, cs,
+                            sy, pcv, hv, store, salt)
+        elif bt is not None and bnd:
+            res = bounded_call(bt, fn, idx, R, cs, sy, pcv, hv, store,
+                               salt)
+        else:
+            res = fn(idx, R, cs, sy, pcv, hv, store, salt)
         steps += k
         scalar += k * n
         pending += k
@@ -312,6 +329,8 @@ def run_minsp(ex, threads, mem) -> LockstepResult:
                 pcv[i] = p2
                 retd[i] += pending2
 
+    if mt is not None:
+        mt.maybe_flush()
     ls.writeback(threads)
     if san:
         _san_result(prog.name, threads, retired0, scalar)
@@ -355,6 +374,8 @@ def run_ipdom(ex, threads, mem) -> LockstepResult:
     retd = ls.retired
     store = mem._store
     salt = mem.salt
+    mt = memo.table_for(vdec) if memo.memo_enabled() else None
+    bnd = bounded_enabled()
 
     steps = 0
     scalar = 0
@@ -405,6 +426,8 @@ def run_ipdom(ex, threads, mem) -> LockstepResult:
 
         k = 0
         fall = bpc = -1
+        meta = None
+        bt = None
         chl = vchains[pc]
         if chl is not None:
             # longest candidate that neither crosses the region's
@@ -421,6 +444,7 @@ def run_ipdom(ex, threads, mem) -> LockstepResult:
                         break
                 if ok:
                     k, fn, rkc, tgt, fall, bpc = ch[:6]
+                    meta = ch[12]
                     break
         if k == 0:
             vb = vblocks[pc]
@@ -432,21 +456,30 @@ def run_ipdom(ex, threads, mem) -> LockstepResult:
                 if (steps + vb[0] <= max_steps
                         and not (pc < reconv < pc + vb[0])):
                     k, fn, rkc, tgt = vb[0], vb[1], vb[2], vb[3]
+                    meta, bt = vb[6], vb[7]
         if k == 0:
             vr = vruns[pc]
             if (vr is not None and steps + vr[0] <= max_steps
                     and not (pc < reconv < pc + vr[0])):
-                k, fn = vr
+                k, fn, meta, bt = vr
                 rkc, tgt = RK_FALL, 0
             else:
                 k = 1
                 fn = gh[pc]
                 rkc, tgt = rekey[pc]
+
         if fall < 0:  # single-block grains: covered pcs are contiguous
             fall = pc + k
             bpc = pc + k - 1
 
-        res = fn(idx, R, cs, sy, pcv, hv, store, salt)
+        if mt is not None and meta is not None:
+            res = mt.invoke(meta, fn, bt if bnd else None, idx, R, cs,
+                            sy, pcv, hv, store, salt)
+        elif bt is not None and bnd:
+            res = bounded_call(bt, fn, idx, R, cs, sy, pcv, hv, store,
+                               salt)
+        else:
+            res = fn(idx, R, cs, sy, pcv, hv, store, salt)
         steps += k
         scalar += k * n
         for i in idx:
@@ -521,6 +554,8 @@ def run_ipdom(ex, threads, mem) -> LockstepResult:
                 for i in moved:
                     pcv[i] = p2
 
+    if mt is not None:
+        mt.maybe_flush()
     ls.writeback(threads)
     if san:
         _san_result(prog.name, threads, retired0, scalar)

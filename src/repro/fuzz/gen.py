@@ -6,10 +6,16 @@ pickle across the parallel driver, and easy to shrink (drop a
 construct, lower a trip count) - which is what makes the greedy
 minimizer in :mod:`repro.fuzz.oracle` possible.
 
-Generated programs always terminate under every policy: loops are
-bounded, spin locks retry a bounded number of times before giving up
-(IPDOM has no spin-escape hatch, so an unbounded spin could livelock a
-batch), and divergent trip counts come from per-thread ABI registers.
+Generated programs always terminate under every policy *they are run
+under*: loops are bounded, divergent trip counts come from per-thread
+ABI registers, and spin locks come in two flavours.  ``spin_lock``
+retries a bounded number of times before giving up, so it is safe
+everywhere.  ``spin_unbounded`` retries forever - the construct that
+*requires* MinSP-PC's spin-escape hatch to make progress - so specs
+containing it are restricted to the policies that can terminate it
+(:data:`POLICY_LIMITED`: ``solo`` runs threads alone against a free
+lock, ``minsp_pc`` rotates selection to the lock holder; stack-IPDOM
+and predication have no escape and would livelock).
 The generator is deliberately biased toward the paper's hard cases:
 branches around reconvergence points, loops with divergent trip
 counts, mixed stack/heap access streams and system calls issued from
@@ -48,7 +54,29 @@ class GeneratorError(Exception):
 #: constructs whose cross-thread interleaving is policy-visible; specs
 #: containing one are only checked for fast-vs-reference agreement
 #: (plus ipdom==predicated), never across policies
-RACY_KINDS = frozenset({"spin_lock", "atomic_rmw"})
+RACY_KINDS = frozenset({"spin_lock", "atomic_rmw", "spin_unbounded"})
+
+#: constructs that only terminate under a subset of the policies;
+#: a spec's policy matrix is the intersection over its constructs
+#: (:func:`spec_policies`)
+POLICY_LIMITED = {"spin_unbounded": ("solo", "minsp_pc")}
+
+_ALL_POLICIES = ("solo", "ipdom", "minsp_pc", "predicated")
+
+
+def spec_policies(spec: Dict) -> Tuple[str, ...]:
+    """The policies a spec may run under (order of the full matrix).
+
+    Unrestricted specs return all four; a spec containing a
+    policy-limited construct (e.g. ``spin_unbounded``) returns the
+    intersection of every construct's allowance.
+    """
+    allowed = _ALL_POLICIES
+    for c in spec["constructs"]:
+        limit = POLICY_LIMITED.get(c["kind"])
+        if limit is not None:
+            allowed = tuple(p for p in allowed if p in limit)
+    return allowed
 
 #: two-source ALU/MUL ops safe for arbitrary register operands
 _REG_OPS = ("add", "sub", "xor", "and", "or", "min", "max", "slt",
@@ -78,8 +106,8 @@ def gen_spec(rng: random.Random, max_constructs: int = 5) -> Dict:
         + ["heap_stream"] * 2
         + ["alu_run"] * 2
         + ["simd_stream"] * 2
-        + ["stack_frame", "call_chain", "recursive",
-           "spin_lock", "atomic_rmw", "syscall", "global_read"]
+        + ["stack_frame", "call_chain", "recursive", "spin_lock",
+           "spin_unbounded", "atomic_rmw", "syscall", "global_read"]
     )
     n = rng.randint(1, max_constructs)
     constructs = [_gen_construct(rng, rng.choice(kinds))
@@ -201,6 +229,8 @@ def _gen_construct(rng: random.Random, kind: str) -> Dict:
     if kind == "spin_lock":
         return {"kind": kind, "retries": rng.randint(2, 6),
                 "crit_ops": rng.randint(1, 3)}
+    if kind == "spin_unbounded":
+        return {"kind": kind, "crit_ops": rng.randint(1, 3)}
     if kind == "atomic_rmw":
         return {"kind": kind, "op": rng.choice(("amoadd", "amoswap")),
                 "offset": rng.choice((16, 24)),
@@ -488,6 +518,29 @@ def _emit_spin_lock(b, c, idx, helpers):
     b.label(done)
 
 
+def _emit_spin_unbounded(b, c, idx, helpers):
+    """*Unbounded*-retry spin lock on the shared lock word (r7).
+
+    A loser retries forever, so a lockstep batch only terminates if the
+    scheduler can hand cycles to the lock holder while others spin -
+    exactly what MinSP-PC's spin-escape hatch (``spin_k``/``spin_b``/
+    ``spin_t``) exists for.  Stack-IPDOM and predication have no such
+    hatch and would livelock, hence the :data:`POLICY_LIMITED` entry
+    restricting specs with this construct to ``solo`` + ``minsp_pc``.
+    """
+    retry = f"c{idx}_retry"
+    b.li("r23", 1)
+    b.label(retry)
+    b.amoswap("r24", "r7", "r23", note="lock acquire (unbounded)")
+    b.bne("r24", "zero", retry)
+    b.ld("r26", "r7", 8, Segment.HEAP)
+    for _ in range(c["crit_ops"]):
+        b.addi("r26", "r26", 1)
+    b.st("r26", "r7", 8, Segment.HEAP)
+    b.add("r9", "r9", "r26")
+    b.amoswap("r27", "r7", "zero", note="lock release")
+
+
 def _emit_atomic_rmw(b, c, idx, helpers):
     if c["src"] == "tid":
         b.addi("r27", "r12", 1)
@@ -512,6 +565,7 @@ _EMITTERS = {
     "call_chain": _emit_call_chain,
     "recursive": _emit_recursive,
     "spin_lock": _emit_spin_lock,
+    "spin_unbounded": _emit_spin_unbounded,
     "atomic_rmw": _emit_atomic_rmw,
     "syscall": _emit_syscall,
 }

@@ -2,10 +2,21 @@
 
 For one spec the oracle runs the program
 
-* under each policy (``solo``, ``ipdom``, ``minsp_pc``, ``predicated``)
-  with the pre-decoded fast path and with the ``execute()``-based
-  reference loop, asserting bit-identical registers, memory, syscall
-  traces, call stacks and ``LockstepResult`` counters;
+* under each policy the spec admits (:func:`repro.fuzz.gen
+  .spec_policies` - all of ``solo``, ``ipdom``, ``minsp_pc``,
+  ``predicated`` unless a construct like ``spin_unbounded`` only
+  terminates under a subset) with the pre-decoded fast path and with
+  the ``execute()``-based reference loop, asserting bit-identical
+  registers, memory, syscall traces, call stacks and
+  ``LockstepResult`` counters;
+* a second, identical fast-path run per lockstep policy: the first run
+  populated the grain-memo tables (:mod:`repro.engine.memo`), so the
+  repeat is dominated by memoized replay and must still be
+  bit-identical - plus a witness run with ``REPRO_MEMO=0`` and
+  ``REPRO_BOUNDED=0``, pinning that neither memoization nor the
+  bounded-int lanes are architecturally visible (a
+  :class:`~repro.store.CacheVerifyError` raised by a poisoned memo
+  entry counts as a mismatch, not a crash);
 * once more per policy with an event-recording sink under *both*
   engines (the fast path keeps pre-decoded dispatch when a sink is
   attached), asserting the two sink runs match each other and the
@@ -29,8 +40,10 @@ smaller parameters) and written out as a standalone repro file.
 
 from __future__ import annotations
 
+import contextlib
 import copy
 import dataclasses
+import os
 import pprint
 import random
 from typing import Dict, List, Optional
@@ -43,11 +56,35 @@ from ..engine.memory import MemoryImage
 from ..engine.thread import ThreadState
 from ..memsys.alloc import SimrAwareAllocator
 from ..sanitize import SanitizerError
+from ..store import CacheVerifyError
 from ..workloads.base import Request
 from .gen import (GeneratorError, build_program, spec_is_racy,
-                  spec_reconv_override)
+                  spec_policies, spec_reconv_override)
 
 POLICIES = ("solo", "ipdom", "minsp_pc", "predicated")
+
+#: exception types the oracle reports as mismatches (a poisoned memo
+#: entry surfacing as CacheVerifyError is a detected divergence, not
+#: an oracle crash)
+_ORACLE_ERRORS = (ExecutionError, SanitizerError, CacheVerifyError)
+
+
+@contextlib.contextmanager
+def _fastpath_features_off():
+    """Run with grain memoization and bounded-int lanes disabled (the
+    witness legs); restores the prior environment on exit."""
+    saved = {k: os.environ.get(k) for k in ("REPRO_MEMO",
+                                            "REPRO_BOUNDED")}
+    os.environ["REPRO_MEMO"] = "0"
+    os.environ["REPRO_BOUNDED"] = "0"
+    try:
+        yield
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
 
 #: observable state compared between runs of the *same* policy
 _FIELDS = ("snapshots", "syscalls", "call_stacks", "memory", "result")
@@ -199,7 +236,7 @@ def check_batching_spec(spec: Dict, solo_state: Optional[Dict] = None,
     for batching in BATCHING_POLICIES:
         try:
             got = _run_batched(spec, batching, max_steps=max_steps)
-        except (ExecutionError, SanitizerError) as e:
+        except _ORACLE_ERRORS as e:
             mismatches.append(
                 f"batching {batching}: {type(e).__name__}: {e}")
             continue
@@ -224,12 +261,35 @@ def check_spec(spec: Dict,
     (empty when the spec passes)."""
     mismatches: List[str] = []
     ref_states: Dict[str, Dict] = {}
+    policies = spec_policies(spec)
     try:
-        for policy in POLICIES:
+        for policy in policies:
             fast = _run_one(spec, policy, fastpath=True,
                             max_steps=max_steps)
             ref = _run_one(spec, policy, fastpath=False,
                            max_steps=max_steps)
+            if policy != "solo":
+                # memo-replay leg: the first fast run populated the
+                # grain-memo tables for this program digest, so this
+                # repeat is served by cached-delta replay and must be
+                # bit-identical to live execution
+                replay = _run_one(spec, policy, fastpath=True,
+                                  max_steps=max_steps)
+                for fld in _FIELDS:
+                    if replay[fld] != fast[fld]:
+                        mismatches.append(
+                            f"{policy}: memo-replay run {fld} diverges "
+                            f"from first fast-path run")
+                # witness leg: memoization and bounded-int lanes off
+                # must not be architecturally visible
+                with _fastpath_features_off():
+                    plain = _run_one(spec, policy, fastpath=True,
+                                     max_steps=max_steps)
+                for fld in _FIELDS:
+                    if plain[fld] != fast[fld]:
+                        mismatches.append(
+                            f"{policy}: memo/bounded-off witness {fld} "
+                            f"diverges from default fast path")
             for fld in _FIELDS:
                 if fast[fld] != ref[fld]:
                     mismatches.append(
@@ -277,15 +337,19 @@ def check_spec(spec: Dict,
 
         # predication is architecturally identical to IPDOM
         # reconvergence: everything, counters included, must agree
-        for fld in _FIELDS:
-            if ref_states["ipdom"][fld] != ref_states["predicated"][fld]:
-                mismatches.append(
-                    f"ipdom vs predicated: {fld} differs")
+        if "ipdom" in ref_states and "predicated" in ref_states:
+            for fld in _FIELDS:
+                if (ref_states["ipdom"][fld]
+                        != ref_states["predicated"][fld]):
+                    mismatches.append(
+                        f"ipdom vs predicated: {fld} differs")
 
         # race-free specs must reach the same architectural state no
         # matter how the policies interleave the threads
         if not spec_is_racy(spec):
             for policy in ("ipdom", "minsp_pc"):
+                if policy not in ref_states:
+                    continue
                 for fld in _ARCH_FIELDS:
                     if ref_states[policy][fld] != ref_states["solo"][fld]:
                         mismatches.append(
@@ -298,7 +362,7 @@ def check_spec(spec: Dict,
         mismatches.extend(
             check_batching_spec(spec, solo_state=ref_states["solo"],
                                 max_steps=max_steps))
-    except (ExecutionError, SanitizerError) as e:
+    except _ORACLE_ERRORS as e:
         mismatches.append(f"{type(e).__name__}: {e}")
     return mismatches
 

@@ -45,6 +45,12 @@ class BaseAllocator:
         # captured once per allocator (same pattern as Simulator): the
         # per-allocation env lookup is measurable in alloc-heavy setup
         self._san = sanitizer_enabled()
+        # bank period, with a mask for the power-of-two common case so
+        # the per-allocation round-up is bit arithmetic, not division
+        self._period = line_size * n_banks
+        self._pmask = (self._period - 1
+                       if self._period & (self._period - 1) == 0
+                       else None)
 
     def _bump(self, start: int, size: int) -> int:
         if start + size > self.base + self.capacity:
@@ -163,9 +169,12 @@ class SimrAwareAllocator(ArenaAllocator):
         cursor = self._arenas.get(tid)
         if cursor is None:
             cursor = self._arena_cursor(tid)
-        period = self.line_size * self.n_banks
+        period = self._period
         target_off = (tid % self.n_banks) * self.line_size
-        start = (cursor + period - 1) // period * period + target_off
+        if self._pmask is not None:
+            start = ((cursor + self._pmask) & ~self._pmask) + target_off
+        else:
+            start = (cursor + period - 1) // period * period + target_off
         if start < cursor:
             start += period
         if self._san:

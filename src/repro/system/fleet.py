@@ -25,7 +25,11 @@ both latency and occupancy - and provide three balancers:
   it counts API classes per adaptation window and re-ranks classes by
   observed popularity, so the hottest class always owns replica 0 even
   as the request mix drifts (a static ``api_id % n`` map goes stale
-  when the mix shifts mid-run).
+  when the mix shifts mid-run).  With health-checked failover, a
+  replica ejection decays the learned map back to identity and reopens
+  the adaptation window (``affinity_decay``): the stale ranks were
+  learned against the pre-ejection replica set and a retry-storm
+  window, and re-learning fresh is what recovers the post-fault tail.
 
 Determinism: a fleet shard is a pure function of its configuration.
 Arrival schedules come from keyed streams (:mod:`.arrivals`), routing
@@ -132,6 +136,17 @@ class FleetConfig:
     health_probe_us: float = 2_000.0
     #: adaptive balancer: re-rank the API-affinity map every window
     adapt_interval_us: float = 2_000.0
+    #: adaptive balancer: drop the learned affinity map whenever a
+    #: replica is ejected.  The map's ranks were learned modulo the
+    #: pre-ejection routable set - and the window that just closed was
+    #: polluted by the dying replica's retry storm - so routing on the
+    #: stale map steers the hottest classes into arbitrary survivors
+    #: for up to a full adaptation window.  Decaying to the identity
+    #: map and reopening the window re-learns against the shrunken set
+    #: immediately, which is what recovers the tail (recovery p99)
+    #: after a fault.  Only meaningful with ``health_check`` and the
+    #: ``adaptive`` balancer.
+    affinity_decay: bool = True
 
 
 class ReplicaSet:
@@ -568,6 +583,16 @@ class FleetSimulation(GraphSimulation):
         rs.down_until[idx] = until
         rs.ejections += 1
         rs.rebuild_routable(now)
+        if fl.affinity_decay and fl.balancer == "adaptive":
+            # the learned ranks index the routable set that just
+            # shrank (and the closing window counted the ejected
+            # replica's retry storm): decay to the identity map and
+            # reopen a full window so affinity re-learns against the
+            # survivors instead of misrouting until the stale window
+            # expires
+            rs.api_map = {}
+            rs.api_counts.clear()
+            rs.next_adapt_us = now + fl.adapt_interval_us
         self.sim.schedule1(until, self._readmit, (rs, idx))
 
     def _readmit(self, now: float, arg: tuple) -> None:

@@ -153,7 +153,10 @@ class TestBatchingOracle:
         assert any("naive" in m and "partition" in m for m in mismatches)
 
     def test_detects_engine_corruption_under_batching(self, monkeypatch):
-        spec = _spec(25)
+        # seed 23 draws a race-free spec under the current construct
+        # pool (25 gained an atomic when spin_unbounded joined the
+        # rotation)
+        spec = _spec(23)
         assert not spec_is_racy(spec)
         assert check_batching_spec(spec) == []
         # the batched runs lockstep the fast path while the solo

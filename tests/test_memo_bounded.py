@@ -1,0 +1,386 @@
+"""Overflow gating and memo-store integrity for the lockstep engine.
+
+Three pinned behaviours of the memo/bounded substrate:
+
+* **overflow gating** (``engine/lanes.bounded_call``): boundary values
+  at the int64 edges (``±2**63``) take the right gate stage, values at
+  exactly ``±M`` are accepted, and a strict lane subset demotes
+  mid-grain to the unbounded function bit-identically;
+* **memo integrity** (``engine/memo``): a replayed second run hits the
+  table and stays bit-identical, a persisted table seeds a fresh
+  process, and a *tampered* persisted delta entry raises
+  :class:`repro.store.CacheVerifyError` under ``REPRO_SANITIZE=1``
+  while a tampered read set degrades to a harmless miss;
+* **witness toggles**: ``REPRO_MEMO=0`` / ``REPRO_BOUNDED=0`` /
+  ``REPRO_SETUP_CACHE=0`` each reproduce the default path's observable
+  state exactly.
+"""
+
+import copy
+import dataclasses
+import random
+
+import pytest
+
+from repro import store
+from repro.core.run import prepare_threads
+from repro.engine import lanes, memo
+from repro.engine.lanes import BOUNDED_STATS, BoundedTape, bounded_call
+from repro.engine.lockstep import make_executor
+from repro.engine.memory import MemoryImage
+from repro.memsys.alloc import SimrAwareAllocator
+from repro.store import CacheVerifyError
+from repro.workloads.registry import get_service
+
+SERVICE = "post"
+N_REQUESTS = 12
+REQUEST_SEED = 321
+
+
+def _run(policy: str, salt: int):
+    service = get_service(SERVICE)
+    requests = service.generate_requests(
+        N_REQUESTS, random.Random(REQUEST_SEED))
+    mem = MemoryImage(salt=salt)
+    threads = prepare_threads(service, requests, mem, SimrAwareAllocator())
+    ex = make_executor(service.program, policy)
+    if policy == "solo":
+        result = [ex.run(t, mem) for t in threads]
+    else:
+        result = dataclasses.asdict(ex.run(threads, mem))
+    return {
+        "result": result,
+        "snapshots": [t.snapshot() for t in threads],
+        "syscalls": [list(t.syscall_trace) for t in threads],
+        "call_stacks": [list(t.call_stack) for t in threads],
+        "memory": {a: mem.read(a) for a in sorted(mem.written_addresses())},
+    }
+
+
+def _assert_same(a, b):
+    assert a["snapshots"] == b["snapshots"]
+    assert a["syscalls"] == b["syscalls"]
+    assert a["call_stacks"] == b["call_stacks"]
+    assert a["memory"] == b["memory"]
+    assert a["result"] == b["result"]
+
+
+# ----------------------------------------------------------------------
+# overflow gating (unit level, hand-built tape)
+# ----------------------------------------------------------------------
+
+#: the grain under test: r1 = r1 + r2, branch on r1 < 100
+def _mirror(idx, R, cs, sy, pcv, hv, store_, salt):
+    r1, r2 = R[1], R[2]
+    t, f = [], []
+    for i in idx:
+        v = r1[i] + r2[i]
+        r1[i] = v
+        (t if v < 100 else f).append(i)
+    return t, f
+
+
+def _tape(bound, hot=True):
+    return BoundedTape((1, 2), (1,), bound,
+                       (("add", 1, ("r", 1), ("r", 2)),),
+                       ("branch", "<", ("r", 1), ("i", 100)), hot=hot)
+
+
+def _state(vals1, vals2):
+    n = len(vals1)
+    R = [[0] * n for _ in range(8)]
+    R[1] = list(vals1)
+    R[2] = list(vals2)
+    return R, [0] * n, [0] * n
+
+
+def _call_both(bt, vals1, vals2):
+    """bounded_call and the pure mirror over identical state; returns
+    (tape result, tape R, mirror result, mirror R, stats delta)."""
+    idx = list(range(len(vals1)))
+    Ra, pcv, hv = _state(vals1, vals2)
+    Rb = copy.deepcopy(Ra)
+    before = dict(BOUNDED_STATS)
+    res_a = bounded_call(bt, _mirror, idx, Ra, None, None, pcv, hv,
+                         None, 0)
+    delta = {k: BOUNDED_STATS[k] - before[k] for k in before}
+    res_b = _mirror(idx, Rb, None, None, [0] * len(idx), [0] * len(idx),
+                    None, 0)
+    return res_a, Ra, res_b, Rb, delta
+
+
+class TestOverflowGating:
+    BOUND = 2 ** 62
+
+    @pytest.fixture(autouse=True)
+    def _force_tape(self, monkeypatch):
+        pytest.importorskip("numpy")
+        monkeypatch.setattr(lanes, "_BOUNDED_MIN_LANES", 1)
+        monkeypatch.setattr(lanes, "_BOUNDED_WIDE", 1)
+        monkeypatch.delenv("REPRO_VECTOR_NUMPY", raising=False)
+
+    def test_values_at_exact_bound_are_accepted(self):
+        bt = _tape(self.BOUND)
+        res_a, Ra, res_b, Rb, d = _call_both(
+            bt, [self.BOUND, -self.BOUND, 1], [0, 0, 2])
+        assert d == {"vector": 1, "demoted": 0, "scalar": 0}
+        assert res_a == res_b and Ra == Rb
+
+    def test_int64_max_above_bound_demotes(self):
+        """2**63 - 1 fits int64 but exceeds M: stage-2 bound gate."""
+        bt = _tape(self.BOUND)
+        res_a, Ra, res_b, Rb, d = _call_both(
+            bt, [2 ** 63 - 1, 1], [0, 2])
+        assert d["vector"] == 1 and d["demoted"] == 1
+        assert res_a == res_b and Ra == Rb
+
+    def test_int64_min_demotes_without_abs_wrap(self):
+        """-2**63 fits int64 but np.abs would wrap it back onto itself;
+        the two-sided compare must still demote the lane."""
+        bt = _tape(self.BOUND)
+        res_a, Ra, res_b, Rb, d = _call_both(bt, [-2 ** 63, 1], [0, 2])
+        assert d["vector"] == 1 and d["demoted"] == 1
+        assert res_a == res_b and Ra == Rb
+
+    @pytest.mark.parametrize("big", [2 ** 63, -2 ** 63 - 1, 2 ** 200])
+    def test_beyond_int64_takes_overflow_stage(self, big):
+        """Values that do not even fit int64 trip the gather's
+        OverflowError (stage 1) and demote, bit-identically — the sum
+        here also leaves int64, which the unbounded path must carry."""
+        bt = _tape(self.BOUND)
+        res_a, Ra, res_b, Rb, d = _call_both(bt, [big, 1], [big, 2])
+        assert d["vector"] == 1 and d["demoted"] == 1
+        assert res_a == res_b and Ra == Rb
+        assert Ra[1][0] == big + big  # unbounded arithmetic preserved
+
+    def test_mid_grain_strict_subset_demotion(self):
+        """Lanes 1 (stage 2) and 4 (stage 1) demote; the other four run
+        the tape.  The merged branch partition and every register
+        column must equal the pure unbounded run."""
+        bt = _tape(self.BOUND)
+        res_a, Ra, res_b, Rb, d = _call_both(
+            bt,
+            [1, 2 ** 63 - 1, 3, 90, 2 ** 63, 200],
+            [2, 0, 4, 20, 0, 0])
+        assert d == {"vector": 1, "demoted": 2, "scalar": 0}
+        assert res_a == res_b and Ra == Rb
+        # the partition interleaves tape and demoted lanes, sorted
+        t, f = res_a
+        assert t == sorted(t) and f == sorted(f)
+        assert set(t) | set(f) == set(range(6))
+
+    def test_all_lanes_bad_falls_back_entirely(self):
+        bt = _tape(self.BOUND)
+        res_a, Ra, res_b, Rb, d = _call_both(
+            bt, [2 ** 63, 2 ** 63], [0, 0])
+        assert d == {"vector": 0, "demoted": 2, "scalar": 1}
+        assert res_a == res_b and Ra == Rb
+
+
+class TestWidthGate:
+    """Below the width thresholds the tape is skipped outright."""
+
+    def test_narrow_hot_group_runs_scalar(self):
+        pytest.importorskip("numpy")
+        assert lanes._BOUNDED_MIN_LANES > 2
+        res_a, Ra, res_b, Rb, d = _call_both(_tape(2 ** 62), [1, 2], [3, 4])
+        assert d == {"vector": 0, "demoted": 0, "scalar": 1}
+        assert res_a == res_b and Ra == Rb
+
+    def test_cold_tape_needs_wide_group(self, monkeypatch):
+        pytest.importorskip("numpy")
+        monkeypatch.setattr(lanes, "_BOUNDED_MIN_LANES", 1)
+        assert lanes._BOUNDED_WIDE > 16
+        vals = list(range(16))
+        res_a, Ra, res_b, Rb, d = _call_both(
+            _tape(2 ** 62, hot=False), vals, vals)
+        assert d == {"vector": 0, "demoted": 0, "scalar": 1}
+        assert res_a == res_b and Ra == Rb
+
+    def test_array_backend_runs_scalar(self, monkeypatch):
+        monkeypatch.setattr(lanes, "_BOUNDED_MIN_LANES", 1)
+        monkeypatch.setenv("REPRO_VECTOR_NUMPY", "0")
+        res_a, Ra, res_b, Rb, d = _call_both(
+            _tape(2 ** 62), [1] * 8, [2] * 8)
+        assert d == {"vector": 0, "demoted": 0, "scalar": 1}
+        assert res_a == res_b and Ra == Rb
+
+
+# ----------------------------------------------------------------------
+# memo replay, persistence, tamper
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def fresh_tables():
+    """Run the test against an empty in-process memo registry and put
+    the old tables back afterwards, so a test that loads (or corrupts)
+    a table cannot leak entries into later tests."""
+    saved = dict(memo._TABLES)
+    memo._TABLES.clear()
+    yield memo._TABLES
+    memo._TABLES.clear()
+    memo._TABLES.update(saved)
+
+
+class TestMemoReplay:
+    def test_second_run_hits_and_stays_identical(self, monkeypatch,
+                                                 fresh_tables):
+        monkeypatch.delenv("REPRO_MEMO", raising=False)
+        digest = get_service(SERVICE).program.vdecoded.digest
+        first = _run("minsp_pc", salt=8)
+        t = fresh_tables[digest]
+        assert t.entries, "first run memoized nothing"
+        h0 = t.hits
+        _assert_same(first, _run("minsp_pc", salt=8))
+        assert t.hits > h0, "identical rerun produced no memo hits"
+
+    def test_persisted_table_seeds_fresh_process(self, monkeypatch,
+                                                 fresh_tables,
+                                                 tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        digest = get_service(SERVICE).program.vdecoded.digest
+        first = _run("ipdom", salt=10)
+        fresh_tables[digest].flush()
+        fresh_tables.pop(digest)  # simulate a new process
+        second = _run("ipdom", salt=10)
+        t = fresh_tables[digest]
+        assert t.persisted > 0, "table did not load from the store"
+        assert t.hits > 0, "warm-started table produced no hits"
+        _assert_same(first, second)
+
+
+def _tamper_one_entry(table_dict, field):
+    """A copy of a persisted vmemo dict with one delta entry corrupted:
+    ``field`` is ``"regs_out"`` (perturb a replayed register value, the
+    read set stays valid so the entry still hits) or ``"checks"``
+    (perturb a recorded read value, so the entry can never match)."""
+    out = dict(table_dict)
+    for key, bucket in out.items():
+        checks, writes, regs_out, res_rec = bucket[0]
+        if field == "regs_out" and regs_out:
+            r, vals = regs_out[0]
+            bad = ((vals[0] + 1,) + vals[1:] if type(vals) is tuple
+                   else vals + 1)
+            entry = (checks, writes, ((r, bad),) + regs_out[1:], res_rec)
+        elif field == "checks" and checks[0]:
+            addrs, vals = checks
+            entry = ((addrs, ((vals[0] or 0) + 1,) + vals[1:]),
+                     writes, regs_out, res_rec)
+        else:
+            continue
+        out[key] = [entry] + bucket[1:]
+        return out
+    raise AssertionError(f"no entry with a non-empty {field} to tamper")
+
+
+def _republish(fp, key, tampered):
+    """Replace the store's vmemo entry (the store is content-addressed
+    and first-write-wins, so the good entry must be dropped first)."""
+    import os
+    path = store.get_store()._path("vmemo", store.address("vmemo", fp, key))
+    os.unlink(path)
+    store.record("vmemo", fp, key, tampered)
+
+
+class TestMemoTamper:
+    def _populate(self, digest, tables):
+        clean = _run("ipdom", salt=6)
+        tables[digest].flush()
+        fp = memo._fingerprint()
+        persisted = store.lookup("vmemo", fp, (digest,))
+        assert isinstance(persisted, dict) and persisted
+        return clean, fp, persisted
+
+    def test_corrupted_delta_raises_cache_verify_error(
+            self, monkeypatch, fresh_tables, tmp_path):
+        """The ISSUE-pinned property: a tampered persisted delta entry
+        must raise CacheVerifyError under REPRO_SANITIZE=1 (the
+        recompute-and-compare witness), not silently replay."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_MEMO", raising=False)
+        digest = get_service(SERVICE).program.vdecoded.digest
+        _clean, fp, persisted = self._populate(digest, fresh_tables)
+        _republish(fp, (digest,),
+                   _tamper_one_entry(persisted, "regs_out"))
+        fresh_tables.pop(digest)  # force a reload from the store
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        with pytest.raises(CacheVerifyError):
+            _run("ipdom", salt=6)
+
+    def test_corrupted_read_set_degrades_to_miss(self, monkeypatch,
+                                                 fresh_tables,
+                                                 tmp_path):
+        """Corrupting an entry's recorded *read set* makes it
+        unmatchable: the run misses, re-executes live, and stays
+        bit-identical — even under the sanitizer."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_MEMO", raising=False)
+        digest = get_service(SERVICE).program.vdecoded.digest
+        clean, fp, persisted = self._populate(digest, fresh_tables)
+        _republish(fp, (digest,), _tamper_one_entry(persisted, "checks"))
+        fresh_tables.pop(digest)
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        _assert_same(clean, _run("ipdom", salt=6))
+
+    def test_bitflip_in_store_file_is_a_miss_not_an_error(
+            self, monkeypatch, fresh_tables, tmp_path):
+        """Raw on-disk corruption never reaches the memo layer: the
+        store's CRC demotes the blob to a miss and the run rebuilds
+        the table from scratch."""
+        import os
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_MEMO", raising=False)
+        digest = get_service(SERVICE).program.vdecoded.digest
+        clean, fp, _persisted = self._populate(digest, fresh_tables)
+        path = store.get_store()._path(
+            "vmemo", store.address("vmemo", fp, (digest,)))
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(bytes(blob))
+        fresh_tables.pop(digest)
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        _assert_same(clean, _run("ipdom", salt=6))
+        assert fresh_tables[digest].persisted == 0
+
+
+# ----------------------------------------------------------------------
+# witness toggles (the bit-identity matrix rows added by this PR)
+# ----------------------------------------------------------------------
+
+class TestWitnessToggles:
+    @pytest.mark.parametrize("policy", ["ipdom", "predicated"])
+    def test_memo_off_matches_default(self, policy, monkeypatch):
+        monkeypatch.delenv("REPRO_MEMO", raising=False)
+        default = _run(policy, salt=9)
+        monkeypatch.setenv("REPRO_MEMO", "0")
+        _assert_same(default, _run(policy, salt=9))
+
+    @pytest.mark.parametrize("policy", ["ipdom", "minsp_pc"])
+    def test_bounded_off_matches_default(self, policy, monkeypatch):
+        monkeypatch.delenv("REPRO_BOUNDED", raising=False)
+        default = _run(policy, salt=9)
+        monkeypatch.setenv("REPRO_BOUNDED", "0")
+        _assert_same(default, _run(policy, salt=9))
+
+    def test_forced_tape_matches_unbounded_witness(self, monkeypatch):
+        """Pin the thresholds to 1 so even tiny groups take the int64
+        tape (memo off so hits cannot mask it), and require the tape
+        path to actually run."""
+        pytest.importorskip("numpy")
+        monkeypatch.setattr(lanes, "_BOUNDED_MIN_LANES", 1)
+        monkeypatch.setattr(lanes, "_BOUNDED_WIDE", 1)
+        monkeypatch.setenv("REPRO_MEMO", "0")
+        monkeypatch.delenv("REPRO_BOUNDED", raising=False)
+        before = BOUNDED_STATS["vector"]
+        tape = _run("ipdom", salt=7)
+        assert BOUNDED_STATS["vector"] > before, \
+            "no grain took the bounded tape path"
+        monkeypatch.setenv("REPRO_BOUNDED", "0")
+        _assert_same(tape, _run("ipdom", salt=7))
+
+    def test_setup_cache_off_matches_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SETUP_CACHE", raising=False)
+        default = _run("ipdom", salt=11)
+        monkeypatch.setenv("REPRO_SETUP_CACHE", "0")
+        _assert_same(default, _run("ipdom", salt=11))

@@ -436,6 +436,105 @@ class TestAdaptiveBalancer:
         assert adaptive.completed == adaptive.n_requests
 
 
+class TestAffinityDecay:
+    """Ejection-triggered affinity-map decay (``affinity_decay``).
+
+    When the adaptive balancer's concentrated rank-0 replica dies
+    mid-window, the learned map was ranked against the pre-ejection
+    replica set and a window polluted by the dying replica's retry
+    storm.  Decaying to the identity map and reopening the adaptation
+    window on each ejection re-learns against the survivors instead of
+    waiting out the stale window - which is what recovers the
+    post-fault tail.
+    """
+
+    #: six API classes with popularity scrambled against class id, so
+    #: the learned ranks and the identity map route differently; the
+    #: hottest class ("d", rank 0) is affinitized to replica 0 - the
+    #: one the planned zone outage kills
+    _WEIGHTS = [("a", 0.10), ("b", 0.15), ("c", 0.08), ("d", 0.40),
+                ("e", 0.07), ("f", 0.20)]
+
+    def _graph(self):
+        from repro.system.graph import GraphConfig, GraphNode
+
+        nodes = {"front": GraphNode("front", 40.0, servers=1,
+                                    route=list(self._WEIGHTS))}
+        for name, _w in self._WEIGHTS:
+            nodes[name] = GraphNode(name, 30.0, servers=1000)
+        return GraphConfig(nodes=nodes, entry="front", rpu=True)
+
+    def _fleet(self, decay):
+        return FleetConfig(replicas=4, rack_size=1, balancer="adaptive",
+                           health_check=True, unhealthy_after=2,
+                           health_probe_us=1_000.0,
+                           adapt_interval_us=2_000.0,
+                           affinity_spill_us=200.0,
+                           affinity_decay=decay)
+
+    def _recovery_p99(self, decay, seed):
+        from repro.system import ZoneConfig
+        from repro.system.queueing import _percentile
+
+        horizon = 60_000.0
+        out_start = 10_000.0
+        zones = ZoneConfig(racks_per_zone=1,
+                           planned=((0, out_start, 30_000.0),),
+                           horizon_us=horizon)
+        arrivals = generate_arrivals(TrafficShape(base_qps=16_000.0),
+                                     horizon, seed, shard=0, n_shards=1)
+        sim = FleetSimulation(
+            self._graph(), self._fleet(decay), seed=seed, zones=zones,
+            shard=0, resilience=ResilienceConfig(deadline_us=50_000.0,
+                                                 max_retries=3))
+        sim.run_arrivals(arrivals, horizon)
+        assert sum(rs.ejections for rs in sim.replica_sets.values()) > 0
+        recovery = [j.latency_us for j in sim.finished
+                    if j.arrival_us >= out_start]
+        return _percentile(recovery, 0.99)
+
+    def test_ejection_decays_map_and_reopens_window(self):
+        from repro.system.fleet import GRAPHS
+        from repro.system.queueing import Job
+
+        for decay in (True, False):
+            fleet = self._fleet(decay)
+            sim = FleetSimulation(GRAPHS["fleet_rpu"](), fleet, seed=5)
+            sim._sites = {}
+            rs = next(iter(sim.replica_sets.values()))
+            sim._sites[rs.stations[0].name] = (rs, 0)
+            # learn a non-trivial map, then close the window
+            for i in range(20):
+                sim._pick(rs, 1.0 + i * 0.01,
+                          Job(jid=i, arrival_us=0.0,
+                              api_id=7 if i else 3))
+            sim._pick(rs, 2_500.0, Job(jid=99, arrival_us=0.0, api_id=3))
+            assert rs.api_map == {7: 0, 3: 1}
+            # two failures eject replica 0
+            sim._note_failure(3_000.0, rs.stations[0].name)
+            sim._note_failure(3_010.0, rs.stations[0].name)
+            assert rs.ejections == 1
+            if decay:
+                assert rs.api_map == {}  # identity until re-learned
+                assert rs.api_counts == {}
+                assert rs.next_adapt_us == pytest.approx(
+                    3_010.0 + self._fleet(decay).adapt_interval_us)
+            else:
+                assert rs.api_map == {7: 0, 3: 1}  # stale map kept
+
+    def test_decay_improves_recovery_p99(self):
+        """The regression pin: across four deterministic traffic draws,
+        decaying the map on ejection strictly improves the p99 of every
+        request arriving at or after the outage, and never hurts on any
+        single draw."""
+        seeds = (1, 3, 5, 8)
+        with_decay = [self._recovery_p99(True, s) for s in seeds]
+        without = [self._recovery_p99(False, s) for s in seeds]
+        for on, off, seed in zip(with_decay, without, seeds):
+            assert on < off, (seed, on, off)
+        assert sum(with_decay) / len(seeds) < sum(without) / len(seeds)
+
+
 class TestP99Autoscale:
     def test_p99_signal_scales_up_under_a_brownout(self):
         from repro.system import ZoneConfig
